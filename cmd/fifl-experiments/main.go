@@ -1,0 +1,85 @@
+// Command fifl-experiments regenerates the figures of the FIFL paper's
+// evaluation section (§5). Each experiment prints the series the paper
+// plots as an aligned table, optionally writing CSV files.
+//
+// Usage:
+//
+//	fifl-experiments -list
+//	fifl-experiments -id fig6 -scale quick
+//	fifl-experiments -all -scale paper -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"fifl/internal/experiments"
+)
+
+func main() {
+	var (
+		id     = flag.String("id", "", "experiment to run (see -list)")
+		all    = flag.Bool("all", false, "run every experiment")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		scale  = flag.String("scale", "quick", "quick or paper")
+		csvDir = flag.String("csv", "", "directory to write CSV files into (optional)")
+		seed   = flag.Uint64("seed", 0, "override the root seed (0 keeps the scale default)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	var sc experiments.Scale
+	switch *scale {
+	case "quick":
+		sc = experiments.QuickScale()
+	case "paper":
+		sc = experiments.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q (want quick or paper)\n", *scale)
+		os.Exit(2)
+	}
+	if *seed != 0 {
+		sc.Seed = *seed
+	}
+
+	ids := []string{*id}
+	if *all {
+		ids = experiments.IDs()
+	} else if *id == "" {
+		fmt.Fprintln(os.Stderr, "pass -id <experiment>, -all, or -list")
+		os.Exit(2)
+	}
+
+	for _, eid := range ids {
+		start := time.Now()
+		results, err := experiments.Run(eid, sc)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Println(r.Table())
+			if *csvDir != "" {
+				if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				path := filepath.Join(*csvDir, r.ID+".csv")
+				if err := os.WriteFile(path, []byte(r.CSV()), 0o644); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Printf("wrote %s\n", path)
+			}
+		}
+		fmt.Printf("-- %s done in %v --\n\n", eid, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,73 @@
+// Architectures: the paper's §3.2 claim in action — FIFL generalizes over
+// the three representative FL architectures by varying the server-cluster
+// size M: centralized (M = 1), polycentric (1 < M < N), and decentralized
+// (M = N). This program runs the same attacked federation at each M and
+// shows that detection quality and convergence are invariant while each
+// server only handles a 1/M slice of every gradient.
+package main
+
+import (
+	"fmt"
+
+	"fifl/internal/experiments"
+	"fifl/internal/gradvec"
+	"fifl/internal/rng"
+)
+
+func main() {
+	sc := experiments.QuickScale()
+	sc.TrainRounds = 20
+	sc.TrainWorkers = 8
+	sc.BatchSize = 64
+	sc.SamplesPerWorker = 300
+
+	for _, m := range []int{1, 4, 8} {
+		label := "polycentric"
+		if m == 1 {
+			label = "centralized"
+		} else if m == sc.TrainWorkers {
+			label = "decentralized"
+		}
+		fmt.Printf("== M=%d (%s) ==\n", m, label)
+
+		cfg := sc
+		cfg.Servers = m
+		kinds := make([]experiments.WorkerKind, cfg.TrainWorkers)
+		for i := range kinds {
+			kinds[i] = experiments.Honest()
+		}
+		kinds[cfg.TrainWorkers-1] = experiments.SignFlip(4)
+		f := experiments.BuildFederation(cfg, experiments.TaskDigitsMLP, kinds,
+			rng.New(11).Split(fmt.Sprintf("arch-%d", m)))
+		coord := experiments.DefaultCoordinator(f, 0.02, false)
+
+		// Show the slice sizes each server aggregates.
+		dim := len(f.Engine.Params())
+		fmt.Printf("gradient dimension %d split into %d slice(s):", dim, m)
+		for j := 0; j < m; j++ {
+			lo, hi := gradvec.SliceBounds(dim, m, j)
+			if j < 3 || j == m-1 {
+				fmt.Printf(" [%d,%d)", lo, hi)
+			} else if j == 3 {
+				fmt.Printf(" ...")
+			}
+		}
+		fmt.Println()
+
+		caught, certain := 0, 0
+		for t := 0; t < cfg.TrainRounds; t++ {
+			rep := coord.RunRound(t)
+			last := cfg.TrainWorkers - 1
+			if !rep.Detection.Uncertain[last] {
+				certain++
+				if !rep.Detection.Accept[last] {
+					caught++
+				}
+			}
+		}
+		acc, loss := f.Engine.Evaluate(f.Test, 128)
+		fmt.Printf("attacker caught %d/%d rounds; final acc=%.3f loss=%.3f\n\n", caught, certain, acc, loss)
+	}
+	fmt.Println("expected: similar catch rates and accuracy at every M —")
+	fmt.Println("the architecture changes who aggregates, not what is computed.")
+}

@@ -1,0 +1,69 @@
+// Incentive market: the paper's §5.2 competition between five federations
+// that differ only in their incentive mechanism — FIFL vs the Equal,
+// Individual, Union and Shapley baselines. Workers with heterogeneous data
+// holdings join greedily in proportion to the rewards offered; we report
+// how much data each mechanism attracts and its system revenue, first in a
+// reliable market and then under the paper's worst-case 38.5% attacker
+// scenario, where only FIFL's revenue survives.
+package main
+
+import (
+	"fmt"
+
+	"fifl/internal/market"
+	"fifl/internal/rng"
+)
+
+func main() {
+	const (
+		repeats = 50
+		nPop    = 20
+		budget  = 1.0
+	)
+	schemes := market.Schemes()
+
+	for _, scenario := range []struct {
+		name       string
+		attackFrac float64
+		degree     float64
+	}{
+		{"reliable market (no attackers)", 0, 0},
+		{"unreliable market (38.5% attackers, paper's worst case)", 0.385, 0.385},
+	} {
+		fmt.Printf("== %s ==\n", scenario.name)
+		dataShare := make([]float64, len(schemes))
+		revenue := make([]float64, len(schemes))
+		root := rng.New(99)
+		for rep := 0; rep < repeats; rep++ {
+			src := root.SplitN(scenario.name, rep)
+			pop := market.Population(src, nPop, 10000, scenario.attackFrac, scenario.degree)
+			attract := market.Attractiveness(schemes, pop, budget)
+			members := market.AssignGreedy(src.Split("assign"), attract, pop, 1.5)
+			total := 0.0
+			for _, w := range pop {
+				if !w.Attacker {
+					total += float64(w.Samples)
+				}
+			}
+			for f, s := range schemes {
+				honest := 0.0
+				for _, w := range members[f] {
+					if !w.Attacker {
+						honest += float64(w.Samples)
+					}
+				}
+				dataShare[f] += honest / total
+				revenue[f] += s.Revenue(members[f])
+			}
+		}
+		fmt.Printf("%-12s %12s %12s %16s\n", "mechanism", "data share", "revenue", "rel. to FIFL")
+		for f, s := range schemes {
+			rel := (revenue[f]/revenue[0] - 1) * 100
+			fmt.Printf("%-12s %11.1f%% %12.3f %+15.1f%%\n",
+				s.Name(), dataShare[f]/repeats*100, revenue[f]/float64(repeats), rel)
+		}
+		fmt.Println()
+	}
+	fmt.Println("expected: in the reliable market all five are close (Equal trails);")
+	fmt.Println("under attack every baseline collapses while FIFL holds its revenue.")
+}

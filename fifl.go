@@ -1,0 +1,221 @@
+// Package fifl is the public facade of this FIFL reproduction — a fair,
+// attack-robust incentive mechanism for federated learning (Gao et al.,
+// ICPP '21) together with every substrate it runs on: a from-scratch neural
+// network training engine, a polycentric federated-learning runtime,
+// Byzantine attack workers, a blockchain audit ledger, the baseline
+// incentive mechanisms, and the market simulation of the paper's
+// evaluation.
+//
+// # Quick start
+//
+// Build a federation, wrap it in a FIFL coordinator, and run rounds:
+//
+//	src := fifl.NewRNG(42)
+//	build := fifl.NewMLP(42, 28*28, []int{64}, 10)
+//	data := fifl.SynthDigits(src, 2000)
+//	parts := data.PartitionIID(src, 4)
+//	var workers []fifl.Worker
+//	for i, p := range parts {
+//		workers = append(workers, fifl.NewHonestWorker(i, p, build,
+//			fifl.LocalConfig{K: 1, BatchSize: 16, LR: 0.05}, src))
+//	}
+//	engine := fifl.NewEngine(fifl.EngineConfig{Servers: 2, GlobalLR: 0.05},
+//		build, workers, src)
+//	coord, err := fifl.NewCoordinator(fifl.CoordinatorConfig{
+//		Detection:      fifl.Detector{Threshold: 0.02},
+//		Reputation:     fifl.DefaultReputationConfig(),
+//		Contribution:   fifl.ContributionConfig{BaselineWorker: -1, Clamp: 10, SmoothBH: 0.2},
+//		RewardPerRound: 1,
+//	}, engine, []int{0, 1})
+//	// handle err, then: report := coord.RunRound(0)
+//
+// See examples/ for complete programs and internal/experiments for the
+// code behind every figure of the paper.
+package fifl
+
+import (
+	"fifl/internal/core"
+	"fifl/internal/dataset"
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+	"fifl/internal/incentive"
+	"fifl/internal/netsim"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+	"fifl/internal/robust"
+	"fifl/internal/trace"
+)
+
+// RNG re-exports the deterministic splittable random source every
+// constructor consumes.
+type RNG = rng.Source
+
+// NewRNG returns a deterministic random source rooted at seed.
+func NewRNG(seed uint64) *RNG { return rng.New(seed) }
+
+// Dataset re-exports the labelled example set used for local training.
+type Dataset = dataset.Dataset
+
+// SynthDigits generates the MNIST stand-in dataset (28×28×1, ten classes).
+func SynthDigits(src *RNG, n int) *Dataset { return dataset.SynthDigits(src, n) }
+
+// SynthImages generates the CIFAR-10 stand-in dataset (32×32×3, ten
+// classes).
+func SynthImages(src *RNG, n int) *Dataset { return dataset.SynthImages(src, n) }
+
+// Model types.
+type (
+	// Model is a trainable network.
+	Model = nn.Sequential
+	// ModelBuilder constructs identical model replicas for workers.
+	ModelBuilder = nn.Builder
+)
+
+// NewLeNet returns the LeNet builder (for SynthDigits).
+func NewLeNet(seed uint64) ModelBuilder { return nn.NewLeNet(seed) }
+
+// NewMiniResNet returns the residual-network builder (for SynthImages).
+func NewMiniResNet(seed uint64) ModelBuilder { return nn.NewMiniResNet(seed) }
+
+// NewMLP returns a small multi-layer perceptron builder over flat inputs.
+func NewMLP(seed uint64, in int, hidden []int, out int) ModelBuilder {
+	return nn.NewMLP(seed, in, hidden, out)
+}
+
+// Federated-learning runtime types.
+type (
+	// Worker is one federation participant.
+	Worker = fl.Worker
+	// LocalConfig controls worker-side training.
+	LocalConfig = fl.LocalConfig
+	// EngineConfig controls the federation runtime.
+	EngineConfig = fl.Config
+	// Engine orchestrates a federation.
+	Engine = fl.Engine
+	// RoundResult holds one iteration's collected gradients.
+	RoundResult = fl.RoundResult
+	// Gradient is a flat gradient vector.
+	Gradient = gradvec.Vector
+)
+
+// NewHonestWorker builds a faithful worker over a local dataset.
+func NewHonestWorker(id int, data *Dataset, build ModelBuilder, cfg LocalConfig, src *RNG) *fl.HonestWorker {
+	return fl.NewHonestWorker(id, data, build, cfg, src)
+}
+
+// NewEngine builds a federation runtime.
+func NewEngine(cfg EngineConfig, build ModelBuilder, workers []Worker, src *RNG) *Engine {
+	return fl.NewEngine(cfg, build, workers, src)
+}
+
+// FIFL mechanism types.
+type (
+	// Detector is the attack-detection module (§4.1).
+	Detector = core.Detector
+	// DetectionResult is one round of screening.
+	DetectionResult = core.DetectionResult
+	// ReputationConfig parameterizes the reputation module (§4.2).
+	ReputationConfig = core.ReputationConfig
+	// ReputationTracker maintains time-decayed worker reputations.
+	ReputationTracker = core.ReputationTracker
+	// ContributionConfig parameterizes the contribution module (§4.3).
+	ContributionConfig = core.ContributionConfig
+	// Contributions is one round of utility assessments.
+	Contributions = core.Contributions
+	// CoordinatorConfig parameterizes a FIFL federation run.
+	CoordinatorConfig = core.CoordinatorConfig
+	// Coordinator runs the complete FIFL mechanism.
+	Coordinator = core.Coordinator
+	// RoundReport is one iteration's full assessment.
+	RoundReport = core.RoundReport
+	// Scorer replaces the default cosine detection score (see
+	// LossDeltaScorer for the exact Eq. 5 detector, which stays valid
+	// after the model converges).
+	Scorer = core.Scorer
+	// LossDeltaScorer is the exact Eq. 5 detector.
+	LossDeltaScorer = core.LossDeltaScorer
+)
+
+// DefaultReputationConfig mirrors the paper's reputation setup.
+func DefaultReputationConfig() ReputationConfig { return core.DefaultReputationConfig() }
+
+// NewCoordinator wraps an engine in the FIFL mechanism.
+func NewCoordinator(cfg CoordinatorConfig, engine *Engine, initialServers []int) (*Coordinator, error) {
+	return core.NewCoordinator(cfg, engine, initialServers)
+}
+
+// SelectInitialServers elects the initial server cluster from verification
+// accuracies (§4.5).
+func SelectInitialServers(accuracies []float64, m int) []int {
+	return core.SelectInitialServers(accuracies, m, nil)
+}
+
+// Baseline incentive mechanisms (Eq. 18–22).
+type (
+	// IncentiveMechanism derives reward weights from sample counts.
+	IncentiveMechanism = incentive.Mechanism
+)
+
+// Baseline mechanism values.
+var (
+	// EqualIncentive pays everyone the same.
+	EqualIncentive IncentiveMechanism = incentive.Equal{}
+	// IndividualIncentive pays by independent utility Ψ(n_i).
+	IndividualIncentive IncentiveMechanism = incentive.Individual{}
+	// UnionIncentive pays by marginal utility.
+	UnionIncentive IncentiveMechanism = incentive.Union{}
+	// ShapleyIncentive pays by exact Shapley value.
+	ShapleyIncentive IncentiveMechanism = incentive.Shapley{}
+)
+
+// IncentiveShares normalizes a mechanism's weights into reward shares.
+func IncentiveShares(m IncentiveMechanism, samples []int) []float64 {
+	return incentive.Shares(m, samples)
+}
+
+// Robust aggregation (the classical Byzantine-tolerant alternatives to
+// FIFL's detection filter).
+type (
+	// RobustAggregator combines one round of gradients robustly.
+	RobustAggregator = robust.Aggregator
+)
+
+// Robust aggregator constructors.
+var (
+	// MeanAggregator is plain FedAvg (no defense).
+	MeanAggregator RobustAggregator = robust.Mean{}
+	// MedianAggregator is the coordinate-wise median.
+	MedianAggregator RobustAggregator = robust.Median{}
+)
+
+// KrumAggregator returns (Multi-)Krum tolerating f Byzantine workers; m >
+// 1 averages the m best gradients.
+func KrumAggregator(f, m int) RobustAggregator { return robust.Krum{F: f, M: m} }
+
+// TrimmedMeanAggregator returns the per-coordinate trimmed mean with beta
+// values trimmed per side.
+func TrimmedMeanAggregator(beta int) RobustAggregator { return robust.TrimmedMean{Beta: beta} }
+
+// Run tracing.
+type (
+	// TraceRecorder accumulates per-round, per-worker run history.
+	TraceRecorder = trace.Recorder
+	// TraceWorkerRound is one worker's record in one round.
+	TraceWorkerRound = trace.WorkerRound
+)
+
+// NewTraceRecorder creates an empty run recorder; feed it with
+// RoundReport.TraceRecords.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// Communication modelling (§3.2 architectures).
+type (
+	// CommParams describes a federation's communication round.
+	CommParams = netsim.Params
+	// CommCost is the per-round load breakdown.
+	CommCost = netsim.RoundCost
+)
+
+// AnalyzeComm computes the per-round communication cost of an
+// architecture.
+func AnalyzeComm(p CommParams) CommCost { return netsim.Analyze(p) }

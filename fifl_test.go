@@ -1,0 +1,101 @@
+package fifl
+
+import (
+	"testing"
+
+	"fifl/internal/attack"
+)
+
+// TestPublicAPIEndToEnd drives the whole system exactly as the README's
+// quickstart does: build a federation with one attacker through the public
+// facade, run FIFL rounds, and check the headline guarantees — the
+// attacker is detected, loses reputation and is punished, while the model
+// improves and the audit ledger stays verifiable.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	const (
+		nWorkers = 5
+		rounds   = 15
+		seed     = 4242
+	)
+	src := NewRNG(seed)
+	build := NewMLP(seed, 28*28, []int{32}, 10)
+	local := LocalConfig{K: 1, BatchSize: 96, LR: 0.05}
+
+	train := SynthDigits(src.Split("train"), nWorkers*200)
+	test := SynthDigits(src.Split("test"), 200)
+	parts := train.PartitionIID(src.Split("split"), nWorkers)
+
+	workers := make([]Worker, nWorkers)
+	for i := 0; i < nWorkers-1; i++ {
+		workers[i] = NewHonestWorker(i, parts[i], build, local, src)
+	}
+	workers[nWorkers-1] = attack.NewSignFlipWorker(nWorkers-1, parts[nWorkers-1], build, local, src, 4)
+
+	engine := NewEngine(EngineConfig{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Detection:      Detector{Threshold: 0.02},
+		Reputation:     DefaultReputationConfig(),
+		Contribution:   ContributionConfig{BaselineWorker: -1},
+		RewardPerRound: 1,
+		RecordToLedger: true,
+	}, engine, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, lossBefore := engine.Evaluate(test, 128)
+	attackerRejections := 0
+	for round := 0; round < rounds; round++ {
+		report := coord.RunRound(round)
+		if !report.Detection.Accept[nWorkers-1] && !report.Detection.Uncertain[nWorkers-1] {
+			attackerRejections++
+		}
+	}
+	_, lossAfter := engine.Evaluate(test, 128)
+
+	if lossAfter >= lossBefore {
+		t.Fatalf("training did not improve under defense: %v -> %v", lossBefore, lossAfter)
+	}
+	if attackerRejections < rounds*8/10 {
+		t.Fatalf("attacker rejected only %d/%d rounds", attackerRejections, rounds)
+	}
+	if rep := coord.Rep.Reputation(nWorkers - 1); rep > 0.2 {
+		t.Fatalf("attacker reputation %v, want near 0", rep)
+	}
+	cum := coord.CumulativeRewards()
+	if cum[nWorkers-1] >= 0 {
+		t.Fatalf("attacker cumulative reward %v, want negative", cum[nWorkers-1])
+	}
+	if err := coord.Ledger.Verify(); err != nil {
+		t.Fatalf("ledger verification failed: %v", err)
+	}
+	if coord.Ledger.Len() == 0 {
+		t.Fatal("ledger empty despite RecordToLedger")
+	}
+}
+
+// TestBaselineFacade sanity-checks the re-exported baseline mechanisms.
+func TestBaselineFacade(t *testing.T) {
+	samples := []int{100, 1000, 9000}
+	for _, m := range []IncentiveMechanism{EqualIncentive, IndividualIncentive, UnionIncentive, ShapleyIncentive} {
+		shares := IncentiveShares(m, samples)
+		if len(shares) != 3 {
+			t.Fatalf("%s shares = %v", m.Name(), shares)
+		}
+		sum := 0.0
+		for _, s := range shares {
+			sum += s
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s shares sum %v", m.Name(), sum)
+		}
+	}
+}
+
+// TestSelectInitialServersFacade checks the §4.5 initial election helper.
+func TestSelectInitialServersFacade(t *testing.T) {
+	servers := SelectInitialServers([]float64{0.2, 0.9, 0.6}, 2)
+	if len(servers) != 2 || servers[0] != 1 || servers[1] != 2 {
+		t.Fatalf("servers = %v", servers)
+	}
+}

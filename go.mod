@@ -1,0 +1,3 @@
+module fifl
+
+go 1.22

@@ -1,0 +1,108 @@
+// Package attack implements the Byzantine worker models the paper
+// evaluates against (§5.1): sign-flipping workers, data-poison workers,
+// free-riders, and probabilistic attackers that only misbehave in a
+// fraction p_a of iterations (the reputation experiment of Figure 11).
+package attack
+
+import (
+	"fifl/internal/dataset"
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// SignFlipWorker trains honestly and then uploads −p_s·G_i, flipping the
+// gradient's sign and amplifying it by the attack intensity p_s. Large p_s
+// drives the global model toward divergence (the paper reports NaN loss at
+// p_s ≥ 10).
+type SignFlipWorker struct {
+	*fl.HonestWorker
+	Intensity float64 // p_s
+}
+
+// NewSignFlipWorker wraps an honest trainer with the sign-flipping upload.
+func NewSignFlipWorker(id int, data *dataset.Dataset, build nn.Builder, cfg fl.LocalConfig, src *rng.Source, intensity float64) *SignFlipWorker {
+	return &SignFlipWorker{
+		HonestWorker: fl.NewHonestWorker(id, data, build, cfg, src),
+		Intensity:    intensity,
+	}
+}
+
+// LocalTrain computes the honest gradient and uploads its negation scaled
+// by p_s.
+func (w *SignFlipWorker) LocalTrain(round int, global []float64) gradvec.Vector {
+	g := w.HonestWorker.LocalTrain(round, global)
+	g.Scale(-w.Intensity)
+	return g
+}
+
+// NewDataPoisonWorker returns a worker that trains honestly but on a local
+// dataset in which a fraction p_d of the labels have been corrupted — the
+// paper's data-poison attacker. Structurally it IS an honest worker; the
+// damage comes entirely from the mislabelled data, which is exactly why
+// these attackers are harder to detect than sign-flippers.
+func NewDataPoisonWorker(id int, data *dataset.Dataset, build nn.Builder, cfg fl.LocalConfig, src *rng.Source, pd float64) *fl.HonestWorker {
+	poisoned := data.PoisonLabels(src.SplitN("poison", id), pd)
+	return fl.NewHonestWorker(id, poisoned, build, cfg, src)
+}
+
+// FreeRider uploads a fabricated gradient without training: small random
+// noise shaped like a plausible update. Free-riders seek rewards without
+// spending compute; their gradients carry no signal, so their contribution
+// under FIFL is near the zero-gradient threshold b_h.
+type FreeRider struct {
+	id      int
+	samples int
+	scale   float64
+	src     *rng.Source
+}
+
+// NewFreeRider creates a free-rider that claims the given sample count.
+func NewFreeRider(id, claimedSamples int, noiseScale float64, src *rng.Source) *FreeRider {
+	return &FreeRider{id: id, samples: claimedSamples, scale: noiseScale, src: src.SplitN("freerider", id)}
+}
+
+// ID returns the worker index.
+func (w *FreeRider) ID() int { return w.id }
+
+// NumSamples returns the (possibly inflated) claimed sample count.
+func (w *FreeRider) NumSamples() int { return w.samples }
+
+// LocalTrain fabricates a noise gradient without touching any data.
+func (w *FreeRider) LocalTrain(round int, global []float64) gradvec.Vector {
+	g := gradvec.Zeros(len(global))
+	w.src.FillNormal(g, 0, w.scale)
+	return g
+}
+
+// Probabilistic wraps an honest worker and an attacker, misbehaving with
+// probability p_a each round (Figure 11's attacker model). In honest rounds
+// it uploads the honest gradient; in attack rounds it uploads the inner
+// attacker's gradient.
+type Probabilistic struct {
+	Honest   fl.Worker
+	Attacker fl.Worker
+	PA       float64 // probability of attacking in a given round
+	src      *rng.Source
+}
+
+// NewProbabilistic builds the mixture attacker. The honest and attacker
+// workers should share the same ID and dataset.
+func NewProbabilistic(honest, attacker fl.Worker, pa float64, src *rng.Source) *Probabilistic {
+	return &Probabilistic{Honest: honest, Attacker: attacker, PA: pa, src: src.SplitN("prob", honest.ID())}
+}
+
+// ID returns the underlying worker index.
+func (w *Probabilistic) ID() int { return w.Honest.ID() }
+
+// NumSamples returns the honest worker's sample count.
+func (w *Probabilistic) NumSamples() int { return w.Honest.NumSamples() }
+
+// LocalTrain attacks with probability PA, otherwise trains honestly.
+func (w *Probabilistic) LocalTrain(round int, global []float64) gradvec.Vector {
+	if w.src.Bernoulli(w.PA) {
+		return w.Attacker.LocalTrain(round, global)
+	}
+	return w.Honest.LocalTrain(round, global)
+}

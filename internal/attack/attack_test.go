@@ -1,0 +1,134 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"fifl/internal/dataset"
+	"fifl/internal/fl"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+func setup(t *testing.T) (*dataset.Dataset, nn.Builder, fl.LocalConfig, []float64) {
+	t.Helper()
+	src := rng.New(50)
+	build := nn.NewMLP(50, 28*28, []int{8}, 10)
+	data := dataset.SynthDigits(src, 80)
+	lc := fl.LocalConfig{K: 1, BatchSize: 8, LR: 0.05}
+	return data, build, lc, build().ParamsVector()
+}
+
+func TestSignFlipNegatesAndScales(t *testing.T) {
+	data, build, lc, global := setup(t)
+	honest := fl.NewHonestWorker(0, data, build, lc, rng.New(9))
+	flip := NewSignFlipWorker(0, data, build, lc, rng.New(9), 4)
+	gh := honest.LocalTrain(0, global)
+	ga := flip.LocalTrain(0, global)
+	for i := range gh {
+		if math.Abs(ga[i]+4*gh[i]) > 1e-12 {
+			t.Fatalf("sign-flip gradient not -4x honest at %d: %v vs %v", i, ga[i], gh[i])
+		}
+	}
+}
+
+func TestSignFlipAntiCorrelated(t *testing.T) {
+	data, build, lc, global := setup(t)
+	honest := fl.NewHonestWorker(0, data, build, lc, rng.New(9))
+	flip := NewSignFlipWorker(1, data, build, lc, rng.New(10), 2)
+	gh := honest.LocalTrain(0, global)
+	ga := flip.LocalTrain(0, global)
+	if cos := gh.CosSim(ga); cos > -0.1 {
+		t.Fatalf("sign-flip gradient should anti-correlate with honest, cos=%v", cos)
+	}
+}
+
+func TestDataPoisonWorkerUsesPoisonedData(t *testing.T) {
+	data, build, lc, _ := setup(t)
+	w := NewDataPoisonWorker(0, data, build, lc, rng.New(11), 0.5)
+	// The worker's data must differ from the original in ~50% of labels.
+	diff := 0
+	for i := range data.Labels {
+		if w.Data.Labels[i] != data.Labels[i] {
+			diff++
+		}
+	}
+	if diff != 40 {
+		t.Fatalf("poisoned labels: %d, want 40", diff)
+	}
+	if w.NumSamples() != data.Len() {
+		t.Fatal("sample count changed by poisoning")
+	}
+}
+
+func TestFreeRiderClaimsAndFabricates(t *testing.T) {
+	_, _, _, global := setup(t)
+	fr := NewFreeRider(3, 5000, 0.01, rng.New(12))
+	if fr.ID() != 3 || fr.NumSamples() != 5000 {
+		t.Fatal("free-rider identity wrong")
+	}
+	g := fr.LocalTrain(0, global)
+	if len(g) != len(global) {
+		t.Fatal("free-rider gradient length wrong")
+	}
+	// Fabricated noise has tiny norm relative to dimension and no NaNs.
+	if g.HasNaN() {
+		t.Fatal("free-rider gradient has NaN")
+	}
+	rms := g.Norm2() / math.Sqrt(float64(len(g)))
+	if rms > 0.02 || rms < 0.005 {
+		t.Fatalf("free-rider noise scale off: rms=%v", rms)
+	}
+	// Two rounds differ (it is noise, not a constant).
+	g2 := fr.LocalTrain(1, global)
+	if g.SqDist(g2) == 0 {
+		t.Fatal("free-rider gradient constant across rounds")
+	}
+}
+
+func TestProbabilisticMixture(t *testing.T) {
+	data, build, lc, global := setup(t)
+	honest := fl.NewHonestWorker(0, data, build, lc, rng.New(13))
+	atk := NewSignFlipWorker(0, data, build, lc, rng.New(14), 3)
+	p := NewProbabilistic(honest, atk, 0.5, rng.New(15))
+	if p.ID() != 0 || p.NumSamples() != data.Len() {
+		t.Fatal("probabilistic identity wrong")
+	}
+	// Count attack rounds by checking the sign of the correlation with a
+	// fresh honest gradient.
+	ref := fl.NewHonestWorker(0, data, build, lc, rng.New(16)).LocalTrain(0, global)
+	attacks := 0
+	const rounds = 60
+	for i := 0; i < rounds; i++ {
+		g := p.LocalTrain(i, global)
+		if ref.CosSim(g) < 0 {
+			attacks++
+		}
+	}
+	frac := float64(attacks) / rounds
+	if frac < 0.3 || frac > 0.7 {
+		t.Fatalf("attack fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestProbabilisticExtremes(t *testing.T) {
+	data, build, lc, global := setup(t)
+	// Large batches keep single-round gradient correlations sign-stable.
+	lc.BatchSize = 64
+	honest := fl.NewHonestWorker(0, data, build, lc, rng.New(17))
+	atk := NewSignFlipWorker(0, data, build, lc, rng.New(18), 3)
+	ref := fl.NewHonestWorker(0, data, build, lc, rng.New(19)).LocalTrain(0, global)
+
+	never := NewProbabilistic(honest, atk, 0, rng.New(20))
+	for i := 0; i < 10; i++ {
+		if ref.CosSim(never.LocalTrain(i, global)) < 0 {
+			t.Fatal("pa=0 must never attack")
+		}
+	}
+	always := NewProbabilistic(honest, atk, 1, rng.New(21))
+	for i := 0; i < 10; i++ {
+		if ref.CosSim(always.LocalTrain(i, global)) > 0 {
+			t.Fatal("pa=1 must always attack")
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package attack
+
+import (
+	"sync"
+
+	"fifl/internal/dataset"
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// Collusion coordinates a group of "a little is enough"-style attackers
+// (Baruch et al., the paper's [2]): each member computes its honest
+// gradient, the cabal averages them, and every member uploads the same
+// slightly shifted gradient
+//
+//	G_atk = mean(G_members) − ε · mean(G_members)
+//
+// i.e. a small common perturbation that stays within the spread of honest
+// gradients. The paper explicitly scopes FIFL to "disorganized attack
+// scenarios with not colluding attackers" (§4.1); this attacker exists to
+// characterize that boundary — the abl-collusion experiment shows the
+// cosine detector does NOT flag these updates, confirming the paper's
+// stated limitation rather than contradicting it.
+type Collusion struct {
+	// Epsilon is the relative shift each member applies; small values
+	// (0.1–0.5) stay inside the honest gradient spread.
+	Epsilon float64
+
+	mu      sync.Mutex
+	round   int
+	pending map[int]gradvec.Vector // member ID -> honest gradient this round
+	members int
+	result  gradvec.Vector
+	done    chan struct{}
+}
+
+// NewCollusion creates a cabal coordination point for the given number of
+// members.
+func NewCollusion(epsilon float64, members int) *Collusion {
+	return &Collusion{
+		Epsilon: epsilon,
+		round:   -1,
+		members: members,
+	}
+}
+
+// submit contributes one member's honest gradient for the round and blocks
+// until the cabal's common upload is ready.
+func (c *Collusion) submit(round, id int, g gradvec.Vector) gradvec.Vector {
+	c.mu.Lock()
+	if c.round != round {
+		c.round = round
+		c.pending = make(map[int]gradvec.Vector, c.members)
+		c.done = make(chan struct{})
+	}
+	c.pending[id] = g
+	done := c.done
+	if len(c.pending) == c.members {
+		// Last member in: build the common poisoned update.
+		mean := gradvec.Zeros(len(g))
+		w := 1.0 / float64(c.members)
+		for _, pg := range c.pending {
+			mean.AddScaled(w, pg)
+		}
+		// Shift: (1 − ε)·mean — a gentle shrink-and-drag that stays
+		// aligned with the honest direction.
+		mean.Scale(1 - c.Epsilon)
+		c.result = mean
+		close(done)
+	}
+	c.mu.Unlock()
+	<-done
+	c.mu.Lock()
+	out := c.result.Clone()
+	c.mu.Unlock()
+	return out
+}
+
+// ColludingWorker is one member of a Collusion cabal. All members must be
+// registered in the same federation and will train in the same rounds (the
+// fl.Engine collects all workers every round), otherwise submit deadlocks.
+type ColludingWorker struct {
+	*fl.HonestWorker
+	cabal *Collusion
+}
+
+// NewColludingWorker wraps an honest trainer as a cabal member.
+func NewColludingWorker(id int, data *dataset.Dataset, build nn.Builder, cfg fl.LocalConfig, src *rng.Source, cabal *Collusion) *ColludingWorker {
+	return &ColludingWorker{
+		HonestWorker: fl.NewHonestWorker(id, data, build, cfg, src),
+		cabal:        cabal,
+	}
+}
+
+// LocalTrain computes the honest gradient, then coordinates with the cabal
+// and uploads the common perturbed update.
+func (w *ColludingWorker) LocalTrain(round int, global []float64) gradvec.Vector {
+	honest := w.HonestWorker.LocalTrain(round, global)
+	return w.cabal.submit(round, w.ID(), honest)
+}

@@ -1,0 +1,74 @@
+package attack
+
+import (
+	"sync"
+	"testing"
+
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+	"fifl/internal/rng"
+)
+
+func TestCollusionCommonUpload(t *testing.T) {
+	data, build, lc, global := setup(t)
+	cabal := NewCollusion(0.3, 2)
+	w1 := NewColludingWorker(0, data, build, lc, rng.New(61), cabal)
+	w2 := NewColludingWorker(1, data, build, lc, rng.New(62), cabal)
+
+	// Members must run concurrently (they block on each other).
+	var g1, g2 gradvec.Vector
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); g1 = w1.LocalTrain(0, global) }()
+	go func() { defer wg.Done(); g2 = w2.LocalTrain(0, global) }()
+	wg.Wait()
+
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("cabal members must upload identical gradients")
+		}
+	}
+}
+
+func TestCollusionStaysAlignedWithHonest(t *testing.T) {
+	data, build, lc, global := setup(t)
+	lc.BatchSize = 64
+	cabal := NewCollusion(0.3, 2)
+	w1 := NewColludingWorker(0, data, build, lc, rng.New(63), cabal)
+	w2 := NewColludingWorker(1, data, build, lc, rng.New(64), cabal)
+	ref := fl.NewHonestWorker(2, data, build, lc, rng.New(65))
+
+	var g1 gradvec.Vector
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); g1 = w1.LocalTrain(0, global) }()
+	go func() { defer wg.Done(); w2.LocalTrain(0, global) }()
+	wg.Wait()
+
+	honest := ref.LocalTrain(0, global)
+	// The little-is-enough update must look honest: strongly positive
+	// cosine with a genuine honest gradient.
+	if cos := honest.CosSim(g1); cos < 0.3 {
+		t.Fatalf("colluding update should stay aligned with honest gradients, cos=%v", cos)
+	}
+}
+
+func TestCollusionMultiRound(t *testing.T) {
+	data, build, lc, global := setup(t)
+	cabal := NewCollusion(0.2, 2)
+	w1 := NewColludingWorker(0, data, build, lc, rng.New(66), cabal)
+	w2 := NewColludingWorker(1, data, build, lc, rng.New(67), cabal)
+
+	// The round barrier must reset across rounds.
+	for round := 0; round < 3; round++ {
+		var g1, g2 gradvec.Vector
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() { defer wg.Done(); g1 = w1.LocalTrain(round, global) }()
+		go func() { defer wg.Done(); g2 = w2.LocalTrain(round, global) }()
+		wg.Wait()
+		if g1.SqDist(g2) != 0 {
+			t.Fatalf("round %d: members diverged", round)
+		}
+	}
+}

@@ -1,0 +1,49 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"fifl/internal/dataset"
+	"fifl/internal/fl"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// TestUndefendedStrongAttackDestroysModel pins the paper's §5.3.1
+// observation: a strongly aggressive sign-flipping attacker (p_s ≥ 10)
+// thoroughly crashes an undefended model. Deep models overflow all the
+// way to NaN (the Figure 10 "without detection" arm does); this MLP's
+// single layer diverges polynomially, so the test asserts the loss
+// explodes far past destruction (chance level is ln 10 ≈ 2.3).
+func TestUndefendedStrongAttackDestroysModel(t *testing.T) {
+	src := rng.New(111)
+	const n = 4
+	build := nn.NewMLP(111, 28*28, []int{16}, 10)
+	data := dataset.SynthDigits(src.Split("train"), n*80)
+	test := dataset.SynthDigits(src.Split("test"), 80)
+	parts := data.PartitionIID(src.Split("parts"), n)
+	lc := fl.LocalConfig{K: 1, BatchSize: 32, LR: 0.05}
+	workers := make([]fl.Worker, n)
+	for i := 0; i < n-2; i++ {
+		workers[i] = fl.NewHonestWorker(i, parts[i], build, lc, src)
+	}
+	// Two p_s = 12 attackers in a four-worker federation: the aggregate
+	// gradient points strongly uphill every round.
+	workers[n-2] = NewSignFlipWorker(n-2, parts[n-2], build, lc, src, 12)
+	workers[n-1] = NewSignFlipWorker(n-1, parts[n-1], build, lc, src, 12)
+	engine := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.1}, build, workers, src)
+
+	crashed := false
+	for round := 0; round < 60 && !crashed; round++ {
+		engine.Step(round)
+		_, loss := engine.Evaluate(test, 80)
+		if math.IsNaN(loss) || math.IsInf(loss, 0) || loss > 50 {
+			crashed = true
+		}
+	}
+	if !crashed {
+		_, loss := engine.Evaluate(test, 80)
+		t.Fatalf("undefended model survived a ps=12 attack (final loss %v); the paper reports thorough crashes", loss)
+	}
+}

@@ -1,0 +1,238 @@
+// Package chain implements the blockchain-based audit substrate of FIFL
+// (§4.5): an append-only, hash-chained ledger of signed assessment records.
+//
+// During each training iteration the servers executing FIFL write their
+// detection, reputation and contribution results to the ledger together
+// with an ed25519 signature. If a worker later suspects its indicators were
+// tampered with, the task publisher recomputes them and compares against
+// the ledger; a mismatching record is traced to the signing server, which
+// is then removed from the server cluster.
+//
+// The ledger is deliberately minimal — no consensus, no peer-to-peer layer —
+// because the paper uses the chain only as a tamper-evident audit log with
+// attributable writes. Hash chaining gives tamper evidence; signatures give
+// attribution.
+package chain
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+)
+
+// RecordKind labels what a ledger record asserts.
+type RecordKind string
+
+// Record kinds written by the FIFL modules.
+const (
+	KindDetection    RecordKind = "detection"    // per-worker detection result r_i
+	KindReputation   RecordKind = "reputation"   // per-worker reputation R_i(t)
+	KindContribution RecordKind = "contribution" // per-worker contribution C_i(t)
+	KindReward       RecordKind = "reward"       // per-worker reward share I_i(t)
+	KindElection     RecordKind = "election"     // server cluster membership for an iteration
+)
+
+// Record is one assessment result written by a server.
+type Record struct {
+	Kind      RecordKind `json:"kind"`
+	Iteration int        `json:"iteration"`
+	WorkerID  int        `json:"worker_id"`
+	Value     float64    `json:"value"`
+	Executor  string     `json:"executor"` // name of the signing server
+}
+
+// payload serializes the record deterministically for hashing and signing.
+func (r Record) payload() []byte {
+	var buf bytes.Buffer
+	buf.WriteString(string(r.Kind))
+	buf.WriteByte(0)
+	var ib [8]byte
+	binary.LittleEndian.PutUint64(ib[:], uint64(r.Iteration))
+	buf.Write(ib[:])
+	binary.LittleEndian.PutUint64(ib[:], uint64(r.WorkerID))
+	buf.Write(ib[:])
+	binary.LittleEndian.PutUint64(ib[:], math.Float64bits(r.Value))
+	buf.Write(ib[:])
+	buf.WriteString(r.Executor)
+	return buf.Bytes()
+}
+
+// Block is one sealed ledger entry: a record, the hash link to its
+// predecessor, and the executor's signature over (prevHash ‖ payload).
+type Block struct {
+	Index     int      `json:"index"`
+	PrevHash  [32]byte `json:"prev_hash"`
+	Hash      [32]byte `json:"hash"`
+	Record    Record   `json:"record"`
+	Signature []byte   `json:"signature"`
+}
+
+// Signer identifies an executor allowed to append to the ledger.
+type Signer struct {
+	Name string
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewSigner creates a signer with a fresh deterministic key derived from
+// the seed bytes (the simulation never needs real entropy).
+func NewSigner(name string, seed [32]byte) *Signer {
+	priv := ed25519.NewKeyFromSeed(seed[:])
+	return &Signer{Name: name, priv: priv, pub: priv.Public().(ed25519.PublicKey)}
+}
+
+// Public returns the signer's public key.
+func (s *Signer) Public() ed25519.PublicKey { return s.pub }
+
+// Ledger is a thread-safe append-only hash chain of signed records.
+type Ledger struct {
+	mu     sync.RWMutex
+	blocks []Block
+	keys   map[string]ed25519.PublicKey // executor name -> public key
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{keys: make(map[string]ed25519.PublicKey)}
+}
+
+// RegisterExecutor makes an executor's public key known to the ledger so
+// its blocks can be verified. Re-registering the same name with a different
+// key returns an error (keys are identity).
+func (l *Ledger) RegisterExecutor(name string, pub ed25519.PublicKey) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if existing, ok := l.keys[name]; ok && !existing.Equal(pub) {
+		return fmt.Errorf("chain: executor %q already registered with a different key", name)
+	}
+	l.keys[name] = pub
+	return nil
+}
+
+// Append signs and appends a record. The record's Executor field is forced
+// to the signer's name so a server cannot write blocks in another's name.
+func (l *Ledger) Append(s *Signer, r Record) (Block, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.keys[s.Name]; !ok {
+		return Block{}, fmt.Errorf("chain: executor %q not registered", s.Name)
+	}
+	r.Executor = s.Name
+	var prev [32]byte
+	if n := len(l.blocks); n > 0 {
+		prev = l.blocks[n-1].Hash
+	}
+	msg := append(prev[:], r.payload()...)
+	sig := ed25519.Sign(s.priv, msg)
+	b := Block{
+		Index:     len(l.blocks),
+		PrevHash:  prev,
+		Record:    r,
+		Signature: sig,
+	}
+	b.Hash = sha256.Sum256(append(msg, sig...))
+	l.blocks = append(l.blocks, b)
+	return b, nil
+}
+
+// Len returns the number of blocks.
+func (l *Ledger) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.blocks)
+}
+
+// Block returns block i by value.
+func (l *Ledger) Block(i int) (Block, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if i < 0 || i >= len(l.blocks) {
+		return Block{}, fmt.Errorf("chain: block index %d out of range [0,%d)", i, len(l.blocks))
+	}
+	return l.blocks[i], nil
+}
+
+// ErrTampered is wrapped by Verify errors that indicate chain corruption.
+var ErrTampered = errors.New("chain: ledger tampered")
+
+// Verify walks the whole chain, checking hash links and signatures. It
+// returns the index of the first bad block wrapped around ErrTampered, or
+// nil if the ledger is intact.
+func (l *Ledger) Verify() error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var prev [32]byte
+	for i, b := range l.blocks {
+		if b.PrevHash != prev {
+			return fmt.Errorf("%w: block %d has broken hash link", ErrTampered, i)
+		}
+		msg := append(b.PrevHash[:], b.Record.payload()...)
+		pub, ok := l.keys[b.Record.Executor]
+		if !ok {
+			return fmt.Errorf("%w: block %d signed by unknown executor %q", ErrTampered, i, b.Record.Executor)
+		}
+		if !ed25519.Verify(pub, msg, b.Signature) {
+			return fmt.Errorf("%w: block %d has invalid signature by %q", ErrTampered, i, b.Record.Executor)
+		}
+		want := sha256.Sum256(append(msg, b.Signature...))
+		if b.Hash != want {
+			return fmt.Errorf("%w: block %d hash mismatch", ErrTampered, i)
+		}
+		prev = b.Hash
+	}
+	return nil
+}
+
+// Query returns all records matching the given filters; a negative
+// iteration or worker matches everything, and an empty kind matches all
+// kinds. Records are returned in chain order.
+func (l *Ledger) Query(kind RecordKind, iteration, worker int) []Record {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out []Record
+	for _, b := range l.blocks {
+		r := b.Record
+		if kind != "" && r.Kind != kind {
+			continue
+		}
+		if iteration >= 0 && r.Iteration != iteration {
+			continue
+		}
+		if worker >= 0 && r.WorkerID != worker {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Audit compares an independently recomputed value against the ledger's
+// record of (kind, iteration, worker). It returns the name of the executor
+// that signed a mismatching record (the server to remove, per §4.5), an
+// empty string if the ledger agrees within tol, or an error if no record
+// exists.
+func (l *Ledger) Audit(kind RecordKind, iteration, worker int, recomputed, tol float64) (culprit string, err error) {
+	recs := l.Query(kind, iteration, worker)
+	if len(recs) == 0 {
+		return "", fmt.Errorf("chain: no %s record for iteration %d worker %d", kind, iteration, worker)
+	}
+	// The latest record for the triple is authoritative.
+	r := recs[len(recs)-1]
+	if diff := r.Value - recomputed; diff > tol || diff < -tol {
+		return r.Executor, nil
+	}
+	return "", nil
+}
+
+// MarshalJSON exports the chain for external inspection.
+func (l *Ledger) MarshalJSON() ([]byte, error) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return json.Marshal(l.blocks)
+}

@@ -1,0 +1,54 @@
+package chain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"fifl/internal/rng"
+)
+
+// TestPayloadInjective: distinct records must serialize to distinct
+// payloads — if two different records shared a payload, a signature for
+// one would validate the other and the audit could be fooled.
+func TestPayloadInjective(t *testing.T) {
+	kinds := []RecordKind{KindDetection, KindReputation, KindContribution, KindReward, KindElection}
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		mk := func() Record {
+			return Record{
+				Kind:      kinds[src.Intn(len(kinds))],
+				Iteration: src.Intn(100),
+				WorkerID:  src.Intn(20),
+				Value:     src.Float64(),
+				Executor:  "srv-" + string(rune('a'+src.Intn(3))),
+			}
+		}
+		a, b := mk(), mk()
+		pa, pb := string(a.payload()), string(b.payload())
+		if a == b {
+			return pa == pb
+		}
+		return pa != pb
+	}, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPayloadFieldSensitivity flips each field in turn and checks the
+// payload changes.
+func TestPayloadFieldSensitivity(t *testing.T) {
+	base := Record{Kind: KindReputation, Iteration: 3, WorkerID: 5, Value: 0.25, Executor: "x"}
+	variants := []Record{
+		{Kind: KindReward, Iteration: 3, WorkerID: 5, Value: 0.25, Executor: "x"},
+		{Kind: KindReputation, Iteration: 4, WorkerID: 5, Value: 0.25, Executor: "x"},
+		{Kind: KindReputation, Iteration: 3, WorkerID: 6, Value: 0.25, Executor: "x"},
+		{Kind: KindReputation, Iteration: 3, WorkerID: 5, Value: 0.26, Executor: "x"},
+		{Kind: KindReputation, Iteration: 3, WorkerID: 5, Value: 0.25, Executor: "y"},
+	}
+	bp := string(base.payload())
+	for i, v := range variants {
+		if string(v.payload()) == bp {
+			t.Fatalf("variant %d has the same payload as the base record", i)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package chain
+
+import (
+	"testing"
+
+	"fifl/internal/rng"
+)
+
+// TestRandomTamperAlwaysDetected is a randomized property test: ANY
+// mutation of any committed block — record fields, hash links, signatures
+// — must break verification. This is the guarantee the §4.5 audit relies
+// on: a malicious server cannot rewrite history, only append, and appends
+// are attributable.
+func TestRandomTamperAlwaysDetected(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 60; trial++ {
+		s := signer("srv-0", 1)
+		l := newTestLedger(t, s)
+		n := src.UniformInt(1, 12)
+		for i := 0; i < n; i++ {
+			mustAppend(t, l, s, Record{
+				Kind:      KindReputation,
+				Iteration: i,
+				WorkerID:  src.Intn(5),
+				Value:     src.Float64(),
+			})
+		}
+		if err := l.Verify(); err != nil {
+			t.Fatalf("pre-tamper verify failed: %v", err)
+		}
+		b := &l.blocks[src.Intn(n)]
+		switch src.Intn(6) {
+		case 0:
+			b.Record.Value += 0.5
+		case 1:
+			b.Record.WorkerID++
+		case 2:
+			b.Record.Iteration += 3
+		case 3:
+			b.Record.Kind = KindReward
+		case 4:
+			b.PrevHash[src.Intn(32)] ^= 1 << src.Intn(8)
+		case 5:
+			b.Signature[src.Intn(len(b.Signature))] ^= 1 << src.Intn(8)
+		}
+		if err := l.Verify(); err == nil {
+			t.Fatalf("trial %d: tampering went undetected", trial)
+		}
+	}
+}
+
+// TestExecutorSwapDetected: rewriting a block's executor to frame another
+// registered server must break the signature check.
+func TestExecutorSwapDetected(t *testing.T) {
+	a, b := signer("srv-a", 1), signer("srv-b", 2)
+	l := newTestLedger(t, a, b)
+	mustAppend(t, l, a, Record{Kind: KindDetection, Value: 1})
+	l.blocks[0].Record.Executor = "srv-b"
+	if err := l.Verify(); err == nil {
+		t.Fatal("executor swap went undetected")
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"math"
+
+	"fifl/internal/gradvec"
+)
+
+// ContributionConfig controls the contribution module (§4.3).
+type ContributionConfig struct {
+	// BaselineWorker selects how the threshold b_h is chosen. A negative
+	// value uses the paper's default, the zero gradient G_0:
+	// b_h = Dis(G̃, G_0) = ‖G̃‖². A non-negative value uses that worker's
+	// own distance as the bar (b_h = Dis(G̃, G_i)), which the paper uses in
+	// Figures 12–13 with the p_d = 0.2 worker as the baseline: workers
+	// better than the baseline earn, the rest are punished.
+	BaselineWorker int
+	// Clamp, when positive, bounds every contribution to [−Clamp, Clamp].
+	// Eq. 14 is a ratio with the per-round b_h in the denominator; in
+	// rounds where the baseline gradient happens to land very close to
+	// the global gradient, unclamped ratios explode and a single round
+	// dominates cumulative rewards. Clamping preserves signs and ordering
+	// (the quantities FIFL's fairness analysis uses) while bounding any
+	// one round's influence.
+	Clamp float64
+	// SmoothBH, when in (0,1], replaces the per-round threshold b_h with
+	// an exponential moving average (factor SmoothBH on the new value)
+	// across rounds. This removes the denominator variance of Eq. 14 — a
+	// baseline worker whose gradient happens to land very close to G̃ in
+	// one round would otherwise inflate every ratio that round.
+	SmoothBH float64
+}
+
+// BHSmoother carries the exponential moving average of the b_h threshold
+// across rounds.
+type BHSmoother struct {
+	initialized bool
+	value       float64
+}
+
+// Update folds a round's raw threshold into the average and returns the
+// smoothed value. A factor of 0 (or an unset smoother) passes the raw
+// value through.
+func (s *BHSmoother) Update(raw, factor float64) float64 {
+	if factor <= 0 || factor > 1 {
+		return raw
+	}
+	if !s.initialized {
+		s.initialized = true
+		s.value = raw
+		return raw
+	}
+	s.value = (1-factor)*s.value + factor*raw
+	return s.value
+}
+
+// RescaleWithBH recomputes the contributions against a replacement
+// threshold (e.g. a smoothed b_h), preserving the recorded distances.
+func RescaleWithBH(c *Contributions, bh, clamp float64) {
+	c.BH = bh
+	if bh == 0 {
+		for i := range c.C {
+			c.C[i] = 0
+		}
+		return
+	}
+	for i := range c.C {
+		if math.IsNaN(c.Dist[i]) {
+			c.C[i] = 0
+			continue
+		}
+		v := 1 - c.Dist[i]/bh
+		if clamp > 0 {
+			if v > clamp {
+				v = clamp
+			}
+			if v < -clamp {
+				v = -clamp
+			}
+		}
+		c.C[i] = v
+	}
+}
+
+// Contributions holds one round of contribution assessments.
+type Contributions struct {
+	// Dist is b_i = ‖G̃ − G_i‖² per worker (Eq. 13); NaN for dropped or
+	// NaN-poisoned uploads.
+	Dist []float64
+	// BH is the threshold b_h separating positive from negative
+	// contribution.
+	BH float64
+	// C is the relative contribution C_i = 1 − b_i/b_h (Eq. 14); 0 for
+	// workers with no usable upload.
+	C []float64
+}
+
+// ComputeContributions assesses every worker's utility against the global
+// gradient. global must be the aggregated G̃ of the round (nil yields all
+// zeros — no information). The distances decompose over the polycentric
+// slices, Σ_j Dis(g̃^j, g_i^j) = Dis(G̃, G_i), so computing them on the full
+// vectors is exactly Eq. 13.
+func ComputeContributions(cfg ContributionConfig, global gradvec.Vector, grads []gradvec.Vector) *Contributions {
+	n := len(grads)
+	out := &Contributions{
+		Dist: make([]float64, n),
+		C:    make([]float64, n),
+	}
+	for i := range out.Dist {
+		out.Dist[i] = math.NaN()
+	}
+	if global == nil {
+		return out
+	}
+	for i, g := range grads {
+		if g == nil || g.HasNaN() {
+			continue
+		}
+		out.Dist[i] = global.SqDist(g)
+	}
+	// Threshold selection.
+	if cfg.BaselineWorker >= 0 && cfg.BaselineWorker < n && !math.IsNaN(out.Dist[cfg.BaselineWorker]) {
+		out.BH = out.Dist[cfg.BaselineWorker]
+	} else {
+		// Zero-gradient baseline: Dis(G̃, 0) = ‖G̃‖².
+		out.BH = global.Dot(global)
+	}
+	if out.BH == 0 {
+		// Degenerate round (zero global gradient): nobody contributes.
+		return out
+	}
+	for i := range out.C {
+		if math.IsNaN(out.Dist[i]) {
+			continue
+		}
+		c := 1 - out.Dist[i]/out.BH
+		if cfg.Clamp > 0 {
+			if c > cfg.Clamp {
+				c = cfg.Clamp
+			}
+			if c < -cfg.Clamp {
+				c = -cfg.Clamp
+			}
+		}
+		out.C[i] = c
+	}
+	return out
+}
+
+// PositiveTotal returns Σ_{j: C_j>0} C_j, the normalizer of Eq. 15.
+func (c *Contributions) PositiveTotal() float64 {
+	s := 0.0
+	for _, v := range c.C {
+		if v > 0 {
+			s += v
+		}
+	}
+	return s
+}

@@ -1,0 +1,288 @@
+package core
+
+import (
+	"fmt"
+
+	"fifl/internal/chain"
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+	"fifl/internal/trace"
+)
+
+// Scorer computes detection scores for one round of gradients; NaN marks
+// a worker with no usable score. LossDeltaScorer implements it (the exact
+// Eq. 5 detector); when set on a CoordinatorConfig it replaces the default
+// cosine screening, which loses signal once training converges (see
+// EXPERIMENTS.md finding 6).
+type Scorer interface {
+	Scores(params []float64, grads []gradvec.Vector) []float64
+}
+
+// CoordinatorConfig parameterizes a FIFL federation run.
+type CoordinatorConfig struct {
+	// Detection is the attack-detection threshold configuration.
+	Detection Detector
+	// Scorer, when non-nil, replaces the cosine detection score with a
+	// custom one (e.g. the exact loss-delta of Eq. 5); Detection.Threshold
+	// still provides S_y. The benchmark-based server machinery is bypassed
+	// in that case.
+	Scorer Scorer
+	// Reputation configures the reputation tracker.
+	Reputation ReputationConfig
+	// Contribution configures the b_h threshold.
+	Contribution ContributionConfig
+	// RewardPerRound is the budget I_sum distributed each iteration.
+	RewardPerRound float64
+	// RecordToLedger controls whether assessment results are written to
+	// the blockchain audit ledger; experiments that only need the model
+	// dynamics turn it off to save time.
+	RecordToLedger bool
+}
+
+// RoundReport is the full assessment of one communication iteration.
+type RoundReport struct {
+	Round         int
+	Detection     *DetectionResult
+	Contributions *Contributions
+	Reputations   []float64
+	Shares        []float64 // I_i shares of Eq. 15
+	Rewards       []float64 // shares scaled by RewardPerRound
+	Servers       []int     // server cluster that executed this round
+	Global        gradvec.Vector
+}
+
+// Coordinator runs the complete FIFL mechanism on top of an fl.Engine:
+// detect → update reputation → aggregate accepted gradients → assess
+// contributions → distribute rewards → log to the ledger → re-elect
+// servers.
+type Coordinator struct {
+	Cfg    CoordinatorConfig
+	Engine *fl.Engine
+	Rep    *ReputationTracker
+	Ledger *chain.Ledger
+
+	servers    []int
+	banned     map[int]bool
+	signers    []*chain.Signer // one per worker; index = worker ID
+	cumulative []float64       // cumulative rewards per worker
+	bhSmoother BHSmoother
+}
+
+// NewCoordinator builds a FIFL coordinator over an engine. initialServers
+// must contain exactly engine.NumServers() worker indices (use
+// SelectInitialServers for the paper's accuracy-based election).
+func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []int) (*Coordinator, error) {
+	if len(initialServers) != engine.NumServers() {
+		return nil, fmt.Errorf("core: got %d initial servers, engine expects %d", len(initialServers), engine.NumServers())
+	}
+	n := len(engine.Workers)
+	c := &Coordinator{
+		Cfg:        cfg,
+		Engine:     engine,
+		Rep:        NewReputationTracker(cfg.Reputation, n),
+		Ledger:     chain.NewLedger(),
+		servers:    append([]int(nil), initialServers...),
+		banned:     make(map[int]bool),
+		signers:    make([]*chain.Signer, n),
+		cumulative: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		var seed [32]byte
+		seed[0] = byte(i)
+		seed[1] = byte(i >> 8)
+		seed[2] = 0x5a
+		c.signers[i] = chain.NewSigner(serverName(i), seed)
+		if err := c.Ledger.RegisterExecutor(serverName(i), c.signers[i].Public()); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// serverName renders a worker index as an executor identity.
+func serverName(i int) string { return fmt.Sprintf("device-%03d", i) }
+
+// Servers returns the current server cluster (worker indices).
+func (c *Coordinator) Servers() []int { return append([]int(nil), c.servers...) }
+
+// CumulativeRewards returns each worker's running reward total.
+func (c *Coordinator) CumulativeRewards() []float64 {
+	return append([]float64(nil), c.cumulative...)
+}
+
+// Banned reports whether a device has been excluded by the audit.
+func (c *Coordinator) Banned(i int) bool { return c.banned[i] }
+
+// Signer exposes device i's ledger signing identity. In a deployment each
+// device holds its own key; the simulation keeps them in one place, and
+// tests and examples use this accessor to play the role of a compromised
+// server writing forged records.
+func (c *Coordinator) Signer(i int) *chain.Signer { return c.signers[i] }
+
+// RunRound executes one complete FIFL iteration and returns its report.
+func (c *Coordinator) RunRound(t int) *RoundReport {
+	engine := c.Engine
+	rr := engine.CollectGradients(t)
+
+	// 1. Attack detection (§4.1): by default the slice-wise cosine screen
+	// against the server cluster's own gradients; with a custom Scorer,
+	// its scores thresholded at S_y.
+	var det *DetectionResult
+	if c.Cfg.Scorer != nil {
+		det = detectWithScorer(c.Cfg.Scorer, c.Cfg.Detection.Threshold, engine.Params(), rr)
+	} else {
+		slices := engine.SliceGradients(rr)
+		det = c.Cfg.Detection.Detect(rr, slices, c.servers, engine.NumServers())
+	}
+
+	// 2. Reputation update (§4.2).
+	c.Rep.Update(det.Events())
+	reps := c.Rep.Reputations()
+
+	// 3. Filtered aggregation: G̃ = Σ n_i·r_i·G_i / Σ n_j·r_j (§4.1) and
+	// global update (Eq. 3).
+	global := engine.Aggregate(rr, det.Accept)
+	engine.ApplyGlobal(global)
+
+	// 4. Contribution assessment against the filtered global gradient
+	// (§4.3). All arrivals are assessed — including rejected attackers, so
+	// their negative contributions convert into punishments.
+	contrib := ComputeContributions(c.Cfg.Contribution, global, rr.Grads)
+	if s := c.Cfg.Contribution.SmoothBH; s > 0 && contrib.BH > 0 {
+		RescaleWithBH(contrib, c.bhSmoother.Update(contrib.BH, s), c.Cfg.Contribution.Clamp)
+	}
+
+	// 5. Incentive (§4.4).
+	shares := RewardShares(reps, contrib.C)
+	rewards := Rewards(shares, c.Cfg.RewardPerRound)
+	for i, r := range rewards {
+		c.cumulative[i] += r
+	}
+
+	// 6. Ledger records, signed by the servers that executed the round
+	// (round-robin across the cluster).
+	if c.Cfg.RecordToLedger {
+		c.logRound(t, det, contrib, reps, shares)
+	}
+
+	report := &RoundReport{
+		Round:         t,
+		Detection:     det,
+		Contributions: contrib,
+		Reputations:   reps,
+		Shares:        shares,
+		Rewards:       rewards,
+		Servers:       c.Servers(),
+		Global:        global,
+	}
+
+	// 7. Server re-election for the next iteration (§4.5).
+	c.servers = ReselectServers(reps, engine.NumServers(), c.banned)
+	return report
+}
+
+// logRound writes this round's assessment records to the ledger. Each
+// record is signed by one of the executing servers.
+func (c *Coordinator) logRound(t int, det *DetectionResult, contrib *Contributions, reps, shares []float64) {
+	m := len(c.servers)
+	signerFor := func(i int) *chain.Signer { return c.signers[c.servers[i%m]] }
+	for i := range det.Accept {
+		r := 0.0
+		if det.Accept[i] {
+			r = 1
+		}
+		mustAppend(c.Ledger, signerFor(i), chain.Record{Kind: chain.KindDetection, Iteration: t, WorkerID: i, Value: r})
+		mustAppend(c.Ledger, signerFor(i), chain.Record{Kind: chain.KindReputation, Iteration: t, WorkerID: i, Value: reps[i]})
+		mustAppend(c.Ledger, signerFor(i), chain.Record{Kind: chain.KindContribution, Iteration: t, WorkerID: i, Value: contrib.C[i]})
+		mustAppend(c.Ledger, signerFor(i), chain.Record{Kind: chain.KindReward, Iteration: t, WorkerID: i, Value: shares[i]})
+	}
+}
+
+// detectWithScorer adapts a custom Scorer's output into a DetectionResult:
+// scores at or above the threshold are accepted; dropped uploads are
+// uncertain; NaN scores are rejected.
+func detectWithScorer(s Scorer, threshold float64, params []float64, rr *fl.RoundResult) *DetectionResult {
+	scores := s.Scores(params, rr.Grads)
+	res := &DetectionResult{
+		Scores:    scores,
+		Accept:    Threshold(scores, threshold),
+		Uncertain: make([]bool, len(scores)),
+	}
+	for i := range res.Uncertain {
+		if rr.Dropped(i) {
+			res.Uncertain[i] = true
+			res.Accept[i] = false
+		}
+	}
+	return res
+}
+
+// TraceRecords converts the report into per-worker trace records for a
+// trace.Recorder.
+func (r *RoundReport) TraceRecords() []trace.WorkerRound {
+	out := make([]trace.WorkerRound, len(r.Shares))
+	for i := range out {
+		out[i] = trace.WorkerRound{
+			Round:        r.Round,
+			Worker:       i,
+			Score:        r.Detection.Scores[i],
+			Accepted:     r.Detection.Accept[i],
+			Uncertain:    r.Detection.Uncertain[i],
+			Reputation:   r.Reputations[i],
+			Contribution: r.Contributions.C[i],
+			Reward:       r.Rewards[i],
+		}
+	}
+	return out
+}
+
+// mustAppend panics on ledger write failure; all executors are registered
+// at construction so failure indicates a programming error.
+func mustAppend(l *chain.Ledger, s *chain.Signer, r chain.Record) {
+	if _, err := l.Append(s, r); err != nil {
+		panic(err)
+	}
+}
+
+// AuditReputation re-derives worker w's reputation for iteration t from
+// the ledger's detection history (the task publisher's recomputation of
+// §4.5) and compares it with the reputation record. If the ledger's
+// reputation record disagrees with the recomputation, the signing server is
+// banned from future election and its name returned.
+func (c *Coordinator) AuditReputation(t, w int) (culprit string, err error) {
+	if err := c.Ledger.Verify(); err != nil {
+		return "", err
+	}
+	// Recompute R_w(t) by replaying detection events 0..t through a fresh
+	// tracker.
+	tr := NewReputationTracker(c.Cfg.Reputation, 1)
+	for it := 0; it <= t; it++ {
+		recs := c.Ledger.Query(chain.KindDetection, it, w)
+		if len(recs) == 0 {
+			tr.Update([]Event{EventUncertain})
+			continue
+		}
+		if recs[len(recs)-1].Value >= 0.5 {
+			tr.Update([]Event{EventPositive})
+		} else {
+			tr.Update([]Event{EventNegative})
+		}
+	}
+	culprit, err = c.Ledger.Audit(chain.KindReputation, t, w, tr.Reputation(0), 1e-9)
+	if err != nil {
+		return "", err
+	}
+	if culprit != "" {
+		c.BanExecutor(culprit)
+	}
+	return culprit, nil
+}
+
+// BanExecutor removes a device from server eligibility by executor name.
+func (c *Coordinator) BanExecutor(name string) {
+	for i := range c.signers {
+		if serverName(i) == name {
+			c.banned[i] = true
+		}
+	}
+}

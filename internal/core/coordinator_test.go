@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+
+	"fifl/internal/attack"
+	"fifl/internal/chain"
+	"fifl/internal/dataset"
+	"fifl/internal/fl"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// buildTestCoordinator assembles a small federation: nHonest honest
+// workers followed by nFlip sign-flip attackers.
+func buildTestCoordinator(t *testing.T, nHonest, nFlip int, ledger bool) (*Coordinator, *fl.Engine) {
+	t.Helper()
+	src := rng.New(77)
+	n := nHonest + nFlip
+	build := nn.NewMLP(77, 28*28, []int{16}, 10)
+	data := dataset.SynthDigits(src.Split("train"), n*200)
+	parts := data.PartitionIID(src.Split("parts"), n)
+	lc := fl.LocalConfig{K: 1, BatchSize: 96, LR: 0.05}
+	workers := make([]fl.Worker, n)
+	for i := 0; i < nHonest; i++ {
+		workers[i] = fl.NewHonestWorker(i, parts[i], build, lc, src)
+	}
+	for i := nHonest; i < n; i++ {
+		workers[i] = attack.NewSignFlipWorker(i, parts[i], build, lc, src, 4)
+	}
+	engine := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Detection:      Detector{Threshold: 0.02},
+		Reputation:     DefaultReputationConfig(),
+		Contribution:   ContributionConfig{BaselineWorker: -1},
+		RewardPerRound: 1,
+		RecordToLedger: ledger,
+	}, engine, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coord, engine
+}
+
+func TestCoordinatorRejectsAttackers(t *testing.T) {
+	coord, _ := buildTestCoordinator(t, 4, 2, false)
+	rejected := 0
+	const rounds = 10
+	for round := 0; round < rounds; round++ {
+		rep := coord.RunRound(round)
+		for i := 4; i < 6; i++ {
+			if !rep.Detection.Accept[i] {
+				rejected++
+			}
+		}
+	}
+	if rejected < rounds*2*8/10 {
+		t.Fatalf("attackers rejected only %d/%d times", rejected, rounds*2)
+	}
+}
+
+func TestCoordinatorReputationSeparation(t *testing.T) {
+	coord, _ := buildTestCoordinator(t, 4, 2, false)
+	for round := 0; round < 20; round++ {
+		coord.RunRound(round)
+	}
+	for i := 0; i < 4; i++ {
+		if coord.Rep.Reputation(i) < 0.5 {
+			t.Fatalf("honest worker %d reputation %v too low", i, coord.Rep.Reputation(i))
+		}
+	}
+	for i := 4; i < 6; i++ {
+		if coord.Rep.Reputation(i) > 0.2 {
+			t.Fatalf("attacker %d reputation %v too high", i, coord.Rep.Reputation(i))
+		}
+	}
+}
+
+func TestCoordinatorPunishesAttackers(t *testing.T) {
+	coord, _ := buildTestCoordinator(t, 4, 2, false)
+	for round := 0; round < 20; round++ {
+		coord.RunRound(round)
+	}
+	cum := coord.CumulativeRewards()
+	for i := 4; i < 6; i++ {
+		if cum[i] >= 0 {
+			t.Fatalf("attacker %d cumulative reward %v, want negative", i, cum[i])
+		}
+	}
+	// Attackers must end up strictly below every honest worker.
+	for i := 0; i < 4; i++ {
+		for j := 4; j < 6; j++ {
+			if cum[j] >= cum[i] {
+				t.Fatalf("attacker %d (%v) not below honest %d (%v)", j, cum[j], i, cum[i])
+			}
+		}
+	}
+}
+
+func TestCoordinatorServerReelection(t *testing.T) {
+	coord, _ := buildTestCoordinator(t, 4, 2, false)
+	for round := 0; round < 15; round++ {
+		coord.RunRound(round)
+	}
+	// After the reputations separate, no attacker (workers 4, 5) may sit
+	// in the server cluster.
+	for _, s := range coord.Servers() {
+		if s >= 4 {
+			t.Fatalf("attacker %d elected as server", s)
+		}
+	}
+}
+
+func TestCoordinatorLedgerRecords(t *testing.T) {
+	coord, _ := buildTestCoordinator(t, 3, 1, true)
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		coord.RunRound(round)
+	}
+	if err := coord.Ledger.Verify(); err != nil {
+		t.Fatalf("ledger broken: %v", err)
+	}
+	// 4 record kinds × 4 workers × 3 rounds.
+	if got := coord.Ledger.Len(); got != 4*4*rounds {
+		t.Fatalf("ledger has %d blocks, want %d", got, 4*4*rounds)
+	}
+	recs := coord.Ledger.Query(chain.KindReputation, 1, 2)
+	if len(recs) != 1 {
+		t.Fatalf("reputation records for (iter 1, worker 2): %d", len(recs))
+	}
+}
+
+func TestCoordinatorAuditCleanLedger(t *testing.T) {
+	coord, _ := buildTestCoordinator(t, 3, 1, true)
+	for round := 0; round < 5; round++ {
+		coord.RunRound(round)
+	}
+	culprit, err := coord.AuditReputation(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if culprit != "" {
+		t.Fatalf("clean ledger flagged culprit %q", culprit)
+	}
+}
+
+func TestCoordinatorAuditDetectsTampering(t *testing.T) {
+	coord, _ := buildTestCoordinator(t, 3, 1, true)
+	for round := 0; round < 5; round++ {
+		coord.RunRound(round)
+	}
+	// A malicious server whitewashes the attacker's final reputation by
+	// appending a forged record (append is the only write the chain
+	// allows, so tampering means writing a new, wrong record).
+	sAttackerIdx := 3
+	forged := chain.Record{
+		Kind:      chain.KindReputation,
+		Iteration: 4,
+		WorkerID:  sAttackerIdx,
+		Value:     0.99,
+	}
+	if _, err := coord.Ledger.Append(coord.signers[1], forged); err != nil {
+		t.Fatal(err)
+	}
+	culprit, err := coord.AuditReputation(4, sAttackerIdx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if culprit != serverName(1) {
+		t.Fatalf("culprit = %q, want %q", culprit, serverName(1))
+	}
+	if !coord.Banned(1) {
+		t.Fatal("culprit must be banned from server election")
+	}
+	// The banned device never re-enters the server cluster.
+	for round := 5; round < 10; round++ {
+		coord.RunRound(round)
+		for _, s := range coord.Servers() {
+			if s == 1 {
+				t.Fatal("banned device re-elected")
+			}
+		}
+	}
+}
+
+func TestNewCoordinatorWrongServerCount(t *testing.T) {
+	src := rng.New(78)
+	build := nn.NewMLP(78, 16, nil, 2)
+	engine := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.1}, build, nil, src)
+	if _, err := NewCoordinator(CoordinatorConfig{}, engine, []int{0}); err == nil {
+		t.Fatal("wrong initial server count must error")
+	}
+}

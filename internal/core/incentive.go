@@ -1,0 +1,56 @@
+package core
+
+// RewardShares computes FIFL's per-worker reward share (Eq. 15):
+//
+//	I_i = R_i · C_i / Σ_{j: C_j>0} C_j      (C_i > 0, reward)
+//	I_i = C_i / Σ_{j: C_j>0} C_j            (C_i < 0, punishment)
+//
+// Positive contributions earn a positive share scaled by reputation
+// (trust): a worker that has not yet established trust earns a discounted
+// reward for the same utility.
+//
+// For punishments the paper's literal Eq. 15 would multiply the fine by
+// the worker's reputation — but a persistent attacker's reputation decays
+// to zero (Theorem 1), which would make its punishment vanish,
+// contradicting the paper's own Figure 14 where punishments keep
+// accumulating with slopes ordered by attack intensity. Fines here are
+// therefore reputation-independent: the fine fits the damage done this
+// round, whoever did it. (Weighting fines by distrust 1 − R_i was
+// considered and rejected: it makes the reward/fine weighting asymmetric
+// for trusted workers, whose zero-mean contribution noise then drifts
+// their cumulative reward upward instead of cancelling.)
+//
+// Workers with zero contribution (including lost uploads) receive zero.
+func RewardShares(reputations, contributions []float64) []float64 {
+	if len(reputations) != len(contributions) {
+		panic("core: RewardShares length mismatch")
+	}
+	total := 0.0
+	for _, c := range contributions {
+		if c > 0 {
+			total += c
+		}
+	}
+	out := make([]float64, len(contributions))
+	if total == 0 {
+		return out
+	}
+	for i, c := range contributions {
+		if c >= 0 {
+			out[i] = reputations[i] * c / total
+		} else {
+			out[i] = c / total
+		}
+	}
+	return out
+}
+
+// Rewards converts shares into absolute rewards for a round with the given
+// total budget I_sum: worker i receives I_sum · share_i.
+func Rewards(shares []float64, budget float64) []float64 {
+	out := make([]float64, len(shares))
+	for i, s := range shares {
+		out[i] = budget * s
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fifl/internal/rng"
+	"fifl/internal/stats"
+)
+
+func TestRewardSharesBasic(t *testing.T) {
+	reps := []float64{1, 1, 1}
+	contribs := []float64{0.5, 0.25, 0.25}
+	shares := RewardShares(reps, contribs)
+	if math.Abs(shares[0]-0.5) > 1e-12 || math.Abs(shares[1]-0.25) > 1e-12 {
+		t.Fatalf("shares = %v", shares)
+	}
+	if math.Abs(stats.Sum(shares)-1) > 1e-12 {
+		t.Fatalf("shares of fully trusted positive contributors must sum to 1: %v", shares)
+	}
+}
+
+func TestRewardSharesReputationScales(t *testing.T) {
+	shares := RewardShares([]float64{0.5, 1}, []float64{1, 1})
+	if math.Abs(shares[0]-0.25) > 1e-12 || math.Abs(shares[1]-0.5) > 1e-12 {
+		t.Fatalf("reputation scaling wrong: %v", shares)
+	}
+}
+
+func TestRewardSharesPunishment(t *testing.T) {
+	// Fines are reputation-independent: a zero-reputation attacker and a
+	// fully trusted worker pay the same fine for the same damage.
+	shares := RewardShares([]float64{0, 1, 1}, []float64{-2, -2, 1})
+	if shares[0] != -2 {
+		t.Fatalf("distrusted attacker fine = %v, want -2", shares[0])
+	}
+	if shares[1] != -2 {
+		t.Fatalf("trusted worker fine = %v, want -2", shares[1])
+	}
+	if shares[2] != 1 {
+		t.Fatalf("honest share = %v, want 1", shares[2])
+	}
+	// Rewards, by contrast, scale with trust.
+	r := RewardShares([]float64{0.5, 1}, []float64{1, 1})
+	if r[0] != 0.25 || r[1] != 0.5 {
+		t.Fatalf("trust-scaled rewards = %v", r)
+	}
+}
+
+func TestRewardSharesNoPositiveTotal(t *testing.T) {
+	shares := RewardShares([]float64{1, 1}, []float64{-1, 0})
+	for _, s := range shares {
+		if s != 0 {
+			t.Fatalf("no positive contribution: shares must be zero, got %v", shares)
+		}
+	}
+}
+
+func TestRewardSharesMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	RewardShares([]float64{1}, []float64{1, 2})
+}
+
+func TestRewards(t *testing.T) {
+	r := Rewards([]float64{0.5, -0.25}, 8)
+	if r[0] != 4 || r[1] != -2 {
+		t.Fatalf("Rewards = %v", r)
+	}
+}
+
+// TestTheorem2Fairness verifies the paper's Theorem 2: with equal
+// reputations, the Pearson correlation (the paper's fairness coefficient
+// C_s, Eq. 16) between positive contributions and rewards is exactly 1.
+func TestTheorem2Fairness(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.UniformInt(3, 40)
+		contribs := make([]float64, n)
+		varies := false
+		for i := range contribs {
+			contribs[i] = src.Uniform(0.01, 1)
+			if i > 0 && contribs[i] != contribs[0] {
+				varies = true
+			}
+		}
+		if !varies {
+			return true
+		}
+		reps := make([]float64, n)
+		rep := src.Uniform(0.2, 1)
+		for i := range reps {
+			reps[i] = rep
+		}
+		shares := RewardShares(reps, contribs)
+		cs, err := stats.Pearson(contribs, shares)
+		return err == nil && math.Abs(cs-1) < 1e-9
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRewardMonotonicity verifies ∂I/∂C > 0 and ∂I/∂R > 0 for honest
+// workers (the other half of the Theorem 2 analysis).
+func TestRewardMonotonicity(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.UniformInt(3, 20)
+		contribs := make([]float64, n)
+		reps := make([]float64, n)
+		for i := range contribs {
+			contribs[i] = src.Uniform(0.05, 1)
+			reps[i] = src.Uniform(0.1, 1)
+		}
+		base := RewardShares(reps, contribs)
+
+		// Raising worker 0's reputation raises its share.
+		reps2 := append([]float64(nil), reps...)
+		reps2[0] = math.Min(1, reps2[0]+0.1)
+		if r2 := RewardShares(reps2, contribs); r2[0] <= base[0] && reps2[0] > reps[0] {
+			return false
+		}
+		// Raising worker 0's contribution raises its share, with the
+		// normalizer held fixed by lowering worker 1 equally.
+		c2 := append([]float64(nil), contribs...)
+		delta := math.Min(0.04, c2[1]/2)
+		c2[0] += delta
+		c2[1] -= delta
+		r3 := RewardShares(reps, c2)
+		return r3[0] > base[0]
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPunishmentOrdersWithDamage(t *testing.T) {
+	// Two equally distrusted attackers: the one with the larger negative
+	// contribution pays the bigger fine — the Figure 14 property.
+	shares := RewardShares([]float64{0, 0, 1}, []float64{-1, -5, 1})
+	if !(shares[1] < shares[0] && shares[0] < 0) {
+		t.Fatalf("punishments must order with damage: %v", shares)
+	}
+}

@@ -1,0 +1,129 @@
+package core
+
+import "fmt"
+
+// Event is the outcome of one worker's update in one iteration, as judged
+// by the attack detection module (§4.2): positive for a useful gradient
+// (r_i = 1), negative for a rejected gradient (r_i = 0), uncertain for
+// transmission failures and unidentifiable gradients.
+type Event int
+
+// Event values.
+const (
+	EventPositive Event = iota
+	EventNegative
+	EventUncertain
+)
+
+// ReputationConfig parameterizes the reputation module.
+type ReputationConfig struct {
+	// Gamma is the time-decay factor γ of Eq. 10; larger values weight
+	// recent events more heavily.
+	Gamma float64
+	// Initial is R_i(0); the paper's Figure 11 uses 0.
+	Initial float64
+	// AlphaT, AlphaN, AlphaU weight trust, distrust and uncertainty in the
+	// period SLM score of Eq. 9.
+	AlphaT, AlphaN, AlphaU float64
+}
+
+// DefaultReputationConfig mirrors the paper's setup: R(0) = 0, a moderate
+// decay, and SLM weights that reward trust and penalize distrust and
+// uncertainty equally.
+func DefaultReputationConfig() ReputationConfig {
+	return ReputationConfig{Gamma: 0.1, Initial: 0, AlphaT: 1, AlphaN: 1, AlphaU: 1}
+}
+
+// ReputationTracker maintains per-worker reputations with the paper's
+// time-decayed update (Eq. 10) plus the period-based SLM counters
+// (Eq. 8–9). Theorem 1: under a constant attack probability p, the decayed
+// reputation converges in expectation to 1 − p.
+type ReputationTracker struct {
+	cfg ReputationConfig
+	r   []float64
+	pt  []int // positive event counts (SLM period counters)
+	pn  []int // negative event counts
+	pu  []int // uncertain event counts
+}
+
+// NewReputationTracker creates a tracker for n workers.
+func NewReputationTracker(cfg ReputationConfig, n int) *ReputationTracker {
+	t := &ReputationTracker{
+		cfg: cfg,
+		r:   make([]float64, n),
+		pt:  make([]int, n),
+		pn:  make([]int, n),
+		pu:  make([]int, n),
+	}
+	for i := range t.r {
+		t.r[i] = cfg.Initial
+	}
+	return t
+}
+
+// N returns the number of tracked workers.
+func (t *ReputationTracker) N() int { return len(t.r) }
+
+// Update folds one round of events into the reputations:
+// R_i(t+1) = (1−γ)·R_i(t) + γ·r_i(t+1). Uncertain events leave the decayed
+// reputation unchanged (no evidence either way) but are counted for the
+// SLM uncertainty mass Su.
+func (t *ReputationTracker) Update(events []Event) {
+	if len(events) != len(t.r) {
+		panic(fmt.Sprintf("core: reputation update with %d events for %d workers", len(events), len(t.r)))
+	}
+	g := t.cfg.Gamma
+	for i, e := range events {
+		switch e {
+		case EventPositive:
+			t.r[i] = (1-g)*t.r[i] + g
+			t.pt[i]++
+		case EventNegative:
+			t.r[i] = (1 - g) * t.r[i]
+			t.pn[i]++
+		case EventUncertain:
+			t.pu[i]++
+		default:
+			panic(fmt.Sprintf("core: unknown reputation event %d", e))
+		}
+	}
+}
+
+// Reputation returns worker i's current decayed reputation R_i(t).
+func (t *ReputationTracker) Reputation(i int) float64 { return t.r[i] }
+
+// Reputations returns a copy of all current reputations.
+func (t *ReputationTracker) Reputations() []float64 {
+	return append([]float64(nil), t.r...)
+}
+
+// SetReputation overrides worker i's reputation; used by the audit path
+// when the task publisher restores a tampered value.
+func (t *ReputationTracker) SetReputation(i int, v float64) { t.r[i] = v }
+
+// SLM returns the subjective-logic triple for worker i over the events
+// counted so far: the trust score St, distrust score Sn, uncertainty mass
+// Su (Eq. 8), and the weighted period reputation of Eq. 9. A worker with no
+// decided events has full uncertainty.
+func (t *ReputationTracker) SLM(i int) (st, sn, su, rep float64) {
+	total := t.pt[i] + t.pn[i] + t.pu[i]
+	if total == 0 {
+		return 0, 0, 1, -t.cfg.AlphaU
+	}
+	su = float64(t.pu[i]) / float64(total)
+	decided := t.pt[i] + t.pn[i]
+	if decided > 0 {
+		st = (1 - su) * float64(t.pt[i]) / float64(decided)
+		sn = (1 - su) * float64(t.pn[i]) / float64(decided)
+	}
+	rep = t.cfg.AlphaT*st - t.cfg.AlphaN*sn - t.cfg.AlphaU*su
+	return st, sn, su, rep
+}
+
+// ResetPeriod clears the SLM period counters, starting a new assessment
+// period, without touching the decayed reputations.
+func (t *ReputationTracker) ResetPeriod() {
+	for i := range t.pt {
+		t.pt[i], t.pn[i], t.pu[i] = 0, 0, 0
+	}
+}

@@ -1,0 +1,174 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fifl/internal/rng"
+)
+
+func TestReputationPositiveStreakApproachesOne(t *testing.T) {
+	tr := NewReputationTracker(ReputationConfig{Gamma: 0.1}, 1)
+	for i := 0; i < 300; i++ {
+		tr.Update([]Event{EventPositive})
+	}
+	if r := tr.Reputation(0); r < 0.99 {
+		t.Fatalf("reputation after 300 positives = %v, want ≈1", r)
+	}
+}
+
+func TestReputationNegativeStreakApproachesZero(t *testing.T) {
+	tr := NewReputationTracker(ReputationConfig{Gamma: 0.1, Initial: 1}, 1)
+	for i := 0; i < 300; i++ {
+		tr.Update([]Event{EventNegative})
+	}
+	if r := tr.Reputation(0); r > 0.01 {
+		t.Fatalf("reputation after 300 negatives = %v, want ≈0", r)
+	}
+}
+
+func TestReputationUncertainNoChange(t *testing.T) {
+	tr := NewReputationTracker(ReputationConfig{Gamma: 0.1, Initial: 0.5}, 1)
+	tr.Update([]Event{EventUncertain})
+	if tr.Reputation(0) != 0.5 {
+		t.Fatal("uncertain events must not move the decayed reputation")
+	}
+}
+
+func TestReputationUpdateFormula(t *testing.T) {
+	tr := NewReputationTracker(ReputationConfig{Gamma: 0.3, Initial: 0.4}, 1)
+	tr.Update([]Event{EventPositive})
+	want := 0.7*0.4 + 0.3
+	if math.Abs(tr.Reputation(0)-want) > 1e-12 {
+		t.Fatalf("Eq. 10 update wrong: %v, want %v", tr.Reputation(0), want)
+	}
+	tr.Update([]Event{EventNegative})
+	want = 0.7 * want
+	if math.Abs(tr.Reputation(0)-want) > 1e-12 {
+		t.Fatalf("Eq. 10 negative update wrong: %v, want %v", tr.Reputation(0), want)
+	}
+}
+
+// TestTheorem1 is the paper's Theorem 1 as a property test: for a worker
+// that attacks with constant probability p, the long-run expected decayed
+// reputation converges to 1 − p.
+func TestTheorem1ReputationTracksTrustworthiness(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		p := src.Uniform(0.05, 0.95)
+		gamma := src.Uniform(0.02, 0.2)
+		tr := NewReputationTracker(ReputationConfig{Gamma: gamma}, 1)
+		// Burn in, then average the reputation over a long window.
+		const burn, window = 400, 4000
+		for i := 0; i < burn; i++ {
+			tr.Update([]Event{eventFor(src, p)})
+		}
+		mean := 0.0
+		for i := 0; i < window; i++ {
+			tr.Update([]Event{eventFor(src, p)})
+			mean += tr.Reputation(0)
+		}
+		mean /= window
+		// Tolerance: the window average has standard error ~γ/√window.
+		return math.Abs(mean-(1-p)) < 0.05
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eventFor(src *rng.Source, p float64) Event {
+	if src.Bernoulli(p) {
+		return EventNegative
+	}
+	return EventPositive
+}
+
+func TestReputationStaysSensitive(t *testing.T) {
+	// After converging, one negative event must still move the
+	// reputation by γ·R — the "does not converge to a fixed value"
+	// observation under Figure 11.
+	tr := NewReputationTracker(ReputationConfig{Gamma: 0.1}, 1)
+	for i := 0; i < 200; i++ {
+		tr.Update([]Event{EventPositive})
+	}
+	before := tr.Reputation(0)
+	tr.Update([]Event{EventNegative})
+	if drop := before - tr.Reputation(0); drop < 0.05 {
+		t.Fatalf("reputation lost sensitivity: drop %v", drop)
+	}
+}
+
+func TestSLMTriple(t *testing.T) {
+	tr := NewReputationTracker(DefaultReputationConfig(), 1)
+	// 6 positive, 2 negative, 2 uncertain.
+	for i := 0; i < 6; i++ {
+		tr.Update([]Event{EventPositive})
+	}
+	for i := 0; i < 2; i++ {
+		tr.Update([]Event{EventNegative})
+	}
+	for i := 0; i < 2; i++ {
+		tr.Update([]Event{EventUncertain})
+	}
+	st, sn, su, rep := tr.SLM(0)
+	if math.Abs(su-0.2) > 1e-12 {
+		t.Fatalf("Su = %v, want 0.2", su)
+	}
+	if math.Abs(st-0.8*0.75) > 1e-12 {
+		t.Fatalf("St = %v, want 0.6", st)
+	}
+	if math.Abs(sn-0.8*0.25) > 1e-12 {
+		t.Fatalf("Sn = %v, want 0.2", sn)
+	}
+	// Eq. 9 with unit alphas: St − Sn − Su.
+	if math.Abs(rep-(st-sn-su)) > 1e-12 {
+		t.Fatalf("period reputation = %v", rep)
+	}
+}
+
+func TestSLMNoEventsFullUncertainty(t *testing.T) {
+	tr := NewReputationTracker(DefaultReputationConfig(), 1)
+	_, _, su, _ := tr.SLM(0)
+	if su != 1 {
+		t.Fatalf("Su with no events = %v, want 1", su)
+	}
+}
+
+func TestResetPeriodKeepsDecayedReputation(t *testing.T) {
+	tr := NewReputationTracker(ReputationConfig{Gamma: 0.1}, 1)
+	for i := 0; i < 50; i++ {
+		tr.Update([]Event{EventPositive})
+	}
+	r := tr.Reputation(0)
+	tr.ResetPeriod()
+	if tr.Reputation(0) != r {
+		t.Fatal("ResetPeriod must not touch the decayed reputation")
+	}
+	_, _, su, _ := tr.SLM(0)
+	if su != 1 {
+		t.Fatal("ResetPeriod must clear SLM counters")
+	}
+}
+
+func TestUpdateLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewReputationTracker(DefaultReputationConfig(), 2).Update([]Event{EventPositive})
+}
+
+func TestSetReputation(t *testing.T) {
+	tr := NewReputationTracker(DefaultReputationConfig(), 3)
+	tr.SetReputation(1, 0.77)
+	if tr.Reputation(1) != 0.77 {
+		t.Fatal("SetReputation failed")
+	}
+	reps := tr.Reputations()
+	reps[1] = 0
+	if tr.Reputation(1) != 0.77 {
+		t.Fatal("Reputations must return a copy")
+	}
+}

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+func TestSelectInitialServersTopAccuracy(t *testing.T) {
+	acc := []float64{0.5, 0.9, 0.7, 0.95, 0.6}
+	got := SelectInitialServers(acc, 2, nil)
+	if len(got) != 2 || got[0] != 3 || got[1] != 1 {
+		t.Fatalf("servers = %v, want [3 1]", got)
+	}
+}
+
+func TestReselectServersSkipsBanned(t *testing.T) {
+	reps := []float64{0.9, 0.8, 0.7, 0.6}
+	got := ReselectServers(reps, 2, map[int]bool{0: true})
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("servers = %v, want [1 2]", got)
+	}
+}
+
+func TestTopMDeterministicTiebreak(t *testing.T) {
+	reps := []float64{0.5, 0.5, 0.5}
+	got := ReselectServers(reps, 2, nil)
+	if got[0] != 0 || got[1] != 1 {
+		t.Fatalf("ties must break by index: %v", got)
+	}
+}
+
+func TestTopMClampsToAvailable(t *testing.T) {
+	got := ReselectServers([]float64{0.1, 0.2}, 5, map[int]bool{0: true})
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("servers = %v", got)
+	}
+}

@@ -1,0 +1,96 @@
+package dataset
+
+import (
+	"fifl/internal/rng"
+	"fifl/internal/tensor"
+)
+
+// digitSegments encodes which of the seven segments each digit glyph
+// lights, in the order: top, top-left, top-right, middle, bottom-left,
+// bottom-right, bottom (the classic seven-segment layout).
+var digitSegments = [10][7]bool{
+	{true, true, true, false, true, true, true},     // 0
+	{false, false, true, false, false, true, false}, // 1
+	{true, false, true, true, true, false, true},    // 2
+	{true, false, true, true, false, true, true},    // 3
+	{false, true, true, true, false, true, false},   // 4
+	{true, true, false, true, false, true, true},    // 5
+	{true, true, false, true, true, true, true},     // 6
+	{true, false, true, false, false, true, false},  // 7
+	{true, true, true, true, true, true, true},      // 8
+	{true, true, true, true, false, true, true},     // 9
+}
+
+// segRect gives each segment's rectangle in a normalized 0..1 glyph box:
+// x0, y0, x1, y1. Horizontal segments are wide and thin; vertical segments
+// are tall and thin.
+var segRect = [7][4]float64{
+	{0.15, 0.00, 0.85, 0.12}, // top
+	{0.00, 0.08, 0.16, 0.52}, // top-left
+	{0.84, 0.08, 1.00, 0.52}, // top-right
+	{0.15, 0.44, 0.85, 0.56}, // middle
+	{0.00, 0.48, 0.16, 0.92}, // bottom-left
+	{0.84, 0.48, 1.00, 0.92}, // bottom-right
+	{0.15, 0.88, 0.85, 1.00}, // bottom
+}
+
+// SynthDigits generates n 28×28 grayscale seven-segment digit glyphs with
+// per-sample random position, scale and pixel noise — a learnable stand-in
+// for MNIST (see DESIGN.md). Labels are balanced by uniform class draws.
+func SynthDigits(src *rng.Source, n int) *Dataset {
+	const side = 28
+	x := tensor.New(n, 1, side, side)
+	labels := make([]int, n)
+	xd := x.Data()
+	for i := 0; i < n; i++ {
+		digit := src.Intn(10)
+		labels[i] = digit
+		img := xd[i*side*side : (i+1)*side*side]
+		renderDigit(src, img, side, digit)
+	}
+	return &Dataset{X: x, Labels: labels, Classes: 10}
+}
+
+// renderDigit rasterizes one jittered glyph plus noise into img.
+func renderDigit(src *rng.Source, img []float64, side int, digit int) {
+	// Glyph box: random scale 0.6..0.85 of the canvas, random offset.
+	scale := src.Uniform(0.6, 0.85)
+	w := scale * float64(side) * 0.65 // glyphs are taller than wide
+	h := scale * float64(side)
+	ox := src.Uniform(1, float64(side)-w-1)
+	oy := src.Uniform(1, float64(side)-h-1)
+	intensity := src.Uniform(0.7, 1.0)
+
+	for s, lit := range digitSegments[digit] {
+		if !lit {
+			continue
+		}
+		r := segRect[s]
+		x0 := ox + r[0]*w
+		y0 := oy + r[1]*h
+		x1 := ox + r[2]*w
+		y1 := oy + r[3]*h
+		for py := int(y0); py <= int(y1) && py < side; py++ {
+			if py < 0 {
+				continue
+			}
+			for px := int(x0); px <= int(x1) && px < side; px++ {
+				if px < 0 {
+					continue
+				}
+				img[py*side+px] = intensity
+			}
+		}
+	}
+	// Additive Gaussian pixel noise, clamped to [0,1].
+	for i := range img {
+		v := img[i] + src.Normal(0, 0.12)
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		img[i] = v
+	}
+}

@@ -1,0 +1,98 @@
+package dataset
+
+import (
+	"math"
+
+	"fifl/internal/rng"
+	"fifl/internal/tensor"
+)
+
+// textureClass is the generative signature of one SynthImages class: a set
+// of oriented sinusoidal gratings with per-channel amplitudes. Classes
+// differ in frequency content and colour balance, so a convolutional
+// network must learn oriented filters to separate them — the same inductive
+// structure CIFAR-10 exercises.
+type textureClass struct {
+	freqX, freqY [3]float64 // grating frequencies per component
+	phase        [3][2]float64
+	chanAmp      [3][3]float64
+	baseColor    [3]float64
+}
+
+// textureClasses holds the ten class signatures. They are derived once
+// from a fixed seed so that every SynthImages call — train split, test
+// split, any worker — draws from the same ten classes; only the per-sample
+// jitter and noise vary with the caller's source.
+var textureClasses = makeTextureClasses(0xf1f1)
+
+// makeTextureClasses derives ten fixed class signatures from a seed.
+func makeTextureClasses(seed uint64) [10]textureClass {
+	src := rng.New(seed)
+	var classes [10]textureClass
+	for c := range classes {
+		cs := src.SplitN("class", c)
+		t := &classes[c]
+		for k := 0; k < 3; k++ {
+			t.freqX[k] = cs.Uniform(0.5, 4.5)
+			t.freqY[k] = cs.Uniform(0.5, 4.5)
+			t.phase[k][0] = cs.Uniform(0, 2*math.Pi)
+			t.phase[k][1] = cs.Uniform(0, 2*math.Pi)
+			for ch := 0; ch < 3; ch++ {
+				t.chanAmp[k][ch] = cs.Uniform(-0.5, 0.5)
+			}
+		}
+		for ch := 0; ch < 3; ch++ {
+			t.baseColor[ch] = cs.Uniform(0.3, 0.7)
+		}
+	}
+	return classes
+}
+
+// SynthImages generates n 32×32 RGB texture images across ten classes —
+// the CIFAR-10 stand-in (see DESIGN.md). Every sample draws random grating
+// phases and additive noise, so intra-class variation is substantial and
+// the task is harder than SynthDigits, preserving the paper's contrast
+// between the MNIST/LeNet and CIFAR/ResNet experiments.
+func SynthImages(src *rng.Source, n int) *Dataset {
+	const side = 32
+	classes := textureClasses
+	x := tensor.New(n, 3, side, side)
+	labels := make([]int, n)
+	xd := x.Data()
+	for i := 0; i < n; i++ {
+		cls := src.Intn(10)
+		labels[i] = cls
+		t := &classes[cls]
+		// Per-sample phase jitter around the class's base phases: enough
+		// intra-class variation to require learning, small enough that a
+		// convolutional network generalizes within a few hundred steps.
+		var phase [3][2]float64
+		for k := 0; k < 3; k++ {
+			phase[k][0] = t.phase[k][0] + src.Normal(0, 0.55)
+			phase[k][1] = t.phase[k][1] + src.Normal(0, 0.55)
+		}
+		img := xd[i*3*side*side : (i+1)*3*side*side]
+		for ch := 0; ch < 3; ch++ {
+			plane := img[ch*side*side : (ch+1)*side*side]
+			for py := 0; py < side; py++ {
+				fy := float64(py) / side * 2 * math.Pi
+				for px := 0; px < side; px++ {
+					fx := float64(px) / side * 2 * math.Pi
+					v := t.baseColor[ch]
+					for k := 0; k < 3; k++ {
+						v += t.chanAmp[k][ch] * math.Sin(t.freqX[k]*fx+phase[k][0]) * math.Cos(t.freqY[k]*fy+phase[k][1])
+					}
+					v += src.Normal(0, 0.15)
+					if v < 0 {
+						v = 0
+					}
+					if v > 1 {
+						v = 1
+					}
+					plane[py*side+px] = v
+				}
+			}
+		}
+	}
+	return &Dataset{X: x, Labels: labels, Classes: 10}
+}

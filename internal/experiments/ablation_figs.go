@@ -1,0 +1,294 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fifl/internal/core"
+	"fifl/internal/incentive"
+	"fifl/internal/rng"
+)
+
+// The runners in this file go beyond the paper's figures: they are
+// ablations of the design choices DESIGN.md calls out. Each is registered
+// under an "abl*" experiment ID and has a bench in bench_test.go.
+
+// RunAblServers ablates the polycentric architecture's server-cluster size
+// (§3.2): the same federation and attack are run with M = 1 (centralized),
+// an intermediate M, and M = N (decentralized). The detection quality and
+// final accuracy should be essentially invariant in M — slicing
+// distributes work without changing what is computed (the slice scores sum
+// to the full-vector score) — while the per-server aggregation work drops
+// as 1/M.
+func RunAblServers(sc Scale) *Result {
+	res := &Result{
+		ID:     "abl-servers",
+		Title:  "Architecture ablation: centralized (M=1) vs polycentric vs decentralized (M=N)",
+		XLabel: "iteration",
+		YLabel: "accuracy",
+	}
+	n := sc.TrainWorkers
+	for _, m := range []int{1, sc.Servers, n} {
+		sub := sc
+		sub.Servers = m
+		kinds := make([]WorkerKind, n)
+		for i := range kinds {
+			kinds[i] = Honest()
+		}
+		kinds[n-1] = SignFlip(4)
+		f := BuildFederation(sub, TaskDigitsMLP, kinds, rng.New(sc.Seed).Split(fmt.Sprintf("ablM-%d", m)))
+		coord := DefaultCoordinator(f, 0.02, false)
+		var xs, accs []float64
+		rejected, certain := 0, 0
+		for t := 0; t < sub.TrainRounds; t++ {
+			rep := coord.RunRound(t)
+			if !rep.Detection.Uncertain[n-1] {
+				certain++
+				if !rep.Detection.Accept[n-1] {
+					rejected++
+				}
+			}
+			if t%sub.EvalEvery == 0 || t == sub.TrainRounds-1 {
+				acc, _ := f.Engine.Evaluate(f.Test, 256)
+				xs = append(xs, float64(t))
+				accs = append(accs, acc)
+			}
+		}
+		name := fmt.Sprintf("M=%d", m)
+		switch m {
+		case 1:
+			name += " (centralized)"
+		case n:
+			name += " (decentralized)"
+		}
+		res.Series = append(res.Series, Series{Name: name, X: xs, Y: accs})
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("M=%d: attacker rejected %d/%d certain rounds", m, rejected, certain))
+	}
+	res.Notes = append(res.Notes, "expected shape: curves overlap — detection and convergence are invariant in M")
+	return res
+}
+
+// RunAblFreeRider shows FIFL screening free-riders (§1's motivation): a
+// federation with free-riders who fabricate noise gradients while claiming
+// large sample counts. Sample-count-based baselines pay them in full; FIFL
+// scores their uploads near zero (no alignment with the benchmark) and the
+// contribution bar b_h excludes them from rewards.
+func RunAblFreeRider(sc Scale) *Result {
+	sc = highSNR(sc)
+	n := sc.TrainWorkers
+	kinds := make([]WorkerKind, n)
+	for i := range kinds {
+		kinds[i] = Honest()
+	}
+	nFree := n / 4
+	if nFree < 1 {
+		nFree = 1
+	}
+	for i := 0; i < nFree; i++ {
+		kinds[n-1-i] = WorkerKind{Kind: "freerider"}
+	}
+	f := BuildFederation(sc, TaskDigitsMLP, kinds, rng.New(sc.Seed).Split("abl-freerider"))
+	coord := DefaultCoordinator(f, 0.02, false)
+
+	var xs, freeRewards, honestRewards, freeBaseline []float64
+	// What a sample-count baseline (Equal among claimed counts — use
+	// Individual) would pay the free-riders per round.
+	samples := make([]int, n)
+	for i, w := range f.Engine.Workers {
+		samples[i] = w.NumSamples()
+	}
+	shares := incentive.Shares(incentive.Individual{}, samples)
+	freeShare := 0.0
+	for i := n - nFree; i < n; i++ {
+		freeShare += shares[i]
+	}
+	for t := 0; t < sc.TrainRounds; t++ {
+		coord.RunRound(t)
+		cum := coord.CumulativeRewards()
+		var fr, hr float64
+		for i := 0; i < n; i++ {
+			if i >= n-nFree {
+				fr += cum[i]
+			} else {
+				hr += cum[i]
+			}
+		}
+		xs = append(xs, float64(t))
+		freeRewards = append(freeRewards, fr)
+		honestRewards = append(honestRewards, hr)
+		freeBaseline = append(freeBaseline, freeShare*float64(t+1))
+	}
+	res := &Result{
+		ID:     "abl-freerider",
+		Title:  fmt.Sprintf("Free-rider screening: cumulative rewards (%d free-riders / %d workers)", nFree, n),
+		XLabel: "iteration",
+		YLabel: "cumulative reward",
+		Series: []Series{
+			{Name: "free-riders (FIFL)", X: xs, Y: freeRewards},
+			{Name: "honest (FIFL)", X: xs, Y: honestRewards},
+			{Name: "free-riders (Individual)", X: xs, Y: freeBaseline},
+		},
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: under FIFL free-riders earn ≈0 (or fines) while the Individual baseline keeps paying them linearly")
+	return res
+}
+
+// RunAblGamma ablates the reputation time-decay factor γ of Eq. 10: an
+// attacker behaves honestly for the first half of the run and then turns
+// malicious. Small γ reacts slowly (long memory); large γ tracks the
+// switch almost immediately but fluctuates more in steady state.
+func RunAblGamma(sc Scale) *Result {
+	gammas := []float64{0.02, 0.05, 0.1, 0.3}
+	res := &Result{
+		ID:     "abl-gamma",
+		Title:  "Reputation time-decay ablation: response to a mid-run betrayal",
+		XLabel: "iteration",
+		YLabel: "reputation",
+	}
+	rounds := sc.TrainRounds * 2
+	turn := rounds / 2
+	// One shared event realization for every gamma (perfect detection
+	// assumed: this ablation isolates the estimator, not the detector):
+	// honest until the turn, then attacking 90% of rounds. All trackers
+	// start at the converged honest reputation so the figure shows pure
+	// response dynamics.
+	src := rng.New(sc.Seed).Split("abl-gamma")
+	events := make([]core.Event, rounds)
+	for t := range events {
+		events[t] = core.EventPositive
+		if t >= turn && src.Bernoulli(0.9) {
+			events[t] = core.EventNegative
+		}
+	}
+	for _, gamma := range gammas {
+		tr := core.NewReputationTracker(core.ReputationConfig{Gamma: gamma, Initial: 1}, 1)
+		var xs, ys []float64
+		for t := 0; t < rounds; t++ {
+			tr.Update([]core.Event{events[t]})
+			xs = append(xs, float64(t))
+			ys = append(ys, tr.Reputation(0))
+		}
+		res.Series = append(res.Series, Series{Name: fmt.Sprintf("gamma=%.2f", gamma), X: xs, Y: ys})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("betrayal at iteration %d; expected shape: larger gamma collapses faster toward the new trust level 0.1", turn))
+	return res
+}
+
+// RunAblNonIID probes the §4.1 premise that Byzantine gradient deviation
+// exceeds non-IID data deviation: the same attacked federation runs under
+// increasingly skewed Dirichlet(α) partitions, and we report the honest
+// false-rejection rate and the attacker catch rate. Detection should stay
+// sharp under moderate heterogeneity and only degrade (honest rejections
+// rise) under extreme skew, where honest gradients genuinely diverge.
+func RunAblNonIID(sc Scale) *Result {
+	// Full-batch local gradients isolate dataset heterogeneity from
+	// minibatch noise — the deviation §4.1 talks about. No warm-up: early
+	// training is where the honest gradient signal is strongest, so any
+	// honest rejections measured here are caused by heterogeneity alone.
+	if sc.SamplesPerWorker < 300 {
+		sc.SamplesPerWorker = 300
+	}
+	sc.BatchSize = sc.SamplesPerWorker
+	sc.WarmupSteps = 0
+	alphas := []float64{0, 10, 1, 0.3, 0.1} // 0 = IID
+	res := &Result{
+		ID:     "abl-noniid",
+		Title:  "Detection vs data heterogeneity (Dirichlet alpha; 0 = IID)",
+		XLabel: "case#",
+		YLabel: "rate",
+	}
+	n := sc.TrainWorkers
+	var honestRej, attackerCatch, xs []float64
+	for ci, alpha := range alphas {
+		cfg := sc
+		cfg.NonIIDAlpha = alpha
+		kinds := make([]WorkerKind, n)
+		for i := range kinds {
+			kinds[i] = Honest()
+		}
+		kinds[n-1] = SignFlip(4)
+		f := BuildFederation(cfg, TaskDigitsMLP, kinds, rng.New(sc.Seed).Split(fmt.Sprintf("abl-noniid-%g", alpha)))
+		coord := DefaultCoordinator(f, 0.02, false)
+		var rejH, certH, caught, certA int
+		for t := 0; t < cfg.TrainRounds; t++ {
+			rep := coord.RunRound(t)
+			for i := 0; i < n-1; i++ {
+				if !rep.Detection.Uncertain[i] {
+					certH++
+					if !rep.Detection.Accept[i] {
+						rejH++
+					}
+				}
+			}
+			if !rep.Detection.Uncertain[n-1] {
+				certA++
+				if !rep.Detection.Accept[n-1] {
+					caught++
+				}
+			}
+		}
+		xs = append(xs, float64(ci))
+		honestRej = append(honestRej, float64(rejH)/float64(certH))
+		attackerCatch = append(attackerCatch, float64(caught)/float64(certA))
+		res.Notes = append(res.Notes, fmt.Sprintf("case %d: alpha=%g", ci, alpha))
+	}
+	res.Series = append(res.Series,
+		Series{Name: "honest rejection rate", X: xs, Y: honestRej},
+		Series{Name: "attacker catch rate", X: xs, Y: attackerCatch},
+	)
+	res.Notes = append(res.Notes,
+		"expected shape: under IID and mild skew honest rejections are rare and the attacker is caught reliably;",
+		"under strong skew (alpha <= 0.3) honest gradients genuinely diverge and rejections rise sharply —",
+		"the known limitation of gradient-similarity defenses that motivates the paper's §4.1 IID-leaning assumption")
+	return res
+}
+
+// RunAblThreshold ablates the S_y detection threshold end to end (the
+// companion to Figure 9's offline study): the same attacked federation is
+// defended with different thresholds and the final accuracy plus the
+// honest-rejection rate are reported.
+func RunAblThreshold(sc Scale) *Result {
+	thresholds := []float64{-0.2, 0, 0.05, 0.2, 0.5}
+	res := &Result{
+		ID:     "abl-threshold",
+		Title:  "End-to-end detection-threshold ablation (sign-flip ps=4)",
+		XLabel: "Sy",
+		YLabel: "value",
+	}
+	n := sc.TrainWorkers
+	var finalAcc, honestRej []float64
+	for _, sy := range thresholds {
+		kinds := make([]WorkerKind, n)
+		for i := range kinds {
+			kinds[i] = Honest()
+		}
+		kinds[n-1] = SignFlip(4)
+		kinds[n-2] = SignFlip(4)
+		f := BuildFederation(sc, TaskDigitsMLP, kinds, rng.New(sc.Seed).Split(fmt.Sprintf("ablSy-%g", sy)))
+		coord := DefaultCoordinator(f, sy, false)
+		rejHonest, certHonest := 0, 0
+		for t := 0; t < sc.TrainRounds; t++ {
+			rep := coord.RunRound(t)
+			for i := 0; i < n-2; i++ {
+				if !rep.Detection.Uncertain[i] {
+					certHonest++
+					if !rep.Detection.Accept[i] {
+						rejHonest++
+					}
+				}
+			}
+		}
+		acc, _ := f.Engine.Evaluate(f.Test, 256)
+		finalAcc = append(finalAcc, acc)
+		honestRej = append(honestRej, float64(rejHonest)/float64(certHonest))
+	}
+	res.Series = append(res.Series,
+		Series{Name: "final accuracy", X: thresholds, Y: finalAcc},
+		Series{Name: "honest rejection rate", X: thresholds, Y: honestRej},
+	)
+	res.Notes = append(res.Notes,
+		"expected shape: accuracy peaks at small positive Sy; very negative Sy admits the attack, very large Sy starves aggregation")
+	return res
+}

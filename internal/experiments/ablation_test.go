@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAblGammaResponseSpeedOrdering(t *testing.T) {
+	sc := tinyScale()
+	sc.TrainRounds = 60 // 120 reputation steps, betrayal at 60
+	r := RunAblGamma(sc)
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	// Right after the betrayal, larger gamma must have dropped further
+	// from its pre-betrayal level (the runners share one event stream and
+	// start from the converged honest reputation, so this is a pure
+	// response-speed comparison).
+	turn := len(r.Series[0].Y) / 2
+	probe := turn + 5
+	for i := 0; i < len(r.Series)-1; i++ {
+		dropSlow := r.Series[i].Y[turn-1] - r.Series[i].Y[probe]
+		dropFast := r.Series[i+1].Y[turn-1] - r.Series[i+1].Y[probe]
+		if dropFast <= dropSlow {
+			t.Fatalf("larger gamma should react faster at t=%d: %s dropped %v vs %s dropped %v",
+				probe, r.Series[i].Name, dropSlow, r.Series[i+1].Name, dropFast)
+		}
+	}
+	// Before the betrayal everyone trusts: all reputations at 1.
+	for _, s := range r.Series {
+		if s.Y[turn-1] < 0.99 {
+			t.Fatalf("%s pre-betrayal reputation %v, want 1", s.Name, s.Y[turn-1])
+		}
+	}
+}
+
+func TestAblFreeRiderScreening(t *testing.T) {
+	sc := tinyScale()
+	sc.TrainRounds = 10
+	r := RunAblFreeRider(sc)
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	last := len(r.Series[0].Y) - 1
+	freeFIFL := r.Series[0].Y[last]
+	freeBaseline := r.Series[2].Y[last]
+	if freeFIFL > 0 {
+		t.Fatalf("FIFL paid free-riders %v, want <= 0", freeFIFL)
+	}
+	if freeBaseline <= 0 {
+		t.Fatalf("Individual baseline should keep paying free-riders, got %v", freeBaseline)
+	}
+}
+
+func TestAblServersInvariance(t *testing.T) {
+	sc := tinyScale()
+	sc.TrainWorkers = 6
+	sc.TrainRounds = 12
+	sc.BatchSize = 64
+	sc.SamplesPerWorker = 150
+	r := RunAblServers(sc)
+	if len(r.Series) != 3 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	// The notes record the attacker catch counts; every architecture must
+	// catch the attacker in a majority of rounds.
+	for _, n := range r.Notes {
+		if !strings.Contains(n, "rejected") {
+			continue
+		}
+		var m, caught, total int
+		if _, err := fmt.Sscanf(n, "M=%d: attacker rejected %d/%d certain rounds", &m, &caught, &total); err != nil {
+			t.Fatalf("unparseable note %q: %v", n, err)
+		}
+		if caught*2 < total {
+			t.Fatalf("M=%d caught only %d/%d", m, caught, total)
+		}
+	}
+}

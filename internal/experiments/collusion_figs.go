@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fifl/internal/attack"
+	"fifl/internal/fl"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// RunAblCollusion characterizes the boundary the paper draws in §4.1: FIFL
+// targets disorganized, non-colluding attackers, and acknowledges (citing
+// Baruch et al.) that coordinated attackers can hide inside small gradient
+// changes. A cabal of "a little is enough" attackers uploads a common,
+// slightly shrunk mean of their honest gradients; we measure how often the
+// detector flags them versus a sign-flipping attacker of matched strength
+// in the same federation. The expected result confirms the limitation: the
+// colluders pass detection almost always while the overt attacker is
+// caught.
+func RunAblCollusion(sc Scale) *Result {
+	if sc.BatchSize < 64 {
+		sc.BatchSize = 64
+	}
+	if sc.SamplesPerWorker < 200 {
+		sc.SamplesPerWorker = 200
+	}
+	n := sc.TrainWorkers
+	if n < 6 {
+		n = 6
+	}
+	const cabalSize = 2
+	kinds := make([]WorkerKind, n)
+	for i := range kinds {
+		kinds[i] = Honest()
+	}
+	// Build the base federation (honest everywhere), then replace the last
+	// three workers: two cabal members and one overt sign-flipper.
+	src := rng.New(sc.Seed).Split("abl-collusion")
+	sub := sc
+	sub.TrainWorkers = n
+	f := BuildFederation(sub, TaskDigitsMLP, kinds, src)
+
+	cabal := attack.NewCollusion(0.3, cabalSize)
+	lc := fl.LocalConfig{K: sub.LocalIters, BatchSize: sub.BatchSize, LR: sub.LocalLR}
+	wsrc := src.Split("replacements")
+	for i := 0; i < cabalSize; i++ {
+		idx := n - 1 - i
+		honest := f.Engine.Workers[idx].(*fl.HonestWorker)
+		f.Engine.Workers[idx] = attack.NewColludingWorker(idx, honest.Data, builderFor(sub, src), lc, wsrc, cabal)
+	}
+	flipIdx := n - 1 - cabalSize
+	honest := f.Engine.Workers[flipIdx].(*fl.HonestWorker)
+	f.Engine.Workers[flipIdx] = attack.NewSignFlipWorker(flipIdx, honest.Data, builderFor(sub, src), lc, wsrc, 4)
+
+	coord := DefaultCoordinator(f, 0.02, false)
+
+	var colluderCaught, colluderRounds, flipCaught, flipRounds int
+	for t := 0; t < sub.TrainRounds; t++ {
+		rep := coord.RunRound(t)
+		for i := 0; i < cabalSize; i++ {
+			idx := n - 1 - i
+			if !rep.Detection.Uncertain[idx] {
+				colluderRounds++
+				if !rep.Detection.Accept[idx] {
+					colluderCaught++
+				}
+			}
+		}
+		if !rep.Detection.Uncertain[flipIdx] {
+			flipRounds++
+			if !rep.Detection.Accept[flipIdx] {
+				flipCaught++
+			}
+		}
+	}
+	res := &Result{
+		ID:     "abl-collusion",
+		Title:  "Detection boundary: colluding (little-is-enough) vs overt sign-flip attackers",
+		XLabel: "attacker",
+		YLabel: "catch rate",
+		Series: []Series{
+			{Name: "colluders caught", X: []float64{0}, Y: []float64{rate(colluderCaught, colluderRounds)}},
+			{Name: "sign-flip caught", X: []float64{1}, Y: []float64{rate(flipCaught, flipRounds)}},
+		},
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("colluders flagged %d/%d rounds; overt sign-flip flagged %d/%d rounds", colluderCaught, colluderRounds, flipCaught, flipRounds),
+		"expected shape: colluders pass detection (their common update stays aligned with the honest direction) while the overt attacker is caught —",
+		"this CONFIRMS the limitation the paper states in §4.1 (non-colluding scope, citing Baruch et al.)")
+	return res
+}
+
+// builderFor rebuilds the MLP builder BuildFederation used for
+// TaskDigitsMLP (splits are label-addressed, so the same source yields the
+// same model seed), letting replacement workers share the architecture and
+// initialization of the originals.
+func builderFor(sc Scale, src *rng.Source) nn.Builder {
+	return nn.NewMLP(src.Split("model").Seed(), 28*28, []int{64}, 10)
+}
+
+// rate is caught/total, 0 when nothing was observed.
+func rate(caught, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(caught) / float64(total)
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"fifl/internal/netsim"
+	"fifl/internal/rng"
+)
+
+// RunAblComm quantifies the paper's §3.2 communication argument: the
+// per-server load of the centralized architecture (M = 1) versus
+// polycentric (M = sc.Servers) versus decentralized (M = N), for the real
+// LeNet-sized gradient. It also runs one actual channel-based exchange on
+// gradients collected from a live federation, confirming the wire protocol
+// reproduces the engine's aggregation bit-for-bit (within float tolerance)
+// and that the measured per-server traffic matches the analytic model.
+func RunAblComm(sc Scale) *Result {
+	n := sc.TrainWorkers
+	kinds := make([]WorkerKind, n)
+	for i := range kinds {
+		kinds[i] = Honest()
+	}
+	f := BuildFederation(sc, TaskDigitsMLP, kinds, rng.New(sc.Seed).Split("abl-comm"))
+	dim := len(f.Engine.Params())
+
+	res := &Result{
+		ID:     "abl-comm",
+		Title:  fmt.Sprintf("Per-round communication by architecture (N=%d, d=%d)", n, dim),
+		XLabel: "M",
+		YLabel: "bytes",
+	}
+	ms := []int{1, sc.Servers, n}
+	var xs, perServer, perWorker, roundTime []float64
+	for _, m := range ms {
+		c := netsim.Analyze(netsim.Params{
+			Workers: n, Servers: m, ModelDim: dim,
+			LinkBps: 12.5e6, AggOpsPerSec: 1e9, // 100 Mbit links, 1 Gop/s servers
+		})
+		xs = append(xs, float64(m))
+		perServer = append(perServer, float64(c.PerServerIn+c.PerServerOut))
+		perWorker = append(perWorker, float64(c.PerWorkerUp+c.PerWorkerDown))
+		roundTime = append(roundTime, c.RoundSeconds*1e3)
+	}
+	res.Series = append(res.Series,
+		Series{Name: "per-server bytes", X: xs, Y: perServer},
+		Series{Name: "per-worker bytes", X: xs, Y: perWorker},
+		Series{Name: "round time (ms)", X: xs, Y: roundTime},
+	)
+
+	// Live validation: the channel-based exchange equals the engine's
+	// direct aggregation on real gradients.
+	rr := f.Engine.CollectGradients(0)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(rr.Samples[i])
+	}
+	direct := f.Engine.Aggregate(rr, nil)
+	wire, traffic := netsim.Exchange(rr.Grads, weights, sc.Servers)
+	maxDiff := 0.0
+	for i := range direct {
+		if d := math.Abs(direct[i] - wire[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("wire protocol vs direct aggregation: max |diff| = %.2e over %d coordinates", maxDiff, dim),
+		fmt.Sprintf("measured busiest-server ingest at M=%d: %d scalars (analytic: %d)",
+			sc.Servers, traffic.MaxServerIn(), int64(n)*int64((dim+sc.Servers-1)/sc.Servers)),
+		"expected shape: per-server load falls ~1/M while per-worker traffic is flat — §3.2's bottleneck-sharing claim")
+	return res
+}

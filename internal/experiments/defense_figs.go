@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fifl/internal/rng"
+	"fifl/internal/robust"
+)
+
+// RunAblDefense compares FIFL's detection filter with the classical
+// Byzantine-robust aggregation rules (Krum, Multi-Krum, coordinate median,
+// trimmed mean, norm clipping) under the same sign-flipping attack. All
+// defenses should protect the model; the comparison shows what FIFL's
+// detection buys beyond robust aggregation — per-worker verdicts that feed
+// reputations and rewards, which pure aggregators cannot produce.
+func RunAblDefense(sc Scale) *Result {
+	n := sc.TrainWorkers
+	nAtk := n / 4
+	if nAtk < 1 {
+		nAtk = 1
+	}
+	mkKinds := func() []WorkerKind {
+		kinds := make([]WorkerKind, n)
+		for i := range kinds {
+			kinds[i] = Honest()
+		}
+		for i := 0; i < nAtk; i++ {
+			kinds[n-1-i] = SignFlip(5)
+		}
+		return kinds
+	}
+
+	res := &Result{
+		ID:     "abl-defense",
+		Title:  "Defense comparison under sign-flip attack (ps=5)",
+		XLabel: "iteration",
+		YLabel: "accuracy",
+	}
+
+	type arm struct {
+		name string
+		run  func() (xs, accs []float64)
+	}
+	var arms []arm
+
+	// Robust-aggregation arms (and the undefended mean).
+	for _, agg := range robust.All(nAtk) {
+		agg := agg
+		arms = append(arms, arm{name: agg.Name(), run: func() (xs, accs []float64) {
+			f := BuildFederation(sc, TaskDigitsMLP, mkKinds(), rng.New(sc.Seed).Split("abl-defense"))
+			for t := 0; t < sc.TrainRounds; t++ {
+				rr := f.Engine.CollectGradients(t)
+				f.Engine.ApplyGlobal(agg.Aggregate(rr.Grads))
+				if t%sc.EvalEvery == 0 || t == sc.TrainRounds-1 {
+					acc, _ := f.Engine.Evaluate(f.Test, 256)
+					xs = append(xs, float64(t))
+					accs = append(accs, acc)
+				}
+			}
+			return xs, accs
+		}})
+	}
+	// The FIFL arm.
+	arms = append(arms, arm{name: "FIFL detection", run: func() (xs, accs []float64) {
+		f := BuildFederation(sc, TaskDigitsMLP, mkKinds(), rng.New(sc.Seed).Split("abl-defense"))
+		coord := DefaultCoordinator(f, 0.02, false)
+		for t := 0; t < sc.TrainRounds; t++ {
+			coord.RunRound(t)
+			if t%sc.EvalEvery == 0 || t == sc.TrainRounds-1 {
+				acc, _ := f.Engine.Evaluate(f.Test, 256)
+				xs = append(xs, float64(t))
+				accs = append(accs, acc)
+			}
+		}
+		return xs, accs
+	}})
+
+	for _, a := range arms {
+		xs, accs := a.run()
+		res.Series = append(res.Series, Series{Name: a.name, X: xs, Y: accs})
+	}
+	res.Notes = append(res.Notes,
+		"expected shape: the undefended mean lags or collapses; FIFL and the robust aggregators all track clean convergence",
+		"FIFL additionally produces per-worker verdicts (reputations, rewards) that pure aggregators cannot")
+	return res
+}

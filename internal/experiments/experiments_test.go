@@ -1,0 +1,312 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"fifl/internal/rng"
+)
+
+// tinyScale is a miniature configuration that keeps the whole experiment
+// suite testable in seconds.
+func tinyScale() Scale {
+	sc := QuickScale()
+	sc.MarketRepeats = 5
+	sc.TrainRounds = 8
+	sc.TrainWorkers = 6
+	sc.SamplesPerWorker = 60
+	sc.TestSamples = 60
+	sc.EvalEvery = 4
+	sc.Servers = 2
+	return sc
+}
+
+func TestResultTableAndCSV(t *testing.T) {
+	r := &Result{
+		ID: "x", Title: "demo", XLabel: "n", YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}},
+			{Name: "b", X: []float64{1, 2}, Y: []float64{5, 6}},
+		},
+		Notes: []string{"hello"},
+	}
+	table := r.Table()
+	for _, want := range []string{"demo", "a", "b", "hello", "3", "6"} {
+		if !strings.Contains(table, want) {
+			t.Fatalf("table missing %q:\n%s", want, table)
+		}
+	}
+	csv := r.CSV()
+	lines := strings.Split(strings.TrimSpace(csv), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d:\n%s", len(lines), csv)
+	}
+	if lines[0] != "n,a,b" {
+		t.Fatalf("csv header = %q", lines[0])
+	}
+	if lines[1] != "1,3,5" {
+		t.Fatalf("csv row = %q", lines[1])
+	}
+}
+
+func TestCSVEscaping(t *testing.T) {
+	r := &Result{
+		XLabel: `x,with"comma`,
+		Series: []Series{{Name: "s", X: []float64{1}, Y: []float64{2}}},
+	}
+	if !strings.Contains(r.CSV(), `"x,with""comma"`) {
+		t.Fatalf("csv escaping wrong: %s", r.CSV())
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig4a", "fig4b", "fig5a", "fig5b", "fig6", "fig7a", "fig7b",
+		"fig8", "fig9a", "fig9b", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"abl-servers", "abl-freerider", "abl-gamma", "abl-threshold", "abl-noniid",
+		"abl-defense", "abl-contribution", "abl-comm", "abl-collusion", "abl-dynamics",
+	}
+	ids := IDs()
+	if len(ids) != len(want) {
+		t.Fatalf("registry has %d entries, want %d: %v", len(ids), len(want), ids)
+	}
+	for _, w := range want {
+		if _, ok := Registry[w]; !ok {
+			t.Fatalf("missing experiment %s", w)
+		}
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("nope", tinyScale()); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+}
+
+func TestFig4Runners(t *testing.T) {
+	sc := tinyScale()
+	for _, id := range []string{"fig4a", "fig4b"} {
+		results, err := Run(id, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := results[0]
+		if len(r.Series) != 5 {
+			t.Fatalf("%s: %d series, want 5", id, len(r.Series))
+		}
+		for _, s := range r.Series {
+			if len(s.X) != qualityGroups || len(s.Y) != qualityGroups {
+				t.Fatalf("%s/%s: series length %d/%d", id, s.Name, len(s.X), len(s.Y))
+			}
+		}
+	}
+}
+
+func TestFig4bAttractivenessSumsToOne(t *testing.T) {
+	r := RunFig4b(tinyScale())
+	// For every band with data, attractiveness across mechanisms sums to 1.
+	for g := 0; g < qualityGroups; g++ {
+		sum := 0.0
+		empty := true
+		for _, s := range r.Series {
+			if s.Y[g] != 0 {
+				empty = false
+			}
+			sum += s.Y[g]
+		}
+		if !empty && math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("band %d attractiveness sums to %v", g, sum)
+		}
+	}
+}
+
+func TestFig5Runners(t *testing.T) {
+	sc := tinyScale()
+	a := RunFig5a(sc)
+	total := 0.0
+	for _, s := range a.Series {
+		total += s.Y[0]
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("fig5a data shares sum to %v", total)
+	}
+	b := RunFig5b(sc)
+	if b.Series[0].Y[0] != 0 {
+		t.Fatalf("fig5b FIFL relative revenue must be 0, got %v", b.Series[0].Y[0])
+	}
+}
+
+func TestFig6AttackHurtsBaselines(t *testing.T) {
+	sc := tinyScale()
+	sc.MarketRepeats = 10
+	r := RunFig6(sc)
+	if len(r.Series) != 5 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	// At the worst attack degree every baseline trails FIFL badly.
+	last := len(r.Series[0].Y) - 1
+	for _, s := range r.Series[1:] {
+		if s.Y[last] > -10 {
+			t.Fatalf("%s at worst attack: %v%%, want far below 0", s.Name, s.Y[last])
+		}
+	}
+}
+
+func TestFig11ReputationOrdering(t *testing.T) {
+	sc := tinyScale()
+	sc.TrainWorkers = 8
+	sc.TrainRounds = 60
+	r := RunFig11(sc)
+	if len(r.Series) != 4 {
+		t.Fatalf("series = %d", len(r.Series))
+	}
+	// The decayed reputation fluctuates around 1−pa (it deliberately
+	// stays sensitive to current events), so compare second-half time
+	// averages — the quantity Theorem 1 speaks about.
+	avg := func(s Series) float64 {
+		ys := s.Y[len(s.Y)/2:]
+		sum := 0.0
+		for _, v := range ys {
+			sum += v
+		}
+		return sum / float64(len(ys))
+	}
+	for i := 0; i < 3; i++ {
+		a, b := avg(r.Series[i]), avg(r.Series[i+1])
+		if a <= b {
+			t.Fatalf("reputation ordering violated: %s averages %v <= %s averages %v",
+				r.Series[i].Name, a, r.Series[i+1].Name, b)
+		}
+	}
+	// The pa=0.2 attacker should sit in the vicinity of 0.8.
+	if m := avg(r.Series[0]); m < 0.55 || m > 1.0 {
+		t.Fatalf("pa=0.2 mean reputation %v, want near 0.8", m)
+	}
+}
+
+func TestFig12ContributionOrdering(t *testing.T) {
+	sc := tinyScale()
+	sc.TrainWorkers = 8
+	sc.TrainRounds = 12
+	r := RunFig12(sc)
+	// Average each trace; they must order inversely with pd, with the
+	// baseline pd=0.2 exactly zero.
+	means := make([]float64, len(r.Series))
+	for i, s := range r.Series {
+		sum := 0.0
+		for _, v := range s.Y {
+			sum += v
+		}
+		means[i] = sum / float64(len(s.Y))
+	}
+	if means[1] != 0 {
+		t.Fatalf("baseline worker mean contribution %v, want 0", means[1])
+	}
+	if !(means[0] > means[2] && means[2] > means[3] && means[3] > means[4]) {
+		t.Fatalf("contribution means not ordered by pd: %v", means)
+	}
+}
+
+func TestFig14PunishmentOrdering(t *testing.T) {
+	sc := tinyScale()
+	sc.TrainWorkers = 8
+	sc.TrainRounds = 10
+	r := RunFig14(sc)
+	last := len(r.Series[0].Y) - 1
+	for i := 0; i < len(r.Series)-1; i++ {
+		weak := r.Series[i].Y[last]
+		strong := r.Series[i+1].Y[last]
+		if strong >= weak {
+			t.Fatalf("punishment must grow with ps: %s=%v vs %s=%v",
+				r.Series[i].Name, weak, r.Series[i+1].Name, strong)
+		}
+	}
+	if r.Series[0].Y[last] >= 0 {
+		t.Fatalf("even the weakest attacker must be punished, got %v", r.Series[0].Y[last])
+	}
+}
+
+func TestBuildFederationKinds(t *testing.T) {
+	sc := tinyScale()
+	kinds := []WorkerKind{Honest(), SignFlip(3), Poison(0.5), {Kind: "freerider"}}
+	f := BuildFederation(sc, TaskDigitsMLP, kinds, rng.New(1))
+	if len(f.Engine.Workers) != 4 {
+		t.Fatalf("workers = %d", len(f.Engine.Workers))
+	}
+	atk := f.IsAttacker()
+	want := []bool{false, true, true, true}
+	for i := range want {
+		if atk[i] != want[i] {
+			t.Fatalf("IsAttacker = %v", atk)
+		}
+	}
+}
+
+func TestBuildFederationUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	BuildFederation(tinyScale(), TaskDigitsMLP, []WorkerKind{{Kind: "alien"}}, rng.New(1))
+}
+
+func TestDefaultCoordinatorServersHonestFirst(t *testing.T) {
+	sc := tinyScale()
+	kinds := []WorkerKind{SignFlip(2), Honest(), Honest(), Honest()}
+	f := BuildFederation(sc, TaskDigitsMLP, kinds, rng.New(2))
+	coord := DefaultCoordinator(f, 0.0, false)
+	for _, s := range coord.Servers() {
+		if s == 0 {
+			t.Fatal("initial server cluster must prefer honest workers")
+		}
+	}
+}
+
+func TestWarmupImprovesModel(t *testing.T) {
+	sc := tinyScale()
+	sc.WarmupSteps = 120
+	kinds := []WorkerKind{Honest(), Honest(), Honest(), Honest()}
+	warm := BuildFederation(sc, TaskDigitsMLP, kinds, rng.New(3))
+	sc.WarmupSteps = 0
+	cold := BuildFederation(sc, TaskDigitsMLP, kinds, rng.New(3))
+	accWarm, _ := warm.Engine.Evaluate(warm.Test, 64)
+	accCold, _ := cold.Engine.Evaluate(cold.Test, 64)
+	if accWarm <= accCold {
+		t.Fatalf("warmup did not help: warm %v vs cold %v", accWarm, accCold)
+	}
+}
+
+func TestNormalizeByBenchmark(t *testing.T) {
+	raw := []float64{2, 4, 1, -6, math.NaN()}
+	norm := normalizeByBenchmark(raw, []int{0, 1})
+	// Median of {2,4} = 3.
+	if math.Abs(norm[0]-2.0/3) > 1e-12 || math.Abs(norm[3]+2) > 1e-12 {
+		t.Fatalf("normalized = %v", norm)
+	}
+	if !math.IsNaN(norm[4]) {
+		t.Fatal("NaN must stay NaN")
+	}
+	// Non-positive benchmark: no signal.
+	if normalizeByBenchmark([]float64{-1, -2, 5}, []int{0, 1}) != nil {
+		t.Fatal("negative benchmark must yield nil")
+	}
+	// Clamping.
+	big := normalizeByBenchmark([]float64{1, 1, 1e9}, []int{0, 1})
+	if big[2] != 10 {
+		t.Fatalf("clamp failed: %v", big[2])
+	}
+}
+
+func TestScalesSane(t *testing.T) {
+	for _, sc := range []Scale{QuickScale(), PaperScale()} {
+		if sc.TrainRounds <= 0 || sc.TrainWorkers <= 0 || sc.BatchSize <= 0 ||
+			sc.MarketRepeats <= 0 || sc.Servers <= 0 || sc.GlobalLR <= 0 {
+			t.Fatalf("scale has non-positive fields: %+v", sc)
+		}
+	}
+	if PaperScale().TrainRounds != 500 || PaperScale().MarketRepeats != 100 {
+		t.Fatal("paper scale must match the paper's configuration")
+	}
+}

@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"fifl/internal/attack"
+	"fifl/internal/core"
+	"fifl/internal/dataset"
+	"fifl/internal/fl"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// WorkerKind describes one worker slot in a training federation.
+type WorkerKind struct {
+	// Kind is "honest", "signflip", "poison", or "freerider".
+	Kind string
+	// PS is the sign-flip intensity for "signflip" workers, or the attack
+	// probability multiplier for probabilistic variants.
+	PS float64
+	// PD is the mislabelled-data fraction for "poison" workers.
+	PD float64
+	// PA, if positive, wraps the worker so it only attacks with
+	// probability PA per round (Figure 11's attacker model). Only
+	// meaningful for "signflip".
+	PA float64
+}
+
+// Honest returns an honest worker slot.
+func Honest() WorkerKind { return WorkerKind{Kind: "honest"} }
+
+// SignFlip returns a sign-flipping attacker slot with intensity ps.
+func SignFlip(ps float64) WorkerKind { return WorkerKind{Kind: "signflip", PS: ps} }
+
+// Poison returns a data-poison attacker slot with mislabel fraction pd.
+func Poison(pd float64) WorkerKind { return WorkerKind{Kind: "poison", PD: pd} }
+
+// Federation bundles a built training federation.
+type Federation struct {
+	Engine *fl.Engine
+	Test   *dataset.Dataset
+	Kinds  []WorkerKind
+}
+
+// IsAttacker reports the ground-truth attacker flags (honest and pure
+// probabilistic-honest slots are not attackers).
+func (f *Federation) IsAttacker() []bool {
+	out := make([]bool, len(f.Kinds))
+	for i, k := range f.Kinds {
+		out[i] = k.Kind != "honest"
+	}
+	return out
+}
+
+// DatasetKind selects which synthetic task a federation trains.
+type DatasetKind int
+
+// Supported tasks.
+const (
+	// TaskDigits is the MNIST stand-in trained with LeNet.
+	TaskDigits DatasetKind = iota
+	// TaskImages is the CIFAR-10 stand-in trained with the mini-ResNet.
+	TaskImages
+	// TaskDigitsMLP trains the MNIST stand-in with a small MLP; it is two
+	// orders of magnitude cheaper and is used by the module-level
+	// experiments (Figures 11–14) where the architecture is irrelevant.
+	TaskDigitsMLP
+)
+
+// BuildFederation constructs a federation with the given worker slots over
+// the selected task. The training data is generated once and partitioned
+// IID across workers, matching the paper's §5.3 setup.
+func BuildFederation(sc Scale, task DatasetKind, kinds []WorkerKind, src *rng.Source) *Federation {
+	n := len(kinds)
+	var train, test *dataset.Dataset
+	var build nn.Builder
+	switch task {
+	case TaskDigits:
+		train = dataset.SynthDigits(src.Split("train"), n*sc.SamplesPerWorker)
+		test = dataset.SynthDigits(src.Split("test"), sc.TestSamples)
+		build = nn.NewLeNet(src.Split("model").Seed())
+	case TaskImages:
+		train = dataset.SynthImages(src.Split("train"), n*sc.SamplesPerWorker)
+		test = dataset.SynthImages(src.Split("test"), sc.TestSamples)
+		if sc.TinyImageModel {
+			build = nn.NewTinyResNet(src.Split("model").Seed())
+		} else {
+			build = nn.NewMiniResNet(src.Split("model").Seed())
+		}
+	case TaskDigitsMLP:
+		train = dataset.SynthDigits(src.Split("train"), n*sc.SamplesPerWorker)
+		test = dataset.SynthDigits(src.Split("test"), sc.TestSamples)
+		build = nn.NewMLP(src.Split("model").Seed(), 28*28, []int{64}, 10)
+	default:
+		panic("experiments: unknown dataset kind")
+	}
+	var parts []*dataset.Dataset
+	if sc.NonIIDAlpha > 0 {
+		parts = train.PartitionDirichlet(src.Split("partition"), n, sc.NonIIDAlpha)
+	} else {
+		parts = train.PartitionIID(src.Split("partition"), n)
+	}
+	lc := fl.LocalConfig{K: sc.LocalIters, BatchSize: sc.BatchSize, LR: sc.LocalLR}
+
+	workers := make([]fl.Worker, n)
+	wsrc := src.Split("workers")
+	for i, k := range kinds {
+		switch k.Kind {
+		case "honest":
+			workers[i] = fl.NewHonestWorker(i, parts[i], build, lc, wsrc)
+		case "signflip":
+			atk := attack.NewSignFlipWorker(i, parts[i], build, lc, wsrc, k.PS)
+			if k.PA > 0 {
+				honest := fl.NewHonestWorker(i, parts[i], build, lc, wsrc.Split("honest-arm"))
+				workers[i] = attack.NewProbabilistic(honest, atk, k.PA, wsrc)
+			} else {
+				workers[i] = atk
+			}
+		case "poison":
+			workers[i] = attack.NewDataPoisonWorker(i, parts[i], build, lc, wsrc, k.PD)
+		case "freerider":
+			workers[i] = attack.NewFreeRider(i, sc.SamplesPerWorker, 0.01, wsrc)
+		default:
+			panic("experiments: unknown worker kind " + k.Kind)
+		}
+	}
+	m := sc.Servers
+	if m > n {
+		m = n
+	}
+	engine := fl.NewEngine(fl.Config{Servers: m, GlobalLR: sc.GlobalLR, DropRate: sc.DropRate}, build, workers, src)
+	if sc.WarmupSteps > 0 {
+		warmup(engine, train, sc, src.Split("warmup"))
+	}
+	return &Federation{Engine: engine, Test: test, Kinds: kinds}
+}
+
+// warmup centrally pre-trains the engine's global model on the pooled
+// training data so federated rounds start from a partially learned model.
+func warmup(engine *fl.Engine, train *dataset.Dataset, sc Scale, src *rng.Source) {
+	model := engine.GlobalModel()
+	model.SetParamsVector(engine.Params())
+	opt := nn.NewSGD(sc.LocalLR * 2)
+	batch := sc.BatchSize
+	if batch < 64 {
+		batch = 64
+	}
+	if batch > 128 {
+		batch = 128
+	}
+	for it := 0; it < sc.WarmupSteps; it++ {
+		x, y := train.Batch(src, batch)
+		model.ZeroGrads()
+		logits := model.Forward(x, true)
+		_, d := nn.SoftmaxCrossEntropy(logits, y)
+		model.Backward(d)
+		opt.Step(model.Params(), model.Grads())
+	}
+	engine.SetParams(model.ParamsVector())
+}
+
+// DefaultCoordinator wraps a federation in a FIFL coordinator with the
+// standard configuration: cosine detection at the given threshold, default
+// reputation parameters, zero-gradient contribution baseline and a unit
+// reward budget per round. The initial server cluster is the first M honest
+// slots when known, else the first M workers — mirroring the paper's
+// accuracy-based initial election, which lands on honest devices.
+func DefaultCoordinator(f *Federation, sy float64, ledger bool) *core.Coordinator {
+	cfg := core.CoordinatorConfig{
+		Detection:  core.Detector{Threshold: sy},
+		Reputation: core.DefaultReputationConfig(),
+		// Clamped, denominator-smoothed contributions keep any single
+		// round's reward bounded (see ContributionConfig docs).
+		Contribution:   core.ContributionConfig{BaselineWorker: -1, Clamp: 10, SmoothBH: 0.2},
+		RewardPerRound: 1,
+		RecordToLedger: ledger,
+	}
+	m := f.Engine.NumServers()
+	servers := make([]int, 0, m)
+	used := make(map[int]bool)
+	for i, k := range f.Kinds {
+		if k.Kind == "honest" && len(servers) < m {
+			servers = append(servers, i)
+			used[i] = true
+		}
+	}
+	for i := 0; len(servers) < m && i < len(f.Kinds); i++ {
+		if !used[i] {
+			servers = append(servers, i)
+			used[i] = true
+		}
+	}
+	coord, err := core.NewCoordinator(cfg, f.Engine, servers)
+	if err != nil {
+		panic(err)
+	}
+	return coord
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner regenerates one or more figures at a given scale.
+type Runner func(Scale) []*Result
+
+// wrap lifts a single-result runner.
+func wrap(f func(Scale) *Result) Runner {
+	return func(sc Scale) []*Result { return []*Result{f(sc)} }
+}
+
+// Registry maps experiment IDs to their runners.
+var Registry = map[string]Runner{
+	"fig4a": wrap(RunFig4a),
+	"fig4b": wrap(RunFig4b),
+	"fig5a": wrap(RunFig5a),
+	"fig5b": wrap(RunFig5b),
+	"fig6":  wrap(RunFig6),
+	"fig7a": wrap(RunFig7a),
+	"fig7b": wrap(RunFig7b),
+	"fig8":  RunFig8,
+	"fig9a": wrap(RunFig9a),
+	"fig9b": wrap(RunFig9b),
+	"fig10": RunFig10,
+	"fig11": wrap(RunFig11),
+	"fig12": wrap(RunFig12),
+	"fig13": wrap(RunFig13),
+	"fig14": wrap(RunFig14),
+
+	// Ablations of the design choices DESIGN.md calls out; not figures of
+	// the paper, but validation of its architecture claims.
+	"abl-servers":      wrap(RunAblServers),
+	"abl-freerider":    wrap(RunAblFreeRider),
+	"abl-gamma":        wrap(RunAblGamma),
+	"abl-threshold":    wrap(RunAblThreshold),
+	"abl-noniid":       wrap(RunAblNonIID),
+	"abl-defense":      wrap(RunAblDefense),
+	"abl-contribution": wrap(RunAblContribution),
+	"abl-collusion":    wrap(RunAblCollusion),
+	"abl-dynamics":     wrap(RunAblDynamics),
+	"abl-comm":         wrap(RunAblComm),
+}
+
+// IDs returns the registered experiment IDs in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(Registry))
+	for id := range Registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one registered experiment by ID.
+func Run(id string, sc Scale) ([]*Result, error) {
+	r, ok := Registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return r(sc), nil
+}

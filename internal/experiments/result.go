@@ -1,0 +1,117 @@
+// Package experiments contains one runner per figure of the paper's
+// evaluation section (§5). Every runner returns a Result holding the same
+// series the paper plots; the cmd/fifl-experiments binary prints them as
+// aligned tables or CSV, and bench_test.go wires each runner to a
+// testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one named line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Result is the reproduced data behind one paper figure.
+type Result struct {
+	ID     string // e.g. "fig4a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Notes records modelling decisions and the expected qualitative
+	// shape, so EXPERIMENTS.md can quote them.
+	Notes []string
+}
+
+// Table renders the result as an aligned text table: one X column followed
+// by one column per series.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if len(r.Series) == 0 {
+		b.WriteString("(no series)\n")
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-14s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(&b, " %14s", truncate(s.Name, 14))
+	}
+	b.WriteByte('\n')
+	rows := 0
+	for _, s := range r.Series {
+		if len(s.X) > rows {
+			rows = len(s.X)
+		}
+	}
+	for row := 0; row < rows; row++ {
+		if row < len(r.Series[0].X) {
+			fmt.Fprintf(&b, "%-14.6g", r.Series[0].X[row])
+		} else {
+			fmt.Fprintf(&b, "%-14s", "")
+		}
+		for _, s := range r.Series {
+			if row < len(s.Y) {
+				fmt.Fprintf(&b, " %14.6g", s.Y[row])
+			} else {
+				fmt.Fprintf(&b, " %14s", "")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// CSV renders the result as comma-separated values with a header row.
+func (r *Result) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(r.XLabel))
+	for _, s := range r.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	rows := 0
+	for _, s := range r.Series {
+		if len(s.X) > rows {
+			rows = len(s.X)
+		}
+	}
+	for row := 0; row < rows; row++ {
+		if len(r.Series) > 0 && row < len(r.Series[0].X) {
+			fmt.Fprintf(&b, "%g", r.Series[0].X[row])
+		}
+		for _, s := range r.Series {
+			b.WriteByte(',')
+			if row < len(s.Y) {
+				fmt.Fprintf(&b, "%g", s.Y[row])
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// truncate shortens a label to width characters.
+func truncate(s string, width int) string {
+	if len(s) <= width {
+		return s
+	}
+	return s[:width]
+}
+
+// csvEscape quotes a field if it contains separators.
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

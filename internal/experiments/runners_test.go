@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// microScale shrinks the training figures to smoke-test size.
+func microScale() Scale {
+	sc := tinyScale()
+	sc.TrainRounds = 4
+	sc.TrainWorkers = 5
+	sc.SamplesPerWorker = 40
+	sc.TestSamples = 40
+	sc.EvalEvery = 2
+	return sc
+}
+
+// checkSeries asserts every series has aligned, finite-or-NaN-free X/Y.
+func checkSeries(t *testing.T, r *Result, wantSeries int) {
+	t.Helper()
+	if len(r.Series) != wantSeries {
+		t.Fatalf("%s: %d series, want %d", r.ID, len(r.Series), wantSeries)
+	}
+	for _, s := range r.Series {
+		if len(s.X) == 0 || len(s.X) != len(s.Y) {
+			t.Fatalf("%s/%s: series lengths %d/%d", r.ID, s.Name, len(s.X), len(s.Y))
+		}
+	}
+}
+
+func TestRunFig7aShape(t *testing.T) {
+	r := RunFig7a(microScale())
+	checkSeries(t, r, 6)
+	for _, s := range r.Series {
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("accuracy out of range: %v", y)
+			}
+		}
+	}
+	// Identical initial models: the first evaluation point of every
+	// scenario is the same model evaluated on the same test set... after
+	// one round of differing updates; just check x-axes align.
+	for _, s := range r.Series[1:] {
+		if s.X[0] != r.Series[0].X[0] {
+			t.Fatal("scenario x-axes misaligned")
+		}
+	}
+}
+
+func TestRunFig7bShape(t *testing.T) {
+	r := RunFig7b(microScale())
+	checkSeries(t, r, 4)
+}
+
+func TestRunFig8Shape(t *testing.T) {
+	sc := microScale()
+	results := RunFig8(sc)
+	if len(results) != 2 {
+		t.Fatalf("fig8 should produce 2 results, got %d", len(results))
+	}
+	checkSeries(t, results[0], 4)
+	checkSeries(t, results[1], 4)
+	if !strings.Contains(results[0].Title, "TinyResNet") {
+		t.Fatalf("quick-scale fig8 should declare the TinyResNet stand-in: %q", results[0].Title)
+	}
+	// Loss values must be positive and finite for all scenarios.
+	for _, s := range results[1].Series {
+		for _, y := range s.Y {
+			if y <= 0 || math.IsNaN(y) || math.IsInf(y, 0) {
+				t.Fatalf("bad loss value %v in %s", y, s.Name)
+			}
+		}
+	}
+}
+
+func TestRunFig9aShape(t *testing.T) {
+	sc := microScale()
+	sc.TrainRounds = 6
+	r := RunFig9a(sc)
+	checkSeries(t, r, 3)
+	for _, s := range r.Series {
+		for _, y := range s.Y {
+			if y < 0 || y > 1 {
+				t.Fatalf("detection accuracy out of range: %v", y)
+			}
+		}
+	}
+}
+
+func TestRunFig9bTradeoffDirections(t *testing.T) {
+	sc := microScale()
+	sc.TrainRounds = 8
+	r := RunFig9b(sc)
+	checkSeries(t, r, 2)
+	tp, tn := r.Series[0].Y, r.Series[1].Y
+	// Weak monotonicity: TP non-increasing, TN non-decreasing.
+	for i := 1; i < len(tp); i++ {
+		if tp[i] > tp[i-1]+1e-9 {
+			t.Fatalf("TP rate increased with threshold: %v", tp)
+		}
+		if tn[i] < tn[i-1]-1e-9 {
+			t.Fatalf("TN rate decreased with threshold: %v", tn)
+		}
+	}
+}
+
+func TestRunFig10Shape(t *testing.T) {
+	results := RunFig10(microScale())
+	if len(results) != 2 {
+		t.Fatalf("fig10 should produce 2 results")
+	}
+	checkSeries(t, results[0], 2)
+	checkSeries(t, results[1], 2)
+}
+
+func TestRunFig13Shape(t *testing.T) {
+	sc := microScale()
+	sc.TrainWorkers = 8
+	r := RunFig13(sc)
+	checkSeries(t, r, 5)
+	// The baseline worker's cumulative reward trace must stay bounded
+	// (its contribution is measured against its own smoothed bar).
+	base := r.Series[1].Y
+	if math.Abs(base[len(base)-1]) > 50 {
+		t.Fatalf("baseline worker cumulative reward %v, want near zero", base[len(base)-1])
+	}
+}
+
+func TestRunAblDefenseShape(t *testing.T) {
+	r := RunAblDefense(microScale())
+	checkSeries(t, r, 7) // 6 aggregators + FIFL
+}
+
+func TestRunAblCollusionConfirmsScope(t *testing.T) {
+	sc := microScale()
+	sc.TrainRounds = 6
+	sc.TrainWorkers = 6
+	r := RunAblCollusion(sc)
+	checkSeries(t, r, 2)
+	colluderRate := r.Series[0].Y[0]
+	flipRate := r.Series[1].Y[0]
+	if colluderRate >= flipRate {
+		t.Fatalf("colluders (%v) should evade more than overt attackers (%v)", colluderRate, flipRate)
+	}
+}
+
+func TestRunAblCommInvariants(t *testing.T) {
+	r := RunAblComm(microScale())
+	checkSeries(t, r, 3)
+	perServer := r.Series[0].Y
+	perWorker := r.Series[1].Y
+	// Per-server load strictly decreases with M; per-worker stays flat.
+	for i := 1; i < len(perServer); i++ {
+		if perServer[i] >= perServer[i-1] {
+			t.Fatalf("per-server load not decreasing: %v", perServer)
+		}
+		if perWorker[i] != perWorker[0] {
+			t.Fatalf("per-worker load not flat: %v", perWorker)
+		}
+	}
+	// The wire-protocol validation note must report an exact match.
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "max |diff| = 0.00e+00") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("wire protocol diff note missing or nonzero: %v", r.Notes)
+	}
+}
+
+func TestRunAblDynamicsShape(t *testing.T) {
+	sc := microScale()
+	r := RunAblDynamics(sc)
+	checkSeries(t, r, 5)
+}
+
+func TestRunAblContributionCorrelation(t *testing.T) {
+	sc := microScale()
+	sc.TrainRounds = 6
+	sc.TrainWorkers = 8
+	r := RunAblContribution(sc)
+	checkSeries(t, r, 2)
+	// The correlation note must exist and parse to a positive value at
+	// this scale... correlation can be noisy in micro runs, so only check
+	// the note exists.
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "Pearson correlation") {
+		t.Fatalf("missing correlation note: %v", r.Notes)
+	}
+}

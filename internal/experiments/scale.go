@@ -1,0 +1,109 @@
+package experiments
+
+// Scale sets how much compute an experiment spends. PaperScale matches the
+// paper's configuration where feasible; QuickScale shrinks rounds, repeats
+// and dataset sizes so the whole suite finishes in seconds for tests and
+// benchmarks while preserving every qualitative shape.
+type Scale struct {
+	// Seed roots all randomness; the same seed reproduces every number.
+	Seed uint64
+
+	// MarketRepeats is the number of market simulation repetitions
+	// (the paper repeats 100 times).
+	MarketRepeats int
+	// MarketWorkers is the market population size (paper: 20).
+	MarketWorkers int
+	// MarketMaxSamples bounds n_i ~ U[1, max] (paper: 10000).
+	MarketMaxSamples int
+	// ShapleySampleRounds switches the Shapley baseline to Monte Carlo
+	// permutation sampling with that many permutations; 0 uses exact
+	// subset enumeration (the paper's definition, but ~250 ms per
+	// population at N = 20 on one core).
+	ShapleySampleRounds int
+
+	// TrainRounds is the number of communication iterations in training
+	// experiments (paper: 500).
+	TrainRounds int
+	// TrainWorkers is the federation size in training experiments
+	// (paper: 10).
+	TrainWorkers int
+	// SamplesPerWorker is each worker's local dataset size (paper: 6000
+	// for MNIST, 5000 for CIFAR-10).
+	SamplesPerWorker int
+	// TestSamples is the held-out evaluation set size.
+	TestSamples int
+	// EvalEvery controls how often accuracy/loss curves are sampled.
+	EvalEvery int
+	// LocalIters is K, the local steps per round.
+	LocalIters int
+	// BatchSize is the local minibatch size.
+	BatchSize int
+	// LocalLR and GlobalLR are the worker and server learning rates.
+	LocalLR, GlobalLR float64
+	// Servers is M, the server cluster size of the polycentric runs.
+	Servers int
+	// DropRate is the probability a worker's upload is lost in a round —
+	// the paper's "uncertain events" feeding the SLM uncertainty mass Su.
+	DropRate float64
+	// TinyImageModel substitutes the 5×-cheaper TinyResNet for the
+	// mini-ResNet in image-task experiments, letting quick-scale runs
+	// train far enough on one core for attack orderings to surface.
+	// Paper-scale runs keep the full mini-ResNet.
+	TinyImageModel bool
+	// NonIIDAlpha, when positive, partitions training data with
+	// Dirichlet(α) label skew instead of the IID split. Smaller values are
+	// more heterogeneous. The §4.1 premise — attacker deviation exceeds
+	// non-IID deviation — is probed by the abl-noniid experiment.
+	NonIIDAlpha float64
+	// WarmupSteps centrally pre-trains the global model for this many SGD
+	// steps before federated training starts. The contribution module
+	// separates data qualities through gradient geometry, which requires a
+	// model that has begun to learn (on a random model, poisoned and clean
+	// labels yield statistically identical gradients); the module-level
+	// experiments warm-start to match the paper's converging-model regime.
+	WarmupSteps int
+}
+
+// QuickScale returns a configuration small enough for unit tests and
+// benchmarks (a full suite run takes tens of seconds).
+func QuickScale() Scale {
+	return Scale{
+		Seed:                1,
+		MarketRepeats:       20,
+		MarketWorkers:       20,
+		MarketMaxSamples:    10000,
+		ShapleySampleRounds: 400,
+		TrainRounds:         30,
+		TrainWorkers:        10,
+		SamplesPerWorker:    200,
+		TestSamples:         200,
+		EvalEvery:           5,
+		LocalIters:          1,
+		BatchSize:           16,
+		LocalLR:             0.05,
+		GlobalLR:            0.05,
+		Servers:             4,
+	}
+}
+
+// PaperScale returns the paper's configuration: 100 market repeats, 500
+// communication iterations, 10 training workers with thousands of local
+// samples. Running the full suite at this scale takes hours.
+func PaperScale() Scale {
+	return Scale{
+		Seed:             1,
+		MarketRepeats:    100,
+		MarketWorkers:    20,
+		MarketMaxSamples: 10000,
+		TrainRounds:      500,
+		TrainWorkers:     10,
+		SamplesPerWorker: 6000,
+		TestSamples:      2000,
+		EvalEvery:        10,
+		LocalIters:       1,
+		BatchSize:        32,
+		LocalLR:          0.05,
+		GlobalLR:         0.05,
+		Servers:          4,
+	}
+}

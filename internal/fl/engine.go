@@ -1,0 +1,189 @@
+package fl
+
+import (
+	"fmt"
+
+	"sync"
+
+	"fifl/internal/dataset"
+	"fifl/internal/gradvec"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// Config controls one federation.
+type Config struct {
+	// Servers is M, the size of the server cluster. The paper's polycentric
+	// architecture generalizes to centralized FL with M=1 and decentralized
+	// FL with M=N.
+	Servers int
+	// GlobalLR is η in θ_{t+1} = θ_t − η·G̃_t (Eq. 3).
+	GlobalLR float64
+	// DropRate is the probability that a worker's upload is lost in
+	// transit in a given round. Lost uploads are the paper's "uncertain
+	// events" and feed the Su term of the reputation module.
+	DropRate float64
+}
+
+// RoundResult holds everything one communication iteration produced before
+// aggregation: per-worker local gradients (nil for dropped uploads) and the
+// reported sample counts.
+type RoundResult struct {
+	Round   int
+	Grads   []gradvec.Vector // indexed by worker position; nil = uncertain event
+	Samples []int
+}
+
+// Dropped reports whether worker i's upload was lost this round.
+func (r *RoundResult) Dropped(i int) bool { return r.Grads[i] == nil }
+
+// Engine orchestrates a federation: it owns the global parameter vector, a
+// global model replica for evaluation, and the worker set.
+type Engine struct {
+	Cfg     Config
+	Workers []Worker
+
+	global *nn.Sequential
+	params []float64
+	src    *rng.Source
+}
+
+// NewEngine builds a federation. The global model is constructed from the
+// builder; all workers are expected to have been built from the same seed
+// so shapes agree.
+func NewEngine(cfg Config, build nn.Builder, workers []Worker, src *rng.Source) *Engine {
+	if cfg.Servers <= 0 {
+		panic("fl: Config.Servers must be positive")
+	}
+	g := build()
+	return &Engine{
+		Cfg:     cfg,
+		Workers: workers,
+		global:  g,
+		params:  g.ParamsVector(),
+		src:     src.Split("engine"),
+	}
+}
+
+// Params returns the current global parameter vector (aliased; callers must
+// not mutate).
+func (e *Engine) Params() []float64 { return e.params }
+
+// SetParams overwrites the global parameters (e.g. with a warm-started
+// model) and refreshes the evaluation replica.
+func (e *Engine) SetParams(v []float64) {
+	if len(v) != len(e.params) {
+		panic(fmt.Sprintf("fl: SetParams length %d, want %d", len(v), len(e.params)))
+	}
+	copy(e.params, v)
+	e.global.SetParamsVector(e.params)
+}
+
+// GlobalModel returns the evaluation replica holding the current global
+// parameters.
+func (e *Engine) GlobalModel() *nn.Sequential { return e.global }
+
+// NumServers returns M.
+func (e *Engine) NumServers() int { return e.Cfg.Servers }
+
+// CollectGradients runs local training on every worker in parallel and
+// simulates transmission loss. Deterministic given the engine's RNG stream:
+// drop decisions are drawn sequentially before the parallel fan-out.
+func (e *Engine) CollectGradients(round int) *RoundResult {
+	n := len(e.Workers)
+	rr := &RoundResult{
+		Round:   round,
+		Grads:   make([]gradvec.Vector, n),
+		Samples: make([]int, n),
+	}
+	dropped := make([]bool, n)
+	for i := range dropped {
+		dropped[i] = e.Cfg.DropRate > 0 && e.src.Bernoulli(e.Cfg.DropRate)
+	}
+	// One goroutine per worker, unconditionally: workers are independent
+	// devices, and some worker types coordinate with each other during a
+	// round (e.g. colluding attackers), which requires them to actually
+	// run concurrently.
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr.Samples[i] = e.Workers[i].NumSamples()
+			if dropped[i] {
+				return
+			}
+			rr.Grads[i] = e.Workers[i].LocalTrain(round, e.params)
+		}(i)
+	}
+	wg.Wait()
+	return rr
+}
+
+// Aggregate computes the global gradient G̃ = Σ_i (n_i·r_i / Σ_j n_j·r_j)·G_i
+// over the workers whose accept flag is true and whose upload arrived.
+// Passing a nil accept slice accepts everyone (plain FedAvg). It returns
+// nil if no gradient survives.
+func (e *Engine) Aggregate(rr *RoundResult, accept []bool) gradvec.Vector {
+	if accept != nil && len(accept) != len(rr.Grads) {
+		panic(fmt.Sprintf("fl: Aggregate accept length %d, want %d", len(accept), len(rr.Grads)))
+	}
+	total := 0.0
+	for i, g := range rr.Grads {
+		if g == nil || (accept != nil && !accept[i]) {
+			continue
+		}
+		total += float64(rr.Samples[i])
+	}
+	if total == 0 {
+		return nil
+	}
+	out := gradvec.Zeros(len(e.params))
+	for i, g := range rr.Grads {
+		if g == nil || (accept != nil && !accept[i]) {
+			continue
+		}
+		out.AddScaled(float64(rr.Samples[i])/total, g)
+	}
+	return out
+}
+
+// ApplyGlobal performs θ_{t+1} = θ_t − η·G̃ and refreshes the evaluation
+// replica. A nil gradient (everyone rejected) leaves the model unchanged.
+func (e *Engine) ApplyGlobal(g gradvec.Vector) {
+	if g == nil {
+		return
+	}
+	for i := range e.params {
+		e.params[i] -= e.Cfg.GlobalLR * g[i]
+	}
+	e.global.SetParamsVector(e.params)
+}
+
+// Step runs one undefended FedAvg iteration: collect, aggregate all
+// arrivals, apply. Used by the attack-damage experiments (Figures 7, 8 and
+// the "without detection" arm of Figure 10).
+func (e *Engine) Step(round int) *RoundResult {
+	rr := e.CollectGradients(round)
+	e.ApplyGlobal(e.Aggregate(rr, nil))
+	return rr
+}
+
+// Evaluate reports the global model's accuracy and loss on a test set.
+func (e *Engine) Evaluate(test *dataset.Dataset, batchSize int) (acc, loss float64) {
+	return nn.Evaluate(e.global, test.X, test.Labels, batchSize)
+}
+
+// SliceGradients splits every collected gradient into M server slices
+// (§3.2 step 1.2). Entry [i][j] is worker i's slice for server j; nil rows
+// correspond to dropped uploads.
+func (e *Engine) SliceGradients(rr *RoundResult) [][]gradvec.Vector {
+	out := make([][]gradvec.Vector, len(rr.Grads))
+	for i, g := range rr.Grads {
+		if g == nil {
+			continue
+		}
+		out[i] = gradvec.Split(g, e.Cfg.Servers)
+	}
+	return out
+}

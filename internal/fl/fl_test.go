@@ -1,0 +1,239 @@
+package fl
+
+import (
+	"math"
+	"testing"
+
+	"fifl/internal/dataset"
+	"fifl/internal/gradvec"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+func testSetup(t *testing.T, n int, drop float64) (*Engine, *dataset.Dataset) {
+	t.Helper()
+	src := rng.New(100)
+	build := nn.NewMLP(100, 28*28, []int{16}, 10)
+	data := dataset.SynthDigits(src.Split("train"), n*60)
+	test := dataset.SynthDigits(src.Split("test"), 100)
+	parts := data.PartitionIID(src.Split("parts"), n)
+	lc := LocalConfig{K: 1, BatchSize: 8, LR: 0.05}
+	workers := make([]Worker, n)
+	for i := range workers {
+		workers[i] = NewHonestWorker(i, parts[i], build, lc, src)
+	}
+	return NewEngine(Config{Servers: 2, GlobalLR: 0.05, DropRate: drop}, build, workers, src), test
+}
+
+func TestCollectGradientsShapes(t *testing.T) {
+	e, _ := testSetup(t, 4, 0)
+	rr := e.CollectGradients(0)
+	if len(rr.Grads) != 4 || len(rr.Samples) != 4 {
+		t.Fatalf("result sizes %d/%d", len(rr.Grads), len(rr.Samples))
+	}
+	for i, g := range rr.Grads {
+		if g == nil {
+			t.Fatalf("worker %d dropped with DropRate 0", i)
+		}
+		if len(g) != len(e.Params()) {
+			t.Fatalf("gradient length %d, want %d", len(g), len(e.Params()))
+		}
+		if rr.Samples[i] != 60 {
+			t.Fatalf("samples[%d] = %d", i, rr.Samples[i])
+		}
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	e, _ := testSetup(t, 10, 0.5)
+	dropped := 0
+	total := 0
+	for round := 0; round < 20; round++ {
+		rr := e.CollectGradients(round)
+		for i := range rr.Grads {
+			total++
+			if rr.Dropped(i) {
+				dropped++
+			}
+		}
+	}
+	frac := float64(dropped) / float64(total)
+	if frac < 0.35 || frac > 0.65 {
+		t.Fatalf("drop fraction %v, want ≈0.5", frac)
+	}
+}
+
+func TestAggregateWeights(t *testing.T) {
+	e, _ := testSetup(t, 3, 0)
+	rr := &RoundResult{
+		Grads:   []gradvec.Vector{{1, 0}, {0, 1}, {1, 1}},
+		Samples: []int{1, 1, 2},
+	}
+	// Force a two-parameter engine view by calling gradvec directly; the
+	// engine only checks lengths against its own params, so build the
+	// expected value manually instead.
+	got := gradvec.WeightedSum(rr.Grads, []float64{0.25, 0.25, 0.5})
+	want := gradvec.Vector{0.25 + 0.5, 0.25 + 0.5}
+	if math.Abs(got[0]-want[0]) > 1e-12 || math.Abs(got[1]-want[1]) > 1e-12 {
+		t.Fatalf("weighted sum = %v", got)
+	}
+	_ = e
+}
+
+func TestAggregateRespectsAcceptMask(t *testing.T) {
+	e, _ := testSetup(t, 3, 0)
+	rr := e.CollectGradients(0)
+	all := e.Aggregate(rr, nil)
+	masked := e.Aggregate(rr, []bool{true, false, true})
+	if all == nil || masked == nil {
+		t.Fatal("aggregation returned nil")
+	}
+	// Rejecting a worker must change the aggregate (gradients differ).
+	same := true
+	for i := range all {
+		if all[i] != masked[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("accept mask had no effect")
+	}
+	// Weights must renormalize: masked aggregate of equal-size workers is
+	// the mean of the two accepted gradients.
+	want := gradvec.Zeros(len(all))
+	want.AddScaled(0.5, rr.Grads[0])
+	want.AddScaled(0.5, rr.Grads[2])
+	for i := range want {
+		if math.Abs(masked[i]-want[i]) > 1e-12 {
+			t.Fatal("masked aggregation weights wrong")
+		}
+	}
+}
+
+func TestAggregateAllRejectedNil(t *testing.T) {
+	e, _ := testSetup(t, 2, 0)
+	rr := e.CollectGradients(0)
+	if e.Aggregate(rr, []bool{false, false}) != nil {
+		t.Fatal("aggregate of nothing should be nil")
+	}
+}
+
+func TestApplyGlobalMovesParams(t *testing.T) {
+	e, _ := testSetup(t, 2, 0)
+	before := append([]float64(nil), e.Params()...)
+	rr := e.CollectGradients(0)
+	e.ApplyGlobal(e.Aggregate(rr, nil))
+	after := e.Params()
+	changed := false
+	for i := range before {
+		if before[i] != after[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed {
+		t.Fatal("ApplyGlobal did not move parameters")
+	}
+	// Nil gradient is a no-op.
+	snapshot := append([]float64(nil), after...)
+	e.ApplyGlobal(nil)
+	for i := range snapshot {
+		if e.Params()[i] != snapshot[i] {
+			t.Fatal("ApplyGlobal(nil) must be a no-op")
+		}
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	e, test := testSetup(t, 4, 0)
+	_, before := e.Evaluate(test, 64)
+	for round := 0; round < 25; round++ {
+		e.Step(round)
+	}
+	_, after := e.Evaluate(test, 64)
+	if after >= before {
+		t.Fatalf("federated training failed to reduce loss: %v -> %v", before, after)
+	}
+}
+
+func TestSliceGradients(t *testing.T) {
+	e, _ := testSetup(t, 3, 0)
+	rr := e.CollectGradients(0)
+	slices := e.SliceGradients(rr)
+	if len(slices) != 3 {
+		t.Fatalf("slice count %d", len(slices))
+	}
+	for i, ws := range slices {
+		if len(ws) != e.NumServers() {
+			t.Fatalf("worker %d has %d slices, want %d", i, len(ws), e.NumServers())
+		}
+		recombined := gradvec.Recombine(ws)
+		for j := range recombined {
+			if recombined[j] != rr.Grads[i][j] {
+				t.Fatal("slices do not recombine to the original gradient")
+			}
+		}
+	}
+}
+
+func TestLocalTrainStartsFromGlobal(t *testing.T) {
+	// Two workers with the same data and RNG position must produce the
+	// same gradient from the same global parameters (determinism), and a
+	// different global must change the gradient.
+	src := rng.New(200)
+	build := nn.NewMLP(200, 28*28, []int{8}, 10)
+	data := dataset.SynthDigits(src.Split("d"), 50)
+	lc := LocalConfig{K: 2, BatchSize: 4, LR: 0.05}
+	w1 := NewHonestWorker(0, data, build, lc, rng.New(7))
+	w2 := NewHonestWorker(0, data, build, lc, rng.New(7))
+	global := build().ParamsVector()
+	g1 := w1.LocalTrain(0, global)
+	g2 := w2.LocalTrain(0, global)
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			t.Fatal("identical workers must produce identical gradients")
+		}
+	}
+	// K>1 must not equal a single-step gradient (the local trajectory
+	// advances between steps).
+	lc1 := lc
+	lc1.K = 1
+	w3 := NewHonestWorker(0, data, build, lc1, rng.New(7))
+	g3 := w3.LocalTrain(0, global)
+	same := true
+	for i := range g1 {
+		if g1[i] != g3[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("K=2 gradient should differ from K=1 gradient")
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []float64 {
+		e, _ := testSetup(t, 3, 0.2)
+		for round := 0; round < 5; round++ {
+			e.Step(round)
+		}
+		return append([]float64(nil), e.Params()...)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("engine runs with the same seed must be bit-identical")
+		}
+	}
+}
+
+func TestNewEngineBadServersPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEngine(Config{Servers: 0}, nn.NewMLP(1, 4, nil, 2), nil, rng.New(1))
+}

@@ -1,0 +1,84 @@
+// Package fl implements the federated-learning runtime FIFL plugs into:
+// worker-side local training, the polycentric gradient exchange of the
+// paper's §3.2, weighted aggregation (Eq. 2), and global model updates
+// (Eq. 3). The runtime itself is incentive-agnostic — FIFL (internal/core)
+// and the undefended baselines both drive it, the former injecting a
+// detection filter before aggregation.
+package fl
+
+import (
+	"fifl/internal/dataset"
+	"fifl/internal/gradvec"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// Worker is one federation participant. Implementations include the honest
+// worker below and the Byzantine workers in internal/attack.
+type Worker interface {
+	// ID returns the worker's stable index in the federation.
+	ID() int
+	// NumSamples returns the size of the worker's local dataset, used for
+	// the n_i aggregation weights. Workers may lie about this; the
+	// sample-count-based baseline incentives trust it, FIFL does not.
+	NumSamples() int
+	// LocalTrain downloads the global parameters, runs K local iterations
+	// and returns the accumulated local gradient G_i.
+	LocalTrain(round int, global []float64) gradvec.Vector
+}
+
+// LocalConfig controls worker-side training.
+type LocalConfig struct {
+	K         int     // local iterations per round
+	BatchSize int     // minibatch size
+	LR        float64 // local learning rate
+}
+
+// HonestWorker trains faithfully on its local data: it sets its replica to
+// the global parameters, runs K minibatch SGD steps, and uploads the sum of
+// the per-step gradients (the paper's G_i = Σ_k ∂L_i/∂θ_{i,k}).
+type HonestWorker struct {
+	id    int
+	Data  *dataset.Dataset
+	Model *nn.Sequential
+	Cfg   LocalConfig
+	src   *rng.Source
+}
+
+// NewHonestWorker builds a worker with its own model replica and RNG
+// stream.
+func NewHonestWorker(id int, data *dataset.Dataset, build nn.Builder, cfg LocalConfig, src *rng.Source) *HonestWorker {
+	return &HonestWorker{
+		id:    id,
+		Data:  data,
+		Model: build(),
+		Cfg:   cfg,
+		src:   src.SplitN("worker", id),
+	}
+}
+
+// ID returns the worker index.
+func (w *HonestWorker) ID() int { return w.id }
+
+// NumSamples returns the true local dataset size.
+func (w *HonestWorker) NumSamples() int { return w.Data.Len() }
+
+// LocalTrain runs K local SGD steps from the global parameters and returns
+// the accumulated gradient.
+func (w *HonestWorker) LocalTrain(round int, global []float64) gradvec.Vector {
+	w.Model.SetParamsVector(global)
+	acc := gradvec.Zeros(len(global))
+	for k := 0; k < w.Cfg.K; k++ {
+		x, y := w.Data.Batch(w.src, w.Cfg.BatchSize)
+		w.Model.ZeroGrads()
+		logits := w.Model.Forward(x, true)
+		_, d := nn.SoftmaxCrossEntropy(logits, y)
+		w.Model.Backward(d)
+		g := w.Model.GradsVector()
+		acc.Add(g)
+		// Advance the local trajectory so step k+1 differentiates at
+		// θ_{i,k}, matching the paper's definition of G_i.
+		w.Model.ApplyDelta(w.Cfg.LR, g)
+	}
+	return acc
+}

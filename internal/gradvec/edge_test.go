@@ -1,0 +1,37 @@
+package gradvec
+
+import "testing"
+
+func TestSplitMoreSlicesThanElements(t *testing.T) {
+	v := Vector{1, 2}
+	s := Split(v, 5)
+	if len(s) != 5 {
+		t.Fatalf("slices = %d", len(s))
+	}
+	// The first two slices carry one element each; the rest are empty.
+	if len(s[0]) != 1 || len(s[1]) != 1 || len(s[2]) != 0 {
+		t.Fatalf("slice lengths %d %d %d", len(s[0]), len(s[1]), len(s[2]))
+	}
+	got := Recombine(s)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("recombine = %v", got)
+	}
+}
+
+func TestZerosAndScaleEmpty(t *testing.T) {
+	z := Zeros(0)
+	z.Scale(5) // must not panic
+	if z.Norm2() != 0 {
+		t.Fatal("empty norm should be 0")
+	}
+	if z.HasNaN() {
+		t.Fatal("empty vector has no NaN")
+	}
+}
+
+func TestSqDistSymmetric(t *testing.T) {
+	a, b := Vector{1, 2, 3}, Vector{4, 5, 6}
+	if a.SqDist(b) != b.SqDist(a) {
+		t.Fatal("SqDist must be symmetric")
+	}
+}

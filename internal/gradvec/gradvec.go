@@ -1,0 +1,160 @@
+// Package gradvec implements flat gradient vectors and the slice/recombine
+// algebra of the paper's polycentric architecture (§3.2): a worker's local
+// gradient G_i is split into M contiguous slices g_i^1..g_i^M, one per
+// server; each server aggregates its slice across workers; workers
+// recombine the global slices into the full global gradient.
+//
+// All of FIFL's indicators are defined on these vectors: the detection
+// score is an inner product of slices (Eq. 6), and the contribution is a
+// squared Euclidean distance summed over slices (Eq. 13).
+package gradvec
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vector is a flat gradient (or parameter-delta) vector.
+type Vector []float64
+
+// Zeros returns a zero vector of length n.
+func Zeros(n int) Vector { return make(Vector, n) }
+
+// Clone returns a deep copy.
+func (v Vector) Clone() Vector { return append(Vector(nil), v...) }
+
+// Add adds o into v element-wise. It panics on length mismatch.
+func (v Vector) Add(o Vector) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("gradvec: Add length mismatch %d vs %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		v[i] += x
+	}
+}
+
+// AddScaled adds s*o into v element-wise.
+func (v Vector) AddScaled(s float64, o Vector) {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("gradvec: AddScaled length mismatch %d vs %d", len(v), len(o)))
+	}
+	for i, x := range o {
+		v[i] += s * x
+	}
+}
+
+// Scale multiplies every element by s.
+func (v Vector) Scale(s float64) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
+// Dot returns the inner product ⟨v, o⟩.
+func (v Vector) Dot(o Vector) float64 {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("gradvec: Dot length mismatch %d vs %d", len(v), len(o)))
+	}
+	s := 0.0
+	for i, x := range v {
+		s += x * o[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm ‖v‖₂.
+func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+
+// SqDist returns the squared Euclidean distance ‖v − o‖² — the Dis()
+// function of the paper's contribution module (Eq. 13).
+func (v Vector) SqDist(o Vector) float64 {
+	if len(v) != len(o) {
+		panic(fmt.Sprintf("gradvec: SqDist length mismatch %d vs %d", len(v), len(o)))
+	}
+	s := 0.0
+	for i, x := range v {
+		d := x - o[i]
+		s += d * d
+	}
+	return s
+}
+
+// CosSim returns the cosine similarity between v and o, or 0 if either is a
+// zero vector.
+func (v Vector) CosSim(o Vector) float64 {
+	nv, no := v.Norm2(), o.Norm2()
+	if nv == 0 || no == 0 {
+		return 0
+	}
+	return v.Dot(o) / (nv * no)
+}
+
+// HasNaN reports whether any element is NaN or infinite.
+func (v Vector) HasNaN() bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// SliceBounds returns the half-open range [lo,hi) of slice j when a vector
+// of length n is split into m near-equal contiguous slices. The first
+// n mod m slices receive one extra element.
+func SliceBounds(n, m, j int) (lo, hi int) {
+	if m <= 0 || j < 0 || j >= m {
+		panic(fmt.Sprintf("gradvec: SliceBounds(%d, %d, %d) out of range", n, m, j))
+	}
+	base, rem := n/m, n%m
+	if j < rem {
+		lo = j * (base + 1)
+		return lo, lo + base + 1
+	}
+	lo = rem*(base+1) + (j-rem)*base
+	return lo, lo + base
+}
+
+// Split divides v into m contiguous slices (views, not copies). This is the
+// Split(G_i) operation of the polycentric architecture; slice j is shipped
+// to server j.
+func Split(v Vector, m int) []Vector {
+	out := make([]Vector, m)
+	for j := 0; j < m; j++ {
+		lo, hi := SliceBounds(len(v), m, j)
+		out[j] = v[lo:hi]
+	}
+	return out
+}
+
+// Recombine concatenates global gradient slices back into one vector — the
+// Recombine(g̃¹..g̃ᴹ) step workers run after downloading the global slices.
+func Recombine(slices []Vector) Vector {
+	n := 0
+	for _, s := range slices {
+		n += len(s)
+	}
+	out := make(Vector, 0, n)
+	for _, s := range slices {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// WeightedSum returns Σ_i weights[i]·vs[i]. All vectors must share one
+// length. This is the aggregation of Eq. 2 with weights n_i/Σn_j.
+func WeightedSum(vs []Vector, weights []float64) Vector {
+	if len(vs) != len(weights) {
+		panic(fmt.Sprintf("gradvec: WeightedSum got %d vectors, %d weights", len(vs), len(weights)))
+	}
+	if len(vs) == 0 {
+		return nil
+	}
+	out := Zeros(len(vs[0]))
+	for i, v := range vs {
+		if weights[i] != 0 {
+			out.AddScaled(weights[i], v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package gradvec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fifl/internal/rng"
+)
+
+func randVec(src *rng.Source, n int) Vector {
+	v := Zeros(n)
+	src.FillNormal(v, 0, 1)
+	return v
+}
+
+func TestAddScale(t *testing.T) {
+	v := Vector{1, 2, 3}
+	v.Add(Vector{1, 1, 1})
+	if v[2] != 4 {
+		t.Fatalf("Add: %v", v)
+	}
+	v.Scale(2)
+	if v[0] != 4 {
+		t.Fatalf("Scale: %v", v)
+	}
+	v.AddScaled(-1, Vector{4, 6, 8})
+	if v[0] != 0 || v[1] != 0 || v[2] != 0 {
+		t.Fatalf("AddScaled: %v", v)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Add":       func() { Vector{1}.Add(Vector{1, 2}) },
+		"AddScaled": func() { Vector{1}.AddScaled(2, Vector{1, 2}) },
+		"Dot":       func() { Vector{1}.Dot(Vector{1, 2}) },
+		"SqDist":    func() { Vector{1}.SqDist(Vector{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDotNormSqDist(t *testing.T) {
+	a := Vector{3, 4}
+	if a.Dot(a) != 25 || a.Norm2() != 5 {
+		t.Fatal("Dot/Norm2 wrong")
+	}
+	b := Vector{0, 0}
+	if a.SqDist(b) != 25 {
+		t.Fatal("SqDist wrong")
+	}
+}
+
+func TestCosSim(t *testing.T) {
+	a := Vector{1, 0}
+	b := Vector{2, 0}
+	c := Vector{-1, 0}
+	d := Vector{0, 1}
+	if math.Abs(a.CosSim(b)-1) > 1e-12 {
+		t.Fatal("parallel CosSim should be 1")
+	}
+	if math.Abs(a.CosSim(c)+1) > 1e-12 {
+		t.Fatal("antiparallel CosSim should be -1")
+	}
+	if math.Abs(a.CosSim(d)) > 1e-12 {
+		t.Fatal("orthogonal CosSim should be 0")
+	}
+	if a.CosSim(Vector{0, 0}) != 0 {
+		t.Fatal("zero-vector CosSim should be 0")
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	if (Vector{1, 2}).HasNaN() {
+		t.Fatal("false positive")
+	}
+	if !(Vector{1, math.NaN()}).HasNaN() {
+		t.Fatal("missed NaN")
+	}
+	if !(Vector{math.Inf(-1)}).HasNaN() {
+		t.Fatal("missed -Inf")
+	}
+}
+
+func TestSliceBoundsPartition(t *testing.T) {
+	// Bounds must tile [0,n) exactly, in order, for any m <= n.
+	for n := 1; n <= 25; n++ {
+		for m := 1; m <= n; m++ {
+			prev := 0
+			for j := 0; j < m; j++ {
+				lo, hi := SliceBounds(n, m, j)
+				if lo != prev {
+					t.Fatalf("n=%d m=%d j=%d: lo=%d, want %d", n, m, j, lo, prev)
+				}
+				if hi < lo {
+					t.Fatalf("n=%d m=%d j=%d: hi<lo", n, m, j)
+				}
+				prev = hi
+			}
+			if prev != n {
+				t.Fatalf("n=%d m=%d: bounds end at %d", n, m, prev)
+			}
+		}
+	}
+}
+
+func TestSliceBoundsBadArgsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SliceBounds(10, 3, 3)
+}
+
+// Property: Recombine(Split(v, m)) == v — the §3.2 polycentric round trip.
+func TestSplitRecombineRoundTrip(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.UniformInt(1, 200)
+		m := src.UniformInt(1, n)
+		v := randVec(src, n)
+		got := Recombine(Split(v, m))
+		if len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slice-wise inner products sum to the full inner product — the
+// identity behind the polycentric detection score (Eq. 6).
+func TestSliceDotDecomposition(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.UniformInt(1, 100)
+		m := src.UniformInt(1, n)
+		a, b := randVec(src, n), randVec(src, n)
+		sa, sb := Split(a, m), Split(b, m)
+		sum := 0.0
+		for j := 0; j < m; j++ {
+			sum += sa[j].Dot(sb[j])
+		}
+		return math.Abs(sum-a.Dot(b)) < 1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: slice-wise squared distances sum to the full squared distance —
+// the identity behind the contribution measure (Eq. 13).
+func TestSliceSqDistDecomposition(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.UniformInt(1, 100)
+		m := src.UniformInt(1, n)
+		a, b := randVec(src, n), randVec(src, n)
+		sa, sb := Split(a, m), Split(b, m)
+		sum := 0.0
+		for j := 0; j < m; j++ {
+			sum += sa[j].SqDist(sb[j])
+		}
+		return math.Abs(sum-a.SqDist(b)) < 1e-9
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitViewsAlias(t *testing.T) {
+	v := Vector{1, 2, 3, 4}
+	s := Split(v, 2)
+	s[0][0] = 42
+	if v[0] != 42 {
+		t.Fatal("Split must return views, not copies")
+	}
+}
+
+func TestWeightedSum(t *testing.T) {
+	vs := []Vector{{1, 0}, {0, 1}}
+	w := []float64{2, 3}
+	got := WeightedSum(vs, w)
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("WeightedSum = %v", got)
+	}
+	if WeightedSum(nil, nil) != nil {
+		t.Fatal("empty WeightedSum should be nil")
+	}
+}
+
+func TestWeightedSumMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	WeightedSum([]Vector{{1}}, []float64{1, 2})
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Fatal("Clone aliases")
+	}
+}

@@ -1,0 +1,113 @@
+package market
+
+import (
+	"math"
+
+	"fifl/internal/rng"
+)
+
+// DynamicConfig controls a multi-iteration market simulation: the paper's
+// §5.2 setup runs 500 communication iterations in which workers "greedily
+// join a federated learning system ... to maximize their benefits". In the
+// dynamic model, each iteration every worker observes the reward it would
+// currently earn in each federation and re-chooses with probability
+// proportional to attractiveness^Greediness, with Inertia making switching
+// sticky (a worker keeps its federation unless re-sampling moves it).
+type DynamicConfig struct {
+	// Iterations is the number of market rounds (the paper: 500).
+	Iterations int
+	// Budget is the per-iteration reward pool of every federation.
+	Budget float64
+	// Greediness is the attractiveness exponent (see AssignGreedy).
+	Greediness float64
+	// Inertia is the probability a worker skips re-choosing in an
+	// iteration. Workers re-evaluating every round makes the market
+	// oscillate; the paper's stable curves imply sticky membership.
+	Inertia float64
+}
+
+// DefaultDynamicConfig mirrors the paper's scale with stable dynamics.
+func DefaultDynamicConfig() DynamicConfig {
+	return DynamicConfig{Iterations: 500, Budget: 1, Greediness: 1.5, Inertia: 0.8}
+}
+
+// DynamicResult is the trajectory of one dynamic market run.
+type DynamicResult struct {
+	// Membership[f] is the final member list of federation f.
+	Membership [][]Worker
+	// RevenueOverTime[f][t] is federation f's revenue at iteration t.
+	RevenueOverTime [][]float64
+	// CumulativeReward[i] is worker i's total earnings across iterations.
+	CumulativeReward []float64
+	// Switches counts federation changes across all workers.
+	Switches int
+}
+
+// RunDynamic simulates the multi-iteration market. Rewards inside each
+// federation are computed among its current members only (a worker's share
+// depends on who else joined); attractiveness toward other federations is
+// estimated from full-population rewards, which is what a worker can
+// observe from published incentive rules.
+func RunDynamic(src *rng.Source, schemes []Scheme, pop []Worker, cfg DynamicConfig) *DynamicResult {
+	nf := len(schemes)
+	res := &DynamicResult{
+		Membership:       make([][]Worker, nf),
+		RevenueOverTime:  make([][]float64, nf),
+		CumulativeReward: make([]float64, len(pop)),
+	}
+	for f := range res.RevenueOverTime {
+		res.RevenueOverTime[f] = make([]float64, cfg.Iterations)
+	}
+
+	// Published-rule attractiveness (full population) drives choice.
+	attract := Attractiveness(schemes, pop, cfg.Budget)
+
+	// Initial assignment.
+	member := make([]int, len(pop)) // worker -> federation index
+	assigned := AssignGreedy(src.Split("init"), attract, pop, cfg.Greediness)
+	for f, ws := range assigned {
+		for _, w := range ws {
+			member[w.ID] = f
+		}
+	}
+
+	choice := src.Split("choice")
+	probs := make([]float64, nf)
+	for t := 0; t < cfg.Iterations; t++ {
+		// Compute rewards within each federation's current membership.
+		members := make([][]Worker, nf)
+		for _, w := range pop {
+			members[member[w.ID]] = append(members[member[w.ID]], w)
+		}
+		for f, s := range schemes {
+			res.RevenueOverTime[f][t] = s.Revenue(members[f])
+			if len(members[f]) == 0 {
+				continue
+			}
+			rewards := s.Rewards(members[f], cfg.Budget)
+			for i, w := range members[f] {
+				res.CumulativeReward[w.ID] += rewards[i]
+			}
+		}
+		// Re-choice with inertia.
+		for i := range pop {
+			if choice.Bernoulli(cfg.Inertia) {
+				continue
+			}
+			for f := range probs {
+				probs[f] = math.Pow(attract[i][f], cfg.Greediness)
+			}
+			next := choice.Categorical(probs)
+			if next != member[i] {
+				res.Switches++
+				member[i] = next
+			}
+		}
+	}
+	members := make([][]Worker, nf)
+	for _, w := range pop {
+		members[member[w.ID]] = append(members[member[w.ID]], w)
+	}
+	res.Membership = members
+	return res
+}

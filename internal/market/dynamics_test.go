@@ -1,0 +1,88 @@
+package market
+
+import (
+	"math"
+	"testing"
+
+	"fifl/internal/rng"
+)
+
+func TestRunDynamicConservesWorkers(t *testing.T) {
+	src := rng.New(81)
+	pop := honestPop(src, 20)
+	cfg := DynamicConfig{Iterations: 50, Budget: 1, Greediness: 1.5, Inertia: 0.8}
+	res := RunDynamic(src.Split("run"), Schemes(), pop, cfg)
+	total := 0
+	for _, ms := range res.Membership {
+		total += len(ms)
+	}
+	if total != 20 {
+		t.Fatalf("final membership covers %d/20 workers", total)
+	}
+	if len(res.RevenueOverTime) != 5 || len(res.RevenueOverTime[0]) != 50 {
+		t.Fatalf("revenue trajectory shape wrong")
+	}
+}
+
+func TestRunDynamicRewardsAccumulate(t *testing.T) {
+	src := rng.New(82)
+	pop := honestPop(src, 20)
+	cfg := DynamicConfig{Iterations: 40, Budget: 1, Greediness: 1.5, Inertia: 0.8}
+	res := RunDynamic(src.Split("run"), Schemes(), pop, cfg)
+	// Each iteration distributes at most 5 budgets (one per federation
+	// with members); totals must be positive and bounded.
+	sum := 0.0
+	for _, r := range res.CumulativeReward {
+		sum += r
+	}
+	if sum <= 0 {
+		t.Fatalf("no rewards distributed: %v", sum)
+	}
+	if sum > float64(cfg.Iterations)*5*cfg.Budget+1e-9 {
+		t.Fatalf("rewards exceed total budget: %v", sum)
+	}
+}
+
+func TestRunDynamicInertiaLimitsSwitching(t *testing.T) {
+	src := rng.New(83)
+	pop := honestPop(src, 20)
+	sticky := RunDynamic(src.Split("a"), Schemes(), pop,
+		DynamicConfig{Iterations: 50, Budget: 1, Greediness: 1.5, Inertia: 0.95})
+	loose := RunDynamic(src.Split("b"), Schemes(), pop,
+		DynamicConfig{Iterations: 50, Budget: 1, Greediness: 1.5, Inertia: 0.2})
+	if sticky.Switches >= loose.Switches {
+		t.Fatalf("inertia should reduce switching: %d vs %d", sticky.Switches, loose.Switches)
+	}
+}
+
+func TestRunDynamicFIFLRevenueStableUnderAttack(t *testing.T) {
+	src := rng.New(84)
+	pop := Population(src, 20, 10000, 0.385, 0.385)
+	cfg := DynamicConfig{Iterations: 60, Budget: 1, Greediness: 1.5, Inertia: 0.8}
+	res := RunDynamic(src.Split("run"), Schemes(), pop, cfg)
+	// Time-averaged revenue: FIFL (index 0) must beat every baseline in
+	// the attacked market.
+	means := make([]float64, 5)
+	for f := range means {
+		sum := 0.0
+		for _, v := range res.RevenueOverTime[f] {
+			sum += v
+		}
+		means[f] = sum / float64(cfg.Iterations)
+	}
+	for f := 1; f < 5; f++ {
+		if means[f] >= means[0] {
+			t.Fatalf("federation %d mean revenue %v >= FIFL %v under attack", f, means[f], means[0])
+		}
+	}
+}
+
+func TestDefaultDynamicConfig(t *testing.T) {
+	cfg := DefaultDynamicConfig()
+	if cfg.Iterations != 500 || cfg.Budget != 1 {
+		t.Fatalf("default config %+v", cfg)
+	}
+	if cfg.Inertia < 0 || cfg.Inertia > 1 || math.IsNaN(cfg.Greediness) {
+		t.Fatalf("default config out of range %+v", cfg)
+	}
+}

@@ -1,0 +1,48 @@
+package nn
+
+import "fifl/internal/tensor"
+
+// ReLU is the rectified linear activation, applied element-wise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU creates a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward zeroes negative activations and records the active mask.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < y.Size() {
+		r.mask = make([]bool, y.Size())
+	}
+	r.mask = r.mask[:y.Size()]
+	yd := y.Data()
+	for i, v := range yd {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			yd[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward masks the gradient by the recorded activation pattern.
+func (r *ReLU) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	dx := dy.Clone()
+	dxd := dx.Data()
+	for i := range dxd {
+		if !r.mask[i] {
+			dxd[i] = 0
+		}
+	}
+	return dx
+}
+
+// Params returns nil: ReLU has no parameters.
+func (r *ReLU) Params() []*tensor.Tensor { return nil }
+
+// Grads returns nil: ReLU has no parameters.
+func (r *ReLU) Grads() []*tensor.Tensor { return nil }

@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"math"
+
+	"fifl/internal/tensor"
+)
+
+// Adam is the Adam optimizer (Kingma & Ba): per-coordinate first/second
+// moment estimates with bias correction. The paper trains with SGD; Adam is
+// provided for downstream users of the library and for the warm-up phases
+// where faster convergence saves simulation time.
+type Adam struct {
+	LR          float64
+	Beta1       float64 // 0 means the default 0.9
+	Beta2       float64 // 0 means the default 0.999
+	Eps         float64 // 0 means the default 1e-8
+	WeightDecay float64
+
+	step int
+	m, v []*tensor.Tensor
+}
+
+// NewAdam creates an Adam optimizer with standard hyperparameters.
+func NewAdam(lr float64) *Adam { return &Adam{LR: lr} }
+
+// Step applies one Adam update to params given grads. Moment buffers are
+// created lazily and keyed by position, so a single Adam value must always
+// be used with the same model.
+func (o *Adam) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic("nn: Adam params/grads length mismatch")
+	}
+	b1, b2, eps := o.Beta1, o.Beta2, o.Eps
+	if b1 == 0 {
+		b1 = 0.9
+	}
+	if b2 == 0 {
+		b2 = 0.999
+	}
+	if eps == 0 {
+		eps = 1e-8
+	}
+	if o.m == nil {
+		o.m = make([]*tensor.Tensor, len(params))
+		o.v = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			o.m[i] = tensor.New(p.Shape()...)
+			o.v[i] = tensor.New(p.Shape()...)
+		}
+	}
+	o.step++
+	c1 := 1 - math.Pow(b1, float64(o.step))
+	c2 := 1 - math.Pow(b2, float64(o.step))
+	for i, p := range params {
+		pd, gd := p.Data(), grads[i].Data()
+		md, vd := o.m[i].Data(), o.v[i].Data()
+		for j := range pd {
+			g := gd[j] + o.WeightDecay*pd[j]
+			md[j] = b1*md[j] + (1-b1)*g
+			vd[j] = b2*vd[j] + (1-b2)*g*g
+			mHat := md[j] / c1
+			vHat := vd[j] / c2
+			pd[j] -= o.LR * mHat / (math.Sqrt(vHat) + eps)
+		}
+	}
+}
+
+// Schedule maps a step index to a learning-rate multiplier.
+type Schedule interface {
+	// Factor returns the multiplier applied to the base learning rate at
+	// the given zero-based step.
+	Factor(step int) float64
+}
+
+// ConstantSchedule keeps the learning rate fixed.
+type ConstantSchedule struct{}
+
+// Factor implements Schedule.
+func (ConstantSchedule) Factor(int) float64 { return 1 }
+
+// StepSchedule multiplies the rate by Gamma every Every steps.
+type StepSchedule struct {
+	Every int
+	Gamma float64
+}
+
+// Factor implements Schedule.
+func (s StepSchedule) Factor(step int) float64 {
+	if s.Every <= 0 {
+		return 1
+	}
+	return math.Pow(s.Gamma, float64(step/s.Every))
+}
+
+// CosineSchedule anneals the multiplier from 1 to Floor over Period steps
+// following a half cosine, then holds Floor.
+type CosineSchedule struct {
+	Period int
+	Floor  float64
+}
+
+// Factor implements Schedule.
+func (s CosineSchedule) Factor(step int) float64 {
+	if s.Period <= 0 || step >= s.Period {
+		return s.Floor
+	}
+	cos := 0.5 * (1 + math.Cos(math.Pi*float64(step)/float64(s.Period)))
+	return s.Floor + (1-s.Floor)*cos
+}
+
+// WarmupSchedule ramps linearly from 0 to 1 over Steps, then delegates to
+// Next (nil means constant 1 afterwards).
+type WarmupSchedule struct {
+	Steps int
+	Next  Schedule
+}
+
+// Factor implements Schedule.
+func (s WarmupSchedule) Factor(step int) float64 {
+	if s.Steps > 0 && step < s.Steps {
+		return float64(step+1) / float64(s.Steps)
+	}
+	if s.Next == nil {
+		return 1
+	}
+	return s.Next.Factor(step - s.Steps)
+}
+
+// ScheduledSGD wraps SGD with a schedule: the effective rate at step t is
+// BaseLR · Schedule.Factor(t).
+type ScheduledSGD struct {
+	SGD      *SGD
+	BaseLR   float64
+	Schedule Schedule
+	step     int
+}
+
+// NewScheduledSGD builds a scheduled SGD optimizer.
+func NewScheduledSGD(baseLR float64, momentum float64, sched Schedule) *ScheduledSGD {
+	return &ScheduledSGD{
+		SGD:      &SGD{LR: baseLR, Momentum: momentum},
+		BaseLR:   baseLR,
+		Schedule: sched,
+	}
+}
+
+// Step applies one update at the scheduled rate.
+func (o *ScheduledSGD) Step(params, grads []*tensor.Tensor) {
+	o.SGD.LR = o.BaseLR * o.Schedule.Factor(o.step)
+	o.step++
+	o.SGD.Step(params, grads)
+}

@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"fifl/internal/rng"
+	"fifl/internal/tensor"
+)
+
+func TestAdamReducesLoss(t *testing.T) {
+	src := rng.New(71)
+	model := NewMLP(71, 8, []int{16}, 3)()
+	x := tensor.RandN(src, 1, 32, 8)
+	labels := make([]int, 32)
+	for i := range labels {
+		labels[i] = src.Intn(3)
+	}
+	opt := NewAdam(0.01)
+	first := lossOf(model, x, labels)
+	for it := 0; it < 60; it++ {
+		model.ZeroGrads()
+		logits := model.Forward(x, true)
+		_, d := SoftmaxCrossEntropy(logits, labels)
+		model.Backward(d)
+		opt.Step(model.Params(), model.Grads())
+	}
+	last := lossOf(model, x, labels)
+	if last >= first/2 {
+		t.Fatalf("Adam barely reduced loss: %v -> %v", first, last)
+	}
+}
+
+func TestAdamFirstStepIsLRSized(t *testing.T) {
+	// With bias correction, the first step has magnitude ≈ LR per
+	// coordinate regardless of gradient scale.
+	model := NewSequential(NewLinear(rng.New(72), 2, 1))
+	params := model.Params()
+	grads := model.Grads()
+	grads[0].Fill(1e-6) // tiny gradient
+	before := params[0].Clone()
+	opt := NewAdam(0.05)
+	opt.Step(params, grads)
+	step := math.Abs(params[0].Data()[0] - before.Data()[0])
+	if math.Abs(step-0.05) > 0.01 {
+		t.Fatalf("first Adam step %v, want ≈ LR 0.05", step)
+	}
+}
+
+func TestAdamMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewAdam(0.1).Step([]*tensor.Tensor{tensor.New(2)}, nil)
+}
+
+func TestStepSchedule(t *testing.T) {
+	s := StepSchedule{Every: 10, Gamma: 0.5}
+	if s.Factor(0) != 1 || s.Factor(9) != 1 {
+		t.Fatal("first decade should be 1")
+	}
+	if s.Factor(10) != 0.5 || s.Factor(25) != 0.25 {
+		t.Fatalf("step decay wrong: %v %v", s.Factor(10), s.Factor(25))
+	}
+	if (StepSchedule{}).Factor(100) != 1 {
+		t.Fatal("zero Every must be constant")
+	}
+}
+
+func TestCosineSchedule(t *testing.T) {
+	s := CosineSchedule{Period: 100, Floor: 0.1}
+	if s.Factor(0) != 1 {
+		t.Fatalf("cosine start %v", s.Factor(0))
+	}
+	mid := s.Factor(50)
+	if math.Abs(mid-0.55) > 1e-9 {
+		t.Fatalf("cosine midpoint %v, want 0.55", mid)
+	}
+	if s.Factor(100) != 0.1 || s.Factor(500) != 0.1 {
+		t.Fatal("cosine must hold the floor after the period")
+	}
+	// Monotone non-increasing within the period.
+	prev := math.Inf(1)
+	for i := 0; i <= 100; i += 5 {
+		f := s.Factor(i)
+		if f > prev {
+			t.Fatalf("cosine not monotone at %d", i)
+		}
+		prev = f
+	}
+}
+
+func TestWarmupSchedule(t *testing.T) {
+	s := WarmupSchedule{Steps: 10, Next: StepSchedule{Every: 5, Gamma: 0.5}}
+	if s.Factor(0) != 0.1 || s.Factor(9) != 1 {
+		t.Fatalf("warmup ramp wrong: %v %v", s.Factor(0), s.Factor(9))
+	}
+	// After warmup, the inner schedule sees rebased steps.
+	if s.Factor(10) != 1 || s.Factor(15) != 0.5 {
+		t.Fatalf("post-warmup delegation wrong: %v %v", s.Factor(10), s.Factor(15))
+	}
+	bare := WarmupSchedule{Steps: 5}
+	if bare.Factor(100) != 1 {
+		t.Fatal("nil Next must be constant 1")
+	}
+}
+
+func TestScheduledSGDAppliesSchedule(t *testing.T) {
+	model := NewSequential(NewLinear(rng.New(73), 2, 1))
+	params, grads := model.Params(), model.Grads()
+	grads[0].Fill(1)
+	opt := NewScheduledSGD(1.0, 0, StepSchedule{Every: 1, Gamma: 0.5})
+	w0 := params[0].Data()[0]
+	opt.Step(params, grads) // factor 1 -> step 1.0
+	w1 := params[0].Data()[0]
+	grads[0].Fill(1)
+	opt.Step(params, grads) // factor 0.5 -> step 0.5
+	w2 := params[0].Data()[0]
+	if math.Abs((w0-w1)-1.0) > 1e-12 || math.Abs((w1-w2)-0.5) > 1e-12 {
+		t.Fatalf("scheduled steps %v %v, want 1.0 and 0.5", w0-w1, w1-w2)
+	}
+}

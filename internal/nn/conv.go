@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"math"
+	"sync"
+
+	"fifl/internal/parallel"
+	"fifl/internal/rng"
+	"fifl/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (batch, inC, H, W) inputs, lowered onto
+// matrix multiplication with im2col. Batch items are processed in parallel
+// with per-goroutine scratch buffers; parameter gradients are accumulated
+// into per-chunk buffers and merged once per chunk to avoid contention.
+type Conv2D struct {
+	Geom   tensor.ConvGeom
+	OutC   int
+	W      *tensor.Tensor // (outC, inC*kh*kw)
+	B      *tensor.Tensor // (outC)
+	dW, dB *tensor.Tensor
+
+	x    *tensor.Tensor // cached input
+	cols []float64      // cached im2col output for the whole batch
+	mu   sync.Mutex     // guards dW/dB merges during parallel backward
+}
+
+// NewConv2D creates a convolution layer with He-uniform initialization.
+// It panics if the geometry is invalid.
+func NewConv2D(src *rng.Source, g tensor.ConvGeom, outC int) *Conv2D {
+	if err := g.Validate(); err != nil {
+		panic(err)
+	}
+	k := g.InC * g.KH * g.KW
+	c := &Conv2D{
+		Geom: g,
+		OutC: outC,
+		W:    tensor.New(outC, k),
+		B:    tensor.New(outC),
+		dW:   tensor.New(outC, k),
+		dB:   tensor.New(outC),
+	}
+	bound := math.Sqrt(6.0 / float64(k))
+	src.FillUniform(c.W.Data(), -bound, bound)
+	return c
+}
+
+// Forward computes the convolution for a (batch, inC, H, W) input and
+// returns a (batch, outC, outH, outW) output.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	g := c.Geom
+	batch := x.Dim(0)
+	inSize := g.InC * g.InH * g.InW
+	p := g.OutH() * g.OutW()
+	k := g.InC * g.KH * g.KW
+	y := tensor.New(batch, c.OutC, g.OutH(), g.OutW())
+	if cap(c.cols) < batch*p*k {
+		c.cols = make([]float64, batch*p*k)
+	}
+	c.cols = c.cols[:batch*p*k]
+	c.x = x
+	xd, yd, wd, bd := x.Data(), y.Data(), c.W.Data(), c.B.Data()
+	parallel.ForChunked(batch, func(lo, hi int) {
+		for b := lo; b < hi; b++ {
+			cols := c.cols[b*p*k : (b+1)*p*k]
+			tensor.Im2Col(cols, xd[b*inSize:(b+1)*inSize], g)
+			out := yd[b*c.OutC*p : (b+1)*c.OutC*p]
+			// out[o*p+q] = bias[o] + Σ_k W[o,k]·cols[q,k]
+			for o := 0; o < c.OutC; o++ {
+				wo := wd[o*k : (o+1)*k]
+				oo := out[o*p : (o+1)*p]
+				bias := bd[o]
+				for q := 0; q < p; q++ {
+					cq := cols[q*k : (q+1)*k]
+					s := bias
+					for i, wv := range wo {
+						s += wv * cq[i]
+					}
+					oo[q] = s
+				}
+			}
+		}
+	})
+	return y
+}
+
+// Backward propagates a (batch, outC, outH, outW) gradient, accumulating
+// dW and dB and returning the (batch, inC, H, W) input gradient.
+func (c *Conv2D) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	g := c.Geom
+	batch := dy.Dim(0)
+	inSize := g.InC * g.InH * g.InW
+	p := g.OutH() * g.OutW()
+	k := g.InC * g.KH * g.KW
+	dx := tensor.New(batch, g.InC, g.InH, g.InW)
+	dyd, dxd, wd := dy.Data(), dx.Data(), c.W.Data()
+	parallel.ForChunked(batch, func(lo, hi int) {
+		localDW := make([]float64, c.OutC*k)
+		localDB := make([]float64, c.OutC)
+		dCols := make([]float64, p*k)
+		for b := lo; b < hi; b++ {
+			cols := c.cols[b*p*k : (b+1)*p*k]
+			dout := dyd[b*c.OutC*p : (b+1)*c.OutC*p]
+			for i := range dCols {
+				dCols[i] = 0
+			}
+			for o := 0; o < c.OutC; o++ {
+				do := dout[o*p : (o+1)*p]
+				wo := wd[o*k : (o+1)*k]
+				dwo := localDW[o*k : (o+1)*k]
+				for q := 0; q < p; q++ {
+					gv := do[q]
+					if gv == 0 {
+						continue
+					}
+					localDB[o] += gv
+					cq := cols[q*k : (q+1)*k]
+					dcq := dCols[q*k : (q+1)*k]
+					for i := range wo {
+						dwo[i] += gv * cq[i]
+						dcq[i] += gv * wo[i]
+					}
+				}
+			}
+			tensor.Col2Im(dxd[b*inSize:(b+1)*inSize], dCols, g)
+		}
+		c.mu.Lock()
+		dwd, dbd := c.dW.Data(), c.dB.Data()
+		for i, v := range localDW {
+			dwd[i] += v
+		}
+		for i, v := range localDB {
+			dbd[i] += v
+		}
+		c.mu.Unlock()
+	})
+	return dx
+}
+
+// Params returns {W, B}.
+func (c *Conv2D) Params() []*tensor.Tensor { return []*tensor.Tensor{c.W, c.B} }
+
+// Grads returns {dW, dB}.
+func (c *Conv2D) Grads() []*tensor.Tensor { return []*tensor.Tensor{c.dW, c.dB} }

@@ -1,0 +1,143 @@
+// Package nn implements the neural-network training engine the FIFL
+// reproduction runs on: layers with hand-written backward passes, the LeNet
+// and mini-ResNet architectures the paper trains, softmax cross-entropy, and
+// SGD. The engine exposes parameters and gradients as flat vectors so the
+// federated-learning runtime can slice, ship and aggregate them exactly the
+// way the paper's polycentric architecture does.
+package nn
+
+import (
+	"fifl/internal/tensor"
+)
+
+// Layer is one differentiable stage of a network. Forward consumes the
+// previous activation and caches whatever Backward needs; Backward consumes
+// the gradient w.r.t. the layer output and returns the gradient w.r.t. the
+// layer input, accumulating parameter gradients internally.
+//
+// Layers are stateful (they cache activations between Forward and Backward)
+// and therefore not safe for concurrent use; the FL runtime gives every
+// worker its own model replica.
+type Layer interface {
+	// Forward computes the layer output. train toggles training-time
+	// behaviour (e.g. BatchNorm batch statistics).
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward computes the input gradient from the output gradient and
+	// accumulates parameter gradients.
+	Backward(dy *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameter tensors (possibly
+	// empty). The returned tensors alias layer state.
+	Params() []*tensor.Tensor
+	// Grads returns gradient tensors parallel to Params.
+	Grads() []*tensor.Tensor
+}
+
+// Sequential chains layers into a network.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a network from the given layers.
+func NewSequential(layers ...Layer) *Sequential {
+	return &Sequential{Layers: layers}
+}
+
+// Forward runs all layers in order.
+func (s *Sequential) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range s.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward runs all layers in reverse order.
+func (s *Sequential) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		dy = s.Layers[i].Backward(dy)
+	}
+	return dy
+}
+
+// Params returns every trainable tensor in layer order.
+func (s *Sequential) Params() []*tensor.Tensor {
+	var ps []*tensor.Tensor
+	for _, l := range s.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// Grads returns every gradient tensor in layer order, parallel to Params.
+func (s *Sequential) Grads() []*tensor.Tensor {
+	var gs []*tensor.Tensor
+	for _, l := range s.Layers {
+		gs = append(gs, l.Grads()...)
+	}
+	return gs
+}
+
+// ZeroGrads resets all accumulated gradients.
+func (s *Sequential) ZeroGrads() {
+	for _, g := range s.Grads() {
+		g.Zero()
+	}
+}
+
+// NumParams returns the total number of scalar parameters.
+func (s *Sequential) NumParams() int {
+	n := 0
+	for _, p := range s.Params() {
+		n += p.Size()
+	}
+	return n
+}
+
+// ParamsVector copies all parameters into one flat vector in layer order.
+func (s *Sequential) ParamsVector() []float64 {
+	out := make([]float64, 0, s.NumParams())
+	for _, p := range s.Params() {
+		out = append(out, p.Data()...)
+	}
+	return out
+}
+
+// SetParamsVector overwrites all parameters from a flat vector produced by
+// ParamsVector on a model of identical architecture. It panics on length
+// mismatch.
+func (s *Sequential) SetParamsVector(v []float64) {
+	off := 0
+	for _, p := range s.Params() {
+		n := copy(p.Data(), v[off:off+p.Size()])
+		off += n
+	}
+	if off != len(v) {
+		panic("nn: SetParamsVector length mismatch")
+	}
+}
+
+// GradsVector copies all accumulated gradients into one flat vector in
+// layer order, parallel to ParamsVector.
+func (s *Sequential) GradsVector() []float64 {
+	out := make([]float64, 0, s.NumParams())
+	for _, g := range s.Grads() {
+		out = append(out, g.Data()...)
+	}
+	return out
+}
+
+// ApplyDelta subtracts scale*delta from the parameters, i.e. performs the
+// update θ ← θ − scale·delta for a flat delta vector (Eq. 3 of the paper
+// with delta = the aggregated global gradient).
+func (s *Sequential) ApplyDelta(scale float64, delta []float64) {
+	off := 0
+	for _, p := range s.Params() {
+		d := p.Data()
+		for i := range d {
+			d[i] -= scale * delta[off+i]
+		}
+		off += len(d)
+	}
+	if off != len(delta) {
+		panic("nn: ApplyDelta length mismatch")
+	}
+}

@@ -1,0 +1,65 @@
+package nn
+
+import (
+	"math"
+
+	"fifl/internal/rng"
+	"fifl/internal/tensor"
+)
+
+// Linear is a fully connected layer: y = x·Wᵀ + b with W of shape
+// (out, in) and input of shape (batch, in).
+type Linear struct {
+	W, B   *tensor.Tensor
+	dW, dB *tensor.Tensor
+	x      *tensor.Tensor // cached input for backward
+}
+
+// NewLinear creates a fully connected layer with He-uniform initialization.
+func NewLinear(src *rng.Source, in, out int) *Linear {
+	l := &Linear{
+		W:  tensor.New(out, in),
+		B:  tensor.New(out),
+		dW: tensor.New(out, in),
+		dB: tensor.New(out),
+	}
+	bound := math.Sqrt(6.0 / float64(in))
+	src.FillUniform(l.W.Data(), -bound, bound)
+	return l
+}
+
+// Forward computes y = x·Wᵀ + b.
+func (l *Linear) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	l.x = x
+	y := tensor.MatMulT2(x, l.W) // (batch, out)
+	batch, out := y.Dim(0), y.Dim(1)
+	yd, bd := y.Data(), l.B.Data()
+	for i := 0; i < batch; i++ {
+		row := yd[i*out : (i+1)*out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return y
+}
+
+// Backward accumulates dW = dYᵀ·x and dB = Σ rows(dY), and returns
+// dX = dY·W.
+func (l *Linear) Backward(dy *tensor.Tensor) *tensor.Tensor {
+	l.dW.Add(tensor.MatMulT1(dy, l.x))
+	batch, out := dy.Dim(0), dy.Dim(1)
+	dyd, dbd := dy.Data(), l.dB.Data()
+	for i := 0; i < batch; i++ {
+		row := dyd[i*out : (i+1)*out]
+		for j, v := range row {
+			dbd[j] += v
+		}
+	}
+	return tensor.MatMul(dy, l.W)
+}
+
+// Params returns {W, B}.
+func (l *Linear) Params() []*tensor.Tensor { return []*tensor.Tensor{l.W, l.B} }
+
+// Grads returns {dW, dB}.
+func (l *Linear) Grads() []*tensor.Tensor { return []*tensor.Tensor{l.dW, l.dB} }

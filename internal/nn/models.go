@@ -1,0 +1,124 @@
+package nn
+
+import (
+	"fifl/internal/rng"
+	"fifl/internal/tensor"
+)
+
+// Builder constructs a model replica. The FL runtime gives every worker its
+// own replica (layers cache activations and are not concurrency-safe), so
+// architectures are passed around as builders rather than instances. All
+// replicas built from the same seed have identical initial parameters.
+type Builder func() *Sequential
+
+// NewLeNet returns a builder for the LeNet architecture the paper trains on
+// MNIST: two 5×5 convolutions with max pooling followed by three fully
+// connected layers. Input shape is (batch, 1, 28, 28); output is 10 logits.
+func NewLeNet(seed uint64) Builder {
+	return func() *Sequential {
+		src := rng.New(seed)
+		return NewSequential(
+			NewConv2D(src.Split("conv1"), tensor.ConvGeom{InC: 1, InH: 28, InW: 28, KH: 5, KW: 5, Stride: 1, Pad: 2}, 6),
+			NewReLU(),
+			NewMaxPool2D(6, 28, 28, 2),
+			NewConv2D(src.Split("conv2"), tensor.ConvGeom{InC: 6, InH: 14, InW: 14, KH: 5, KW: 5, Stride: 1, Pad: 0}, 16),
+			NewReLU(),
+			NewMaxPool2D(16, 10, 10, 2),
+			NewFlatten(),
+			NewLinear(src.Split("fc1"), 16*5*5, 120),
+			NewReLU(),
+			NewLinear(src.Split("fc2"), 120, 84),
+			NewReLU(),
+			NewLinear(src.Split("fc3"), 84, 10),
+		)
+	}
+}
+
+// NewMiniResNet returns a builder for a three-stage residual network sized
+// for 32×32×3 inputs — the downsized stand-in for the paper's CIFAR-10
+// ResNet (see DESIGN.md, substitutions). Stages run at 16, 32 and 64
+// channels with stride-2 transitions and identity/projection shortcuts,
+// ending in global average pooling and a linear classifier.
+func NewMiniResNet(seed uint64) Builder {
+	return func() *Sequential {
+		src := rng.New(seed)
+		return NewSequential(
+			NewConv2D(src.Split("stem"), tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 1, Pad: 1}, 16),
+			NewGroupNorm(groupsFor(16), 16, 32, 32),
+			NewReLU(),
+			NewResidualBlock(src.Split("res1"), 16, 16, 32, 32, 1),
+			NewResidualBlock(src.Split("res2"), 16, 32, 32, 32, 2),
+			NewResidualBlock(src.Split("res3"), 32, 64, 16, 16, 2),
+			NewGlobalAvgPool(64, 8, 8),
+			NewLinear(src.Split("head"), 64, 10),
+		)
+	}
+}
+
+// NewTinyResNet returns a builder for a two-stage residual network over
+// 32×32×3 inputs, roughly 5× cheaper than NewMiniResNet. Quick-scale runs
+// of the CIFAR-like experiments use it so a single CPU can train far
+// enough for attack-damage orderings to surface; paper-scale runs use the
+// full mini-ResNet.
+func NewTinyResNet(seed uint64) Builder {
+	return func() *Sequential {
+		src := rng.New(seed)
+		return NewSequential(
+			NewConv2D(src.Split("stem"), tensor.ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 2, Pad: 1}, 8),
+			NewGroupNorm(groupsFor(8), 8, 16, 16),
+			NewReLU(),
+			NewResidualBlock(src.Split("res1"), 8, 8, 16, 16, 1),
+			NewResidualBlock(src.Split("res2"), 8, 16, 16, 16, 2),
+			NewGlobalAvgPool(16, 8, 8),
+			NewLinear(src.Split("head"), 16, 10),
+		)
+	}
+}
+
+// NewMLP returns a builder for a small multi-layer perceptron over flat
+// inputs. It is the cheap model used by unit tests and the quickstart
+// example where convolution cost is unnecessary.
+func NewMLP(seed uint64, in int, hidden []int, out int) Builder {
+	return func() *Sequential {
+		src := rng.New(seed)
+		// Accept image-shaped inputs too: flattening (batch, D) is a no-op.
+		layers := []Layer{NewFlatten()}
+		prev := in
+		for i, h := range hidden {
+			layers = append(layers, NewLinear(src.SplitN("hidden", i), prev, h), NewReLU())
+			prev = h
+		}
+		layers = append(layers, NewLinear(src.Split("out"), prev, out))
+		return NewSequential(layers...)
+	}
+}
+
+// Evaluate runs the model in eval mode over the given examples in batches
+// and returns mean accuracy and mean loss. x must be shaped with the batch
+// axis first; labels must be parallel to the batch axis.
+func Evaluate(model *Sequential, x *tensor.Tensor, labels []int, batchSize int) (acc, loss float64) {
+	n := x.Dim(0)
+	if n == 0 {
+		return 0, 0
+	}
+	if batchSize <= 0 || batchSize > n {
+		batchSize = n
+	}
+	itemSize := x.Size() / n
+	var totalAcc, totalLoss float64
+	count := 0
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		shape := append([]int{hi - lo}, x.Shape()[1:]...)
+		batch := tensor.FromSlice(x.Data()[lo*itemSize:hi*itemSize], shape...)
+		logits := model.Forward(batch, false)
+		l, _ := SoftmaxCrossEntropy(logits, labels[lo:hi])
+		totalAcc += Accuracy(logits, labels[lo:hi]) * float64(hi-lo)
+		totalLoss += l * float64(hi-lo)
+		count += hi - lo
+	}
+	return totalAcc / float64(count), totalLoss / float64(count)
+}

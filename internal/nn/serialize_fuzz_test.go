@@ -1,0 +1,43 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"fifl/internal/rng"
+)
+
+// TestLoadCorruptedNeverPanics mutates random bytes of a valid checkpoint
+// and verifies Load either succeeds (payload-only mutations can produce a
+// structurally valid file with different weights) or fails with an error —
+// but never panics. Truncations must always fail.
+func TestLoadCorruptedNeverPanics(t *testing.T) {
+	build := NewMLP(51, 12, []int{6}, 3)
+	var buf bytes.Buffer
+	if err := build().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	blob := buf.Bytes()
+	src := rng.New(52)
+	for trial := 0; trial < 200; trial++ {
+		corrupted := append([]byte(nil), blob...)
+		// Flip 1-4 random bytes.
+		for k := 0; k < src.UniformInt(1, 4); k++ {
+			corrupted[src.Intn(len(corrupted))] ^= byte(1 << src.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Load panicked on corrupted checkpoint: %v", r)
+				}
+			}()
+			_ = build().Load(bytes.NewReader(corrupted))
+		}()
+	}
+	// Truncations at every prefix length must error, not panic.
+	for _, n := range []int{0, 1, 8, len(blob) / 3, len(blob) - 1} {
+		if err := build().Load(bytes.NewReader(blob[:n])); err == nil {
+			t.Fatalf("truncated checkpoint of %d bytes loaded successfully", n)
+		}
+	}
+}

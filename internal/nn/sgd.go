@@ -1,0 +1,47 @@
+package nn
+
+import "fifl/internal/tensor"
+
+// SGD is a stochastic gradient descent optimizer with optional momentum and
+// L2 weight decay. It owns one velocity buffer per parameter tensor.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity []*tensor.Tensor
+}
+
+// NewSGD creates an optimizer with the given learning rate and no momentum.
+func NewSGD(lr float64) *SGD { return &SGD{LR: lr} }
+
+// Step applies one update to params given grads. Velocity buffers are
+// created lazily on first use and keyed by position, so a single SGD value
+// must always be used with the same model.
+func (o *SGD) Step(params, grads []*tensor.Tensor) {
+	if len(params) != len(grads) {
+		panic("nn: SGD params/grads length mismatch")
+	}
+	if o.velocity == nil && o.Momentum != 0 {
+		o.velocity = make([]*tensor.Tensor, len(params))
+		for i, p := range params {
+			o.velocity[i] = tensor.New(p.Shape()...)
+		}
+	}
+	for i, p := range params {
+		pd, gd := p.Data(), grads[i].Data()
+		if o.Momentum != 0 {
+			vd := o.velocity[i].Data()
+			for j := range pd {
+				g := gd[j] + o.WeightDecay*pd[j]
+				vd[j] = o.Momentum*vd[j] + g
+				pd[j] -= o.LR * vd[j]
+			}
+		} else {
+			for j := range pd {
+				g := gd[j] + o.WeightDecay*pd[j]
+				pd[j] -= o.LR * g
+			}
+		}
+	}
+}

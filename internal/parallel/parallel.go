@@ -1,0 +1,84 @@
+// Package parallel provides small helpers for data-parallel loops.
+//
+// The tensor kernels and the federated-learning round loop both fan work
+// out across CPU cores. Rather than sprinkling ad-hoc goroutine/WaitGroup
+// code through every kernel, this package centralizes a bounded parallel-for
+// with deterministic work partitioning: the index space is split into
+// contiguous chunks, one per goroutine, so results never depend on
+// scheduling order.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// maxProcs reports the degree of parallelism to use; it honours
+// GOMAXPROCS so tests can pin it.
+func maxProcs() int { return runtime.GOMAXPROCS(0) }
+
+// For runs body(i) for every i in [0,n), fanning out across at most
+// GOMAXPROCS goroutines. The index space is split into contiguous chunks so
+// each goroutine touches a disjoint range; body must not assume any
+// ordering between chunks. For small n the loop runs inline to avoid
+// goroutine overhead.
+func For(n int, body func(i int)) {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}
+
+// ForChunked runs body(lo,hi) over a partition of [0,n) into contiguous
+// half-open chunks, one chunk per goroutine. It is the building block for
+// kernels that want per-chunk setup (e.g. scratch buffers).
+func ForChunked(n int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	p := maxProcs()
+	if p > n {
+		p = n
+	}
+	if p <= 1 || n < 64 {
+		body(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + p - 1) / p
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// Map applies f to every index in [0,n) and collects the results in order.
+// Each f(i) may run on any goroutine; results are written to disjoint slots
+// so no further synchronization is needed.
+func Map[T any](n int, f func(i int) T) []T {
+	out := make([]T, n)
+	For(n, func(i int) { out[i] = f(i) })
+	return out
+}
+
+// Do runs the given functions concurrently and waits for all of them.
+func Do(fns ...func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(fns))
+	for _, fn := range fns {
+		go func(fn func()) {
+			defer wg.Done()
+			fn()
+		}(fn)
+	}
+	wg.Wait()
+}

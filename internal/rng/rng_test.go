@@ -1,0 +1,181 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+}
+
+func TestSplitIndependentOfDrawOrder(t *testing.T) {
+	// Children depend only on (seed, label), not on how much the parent
+	// has been consumed.
+	p1 := New(7)
+	p1.Float64()
+	p1.Float64()
+	c1 := p1.Split("x")
+
+	p2 := New(7)
+	c2 := p2.Split("x")
+
+	for i := 0; i < 50; i++ {
+		if c1.Float64() != c2.Float64() {
+			t.Fatal("Split must not depend on parent draw position")
+		}
+	}
+}
+
+func TestSplitDistinctLabels(t *testing.T) {
+	p := New(7)
+	a, b := p.Split("a"), p.Split("b")
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams for different labels look identical (%d collisions)", same)
+	}
+}
+
+func TestSplitNDistinct(t *testing.T) {
+	p := New(7)
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		s := p.SplitN("w", i).Seed()
+		if seen[s] {
+			t.Fatalf("SplitN collision at %d", i)
+		}
+		seen[s] = true
+	}
+}
+
+func TestUniformIntBounds(t *testing.T) {
+	src := New(1)
+	for i := 0; i < 1000; i++ {
+		v := src.UniformInt(3, 7)
+		if v < 3 || v > 7 {
+			t.Fatalf("UniformInt out of range: %d", v)
+		}
+	}
+}
+
+func TestUniformIntBadRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).UniformInt(5, 4)
+}
+
+func TestSampleDistinct(t *testing.T) {
+	src := New(2)
+	for trial := 0; trial < 50; trial++ {
+		s := src.Sample(20, 10)
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 20 {
+				t.Fatalf("sample out of range: %d", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate sample %d", v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleTooManyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(1).Sample(3, 4)
+}
+
+func TestCategoricalRespectsWeights(t *testing.T) {
+	src := New(3)
+	counts := [3]int{}
+	for i := 0; i < 10000; i++ {
+		counts[src.Categorical([]float64{1, 0, 3})]++
+	}
+	if counts[1] != 0 {
+		t.Fatalf("zero-weight category drawn %d times", counts[1])
+	}
+	ratio := float64(counts[2]) / float64(counts[0])
+	if ratio < 2.5 || ratio > 3.6 {
+		t.Fatalf("weight-3 category ratio %v, want ≈3", ratio)
+	}
+}
+
+func TestCategoricalAllZeroUniform(t *testing.T) {
+	src := New(4)
+	counts := [4]int{}
+	for i := 0; i < 4000; i++ {
+		counts[src.Categorical([]float64{0, 0, 0, 0})]++
+	}
+	for i, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Fatalf("all-zero weights should be uniform, category %d drawn %d/4000", i, c)
+		}
+	}
+}
+
+func TestCategoricalIgnoresNegative(t *testing.T) {
+	src := New(5)
+	for i := 0; i < 1000; i++ {
+		if src.Categorical([]float64{-5, 1}) == 0 {
+			t.Fatal("negative-weight category must never be drawn when a positive exists")
+		}
+	}
+}
+
+func TestBernoulliExtremes(t *testing.T) {
+	src := New(6)
+	for i := 0; i < 100; i++ {
+		if src.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !src.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestFillUniformRange(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := New(seed)
+		buf := make([]float64, 100)
+		src.FillUniform(buf, -2, 3)
+		for _, v := range buf {
+			if v < -2 || v >= 3 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	src := New(9)
+	p := src.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if seen[v] {
+			t.Fatalf("duplicate %d in Perm", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,179 @@
+package robust
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fifl/internal/gradvec"
+	"fifl/internal/rng"
+)
+
+// honestCloud builds n noisy copies of a base vector plus f sign-flipped
+// amplified attackers.
+func honestCloud(src *rng.Source, dim, n, f int, ps float64) ([]gradvec.Vector, gradvec.Vector) {
+	base := make(gradvec.Vector, dim)
+	src.FillNormal(base, 0, 1)
+	out := make([]gradvec.Vector, 0, n+f)
+	for i := 0; i < n; i++ {
+		g := base.Clone()
+		noise := make([]float64, dim)
+		src.FillNormal(noise, 0, 0.2)
+		g.Add(gradvec.Vector(noise))
+		out = append(out, g)
+	}
+	for i := 0; i < f; i++ {
+		g := base.Clone()
+		g.Scale(-ps)
+		out = append(out, g)
+	}
+	return out, base
+}
+
+func TestMeanMatchesAverage(t *testing.T) {
+	grads := []gradvec.Vector{{1, 2}, {3, 4}, nil}
+	got := (Mean{}).Aggregate(grads)
+	if got[0] != 2 || got[1] != 3 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestAllHandleEmpty(t *testing.T) {
+	for _, a := range All(1) {
+		if a.Aggregate(nil) != nil {
+			t.Fatalf("%s: aggregate of nothing should be nil", a.Name())
+		}
+		if a.Aggregate([]gradvec.Vector{nil, {math.NaN()}}) != nil {
+			t.Fatalf("%s: aggregate of unusable gradients should be nil", a.Name())
+		}
+	}
+}
+
+func TestAllSingleGradientIdentity(t *testing.T) {
+	g := gradvec.Vector{1, -2, 3}
+	for _, a := range All(0) {
+		got := a.Aggregate([]gradvec.Vector{g})
+		for i := range g {
+			if math.Abs(got[i]-g[i]) > 1e-12 {
+				t.Fatalf("%s: single-gradient aggregate %v", a.Name(), got)
+			}
+		}
+	}
+}
+
+// TestRobustAggregatorsResistSignFlip is the core guarantee: with a
+// minority of amplified sign-flip attackers, every robust rule stays close
+// to the honest direction while the plain mean is dragged negative.
+func TestRobustAggregatorsResistSignFlip(t *testing.T) {
+	src := rng.New(1)
+	grads, base := honestCloud(src, 64, 7, 3, 5)
+	mean := (Mean{}).Aggregate(grads)
+	if base.CosSim(mean) > 0 {
+		t.Fatalf("plain mean should be corrupted, cos=%v", base.CosSim(mean))
+	}
+	for _, a := range []Aggregator{Krum{F: 3}, Krum{F: 3, M: 3}, Median{}, TrimmedMean{Beta: 3}} {
+		got := a.Aggregate(grads)
+		if cos := base.CosSim(got); cos < 0.5 {
+			t.Fatalf("%s failed to resist: cos=%v", a.Name(), cos)
+		}
+	}
+}
+
+func TestKrumPicksInlier(t *testing.T) {
+	src := rng.New(2)
+	grads, base := honestCloud(src, 32, 6, 2, 4)
+	got := Krum{F: 2}.Aggregate(grads)
+	// Krum returns one of the honest gradients: very close to base.
+	if cos := base.CosSim(got); cos < 0.9 {
+		t.Fatalf("krum picked an outlier: cos=%v", cos)
+	}
+}
+
+func TestMedianOddEven(t *testing.T) {
+	odd := []gradvec.Vector{{1}, {5}, {100}}
+	if got := (Median{}).Aggregate(odd); got[0] != 5 {
+		t.Fatalf("odd median = %v", got[0])
+	}
+	even := []gradvec.Vector{{1}, {3}, {5}, {100}}
+	if got := (Median{}).Aggregate(even); got[0] != 4 {
+		t.Fatalf("even median = %v", got[0])
+	}
+}
+
+func TestTrimmedMeanTrims(t *testing.T) {
+	grads := []gradvec.Vector{{-1000}, {1}, {2}, {3}, {1000}}
+	got := TrimmedMean{Beta: 1}.Aggregate(grads)
+	if got[0] != 2 {
+		t.Fatalf("trimmed mean = %v, want 2", got[0])
+	}
+	// Degenerate trim falls back to the median.
+	got = TrimmedMean{Beta: 3}.Aggregate(grads)
+	if got[0] != 2 {
+		t.Fatalf("degenerate trimmed mean = %v, want median 2", got[0])
+	}
+}
+
+func TestNormClipBoundsAmplification(t *testing.T) {
+	grads := []gradvec.Vector{{1, 0}, {1, 0}, {-100, 0}}
+	got := (NormClip{}).Aggregate(grads)
+	// The attacker is clipped to the median norm (1): (1 + 1 - 1)/3.
+	if math.Abs(got[0]-1.0/3) > 1e-12 {
+		t.Fatalf("norm-clip = %v, want 1/3", got[0])
+	}
+}
+
+// Property: every aggregator is permutation-invariant.
+func TestPermutationInvariance(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		grads, _ := honestCloud(src, 16, 5, 2, 3)
+		perm := src.Perm(len(grads))
+		shuffled := make([]gradvec.Vector, len(grads))
+		for i, p := range perm {
+			shuffled[i] = grads[p]
+		}
+		for _, a := range All(2) {
+			x := a.Aggregate(grads)
+			y := a.Aggregate(shuffled)
+			for i := range x {
+				if math.Abs(x[i]-y[i]) > 1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: median and trimmed mean are bounded by the per-coordinate
+// min/max of the inputs (no aggregate can exceed every worker).
+func TestCoordinateBounds(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n, dim := src.UniformInt(3, 9), src.UniformInt(1, 10)
+		grads := make([]gradvec.Vector, n)
+		for i := range grads {
+			g := make(gradvec.Vector, dim)
+			src.FillNormal(g, 0, 2)
+			grads[i] = g
+		}
+		for _, a := range []Aggregator{Median{}, TrimmedMean{Beta: 1}} {
+			got := a.Aggregate(grads)
+			for d := 0; d < dim; d++ {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for _, g := range grads {
+					lo = math.Min(lo, g[d])
+					hi = math.Max(hi, g[d])
+				}
+				if got[d] < lo-1e-12 || got[d] > hi+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

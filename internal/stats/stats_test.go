@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fifl/internal/rng"
+)
+
+func TestSumMeanVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 {
+		t.Fatalf("Sum = %v", Sum(xs))
+	}
+	if Mean(xs) != 2.5 {
+		t.Fatalf("Mean = %v", Mean(xs))
+	}
+	if got := Variance(xs); math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("Variance = %v, want 1.25", got)
+	}
+	if got := Std(xs); math.Abs(got-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("Std = %v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Variance(nil) != 0 {
+		t.Fatal("empty Mean/Variance should be 0")
+	}
+	if _, err := Min(nil); err != ErrEmpty {
+		t.Fatal("Min(nil) should return ErrEmpty")
+	}
+	if _, err := Max(nil); err != ErrEmpty {
+		t.Fatal("Max(nil) should return ErrEmpty")
+	}
+	if _, err := Quantile(nil, 0.5); err != ErrEmpty {
+		t.Fatal("Quantile(nil) should return ErrEmpty")
+	}
+	if _, err := Pearson(nil, nil); err != ErrEmpty {
+		t.Fatal("Pearson(nil,nil) should return ErrEmpty")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	mn, _ := Min(xs)
+	mx, _ := Max(xs)
+	if mn != -1 || mx != 7 {
+		t.Fatalf("Min/Max = %v/%v", mn, mx)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	r, err := Pearson(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want 1", r)
+	}
+	// Anti-correlation.
+	neg := []float64{-1, -2, -3, -4, -5}
+	r, _ = Pearson(xs, neg)
+	if math.Abs(r+1) > 1e-12 {
+		t.Fatalf("Pearson = %v, want -1", r)
+	}
+}
+
+func TestPearsonConstantSeriesError(t *testing.T) {
+	if _, err := Pearson([]float64{1, 1, 1}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant series must be an error")
+	}
+}
+
+func TestPearsonLengthMismatch(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must be an error")
+	}
+}
+
+// Property: Pearson is invariant to positive affine transforms — the key
+// property behind Theorem 2's fairness argument (rewards proportional to
+// contributions have correlation exactly 1).
+func TestPearsonAffineInvariance(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		n := src.UniformInt(3, 30)
+		xs := make([]float64, n)
+		src.FillNormal(xs, 0, 1)
+		a := src.Uniform(0.1, 5)
+		b := src.Uniform(-3, 3)
+		ys := make([]float64, n)
+		for i, x := range xs {
+			ys[i] = a*x + b
+		}
+		r, err := Pearson(xs, ys)
+		return err == nil && math.Abs(r-1) < 1e-9
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := Normalize([]float64{1, 3})
+	if math.Abs(n[0]-0.25) > 1e-12 || math.Abs(n[1]-0.75) > 1e-12 {
+		t.Fatalf("Normalize = %v", n)
+	}
+	z := Normalize([]float64{0, 0})
+	if z[0] != 0.5 || z[1] != 0.5 {
+		t.Fatalf("all-zero Normalize should be uniform, got %v", z)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75},
+	} {
+		got, err := Quantile(xs, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestRunningMatchesBatch(t *testing.T) {
+	src := rng.New(11)
+	xs := make([]float64, 500)
+	src.FillNormal(xs, 3, 2)
+	var r Running
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if math.Abs(r.Mean()-Mean(xs)) > 1e-9 {
+		t.Fatalf("Running mean %v vs batch %v", r.Mean(), Mean(xs))
+	}
+	if math.Abs(r.Var()-Variance(xs)) > 1e-9 {
+		t.Fatalf("Running var %v vs batch %v", r.Var(), Variance(xs))
+	}
+	if r.N() != 500 {
+		t.Fatalf("N = %d", r.N())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(0.5, 1) // bin 0
+	h.Add(9.5, 2) // bin 4
+	h.Add(-3, 1)  // clamped to bin 0
+	h.Add(99, 1)  // clamped to bin 4
+	h.Add(5, 4)   // bin 2
+	if h.Counts[0] != 2 || h.Counts[2] != 4 || h.Counts[4] != 3 {
+		t.Fatalf("Counts = %v", h.Counts)
+	}
+	shares := h.Shares()
+	if math.Abs(Sum(shares)-1) > 1e-12 {
+		t.Fatalf("Shares must sum to 1: %v", shares)
+	}
+}
+
+func TestHistogramBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewHistogram(5, 5, 3)
+}
+
+func TestArgMax(t *testing.T) {
+	if ArgMax([]float64{1, 5, 3}) != 1 {
+		t.Fatal("ArgMax wrong")
+	}
+	if ArgMax(nil) != -1 {
+		t.Fatal("ArgMax(nil) should be -1")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 3) != 3 || Clamp(-1, 0, 3) != 0 || Clamp(2, 0, 3) != 2 {
+		t.Fatal("Clamp wrong")
+	}
+}

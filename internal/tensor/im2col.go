@@ -1,0 +1,100 @@
+package tensor
+
+import "fmt"
+
+// ConvGeom describes the geometry of a 2-D convolution or pooling window
+// applied to a (channels, height, width) image.
+type ConvGeom struct {
+	InC, InH, InW int // input channels, height, width
+	KH, KW        int // kernel height, width
+	Stride        int
+	Pad           int
+}
+
+// OutH returns the output height for the geometry.
+func (g ConvGeom) OutH() int { return (g.InH+2*g.Pad-g.KH)/g.Stride + 1 }
+
+// OutW returns the output width for the geometry.
+func (g ConvGeom) OutW() int { return (g.InW+2*g.Pad-g.KW)/g.Stride + 1 }
+
+// Validate checks that the geometry is internally consistent.
+func (g ConvGeom) Validate() error {
+	switch {
+	case g.InC <= 0 || g.InH <= 0 || g.InW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive input dims %+v", g)
+	case g.KH <= 0 || g.KW <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive kernel %+v", g)
+	case g.Stride <= 0:
+		return fmt.Errorf("tensor: conv geometry has non-positive stride %+v", g)
+	case g.Pad < 0:
+		return fmt.Errorf("tensor: conv geometry has negative padding %+v", g)
+	case g.OutH() <= 0 || g.OutW() <= 0:
+		return fmt.Errorf("tensor: conv geometry yields empty output %+v", g)
+	}
+	return nil
+}
+
+// Im2Col lowers one image (flat CHW slice) into a column matrix of shape
+// (outH*outW) × (inC*kh*kw), writing into dst which must have exactly that
+// capacity. Out-of-bounds (padding) taps contribute zeros. The lowering
+// turns convolution into a single matmul: cols · Wᵀ.
+func Im2Col(dst []float64, img []float64, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := g.InC * g.KH * g.KW
+	if len(dst) != outH*outW*cols {
+		panic(fmt.Sprintf("tensor: Im2Col dst length %d, want %d", len(dst), outH*outW*cols))
+	}
+	di := 0
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				base := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							dst[di] = img[base+iy*g.InW+ix]
+						} else {
+							dst[di] = 0
+						}
+						di++
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2Im scatters a column-matrix gradient back onto an image gradient,
+// accumulating overlapping taps. It is the adjoint of Im2Col: positions that
+// fell in the padding are dropped.
+func Col2Im(dImg []float64, dCols []float64, g ConvGeom) {
+	outH, outW := g.OutH(), g.OutW()
+	cols := g.InC * g.KH * g.KW
+	if len(dCols) != outH*outW*cols {
+		panic(fmt.Sprintf("tensor: Col2Im dCols length %d, want %d", len(dCols), outH*outW*cols))
+	}
+	si := 0
+	for oy := 0; oy < outH; oy++ {
+		iy0 := oy*g.Stride - g.Pad
+		for ox := 0; ox < outW; ox++ {
+			ix0 := ox*g.Stride - g.Pad
+			for c := 0; c < g.InC; c++ {
+				base := c * g.InH * g.InW
+				for ky := 0; ky < g.KH; ky++ {
+					iy := iy0 + ky
+					for kx := 0; kx < g.KW; kx++ {
+						ix := ix0 + kx
+						if iy >= 0 && iy < g.InH && ix >= 0 && ix < g.InW {
+							dImg[base+iy*g.InW+ix] += dCols[si]
+						}
+						si++
+					}
+				}
+			}
+		}
+	}
+}

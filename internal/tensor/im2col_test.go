@@ -1,0 +1,119 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"fifl/internal/rng"
+)
+
+func TestConvGeomOutputDims(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 28, InW: 28, KH: 5, KW: 5, Stride: 1, Pad: 2}
+	if g.OutH() != 28 || g.OutW() != 28 {
+		t.Fatalf("pad-2 5x5 stride-1 should preserve 28x28, got %dx%d", g.OutH(), g.OutW())
+	}
+	g2 := ConvGeom{InC: 3, InH: 32, InW: 32, KH: 3, KW: 3, Stride: 2, Pad: 1}
+	if g2.OutH() != 16 || g2.OutW() != 16 {
+		t.Fatalf("stride-2 should halve 32x32, got %dx%d", g2.OutH(), g2.OutW())
+	}
+}
+
+func TestConvGeomValidate(t *testing.T) {
+	bad := []ConvGeom{
+		{InC: 0, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 0, KW: 3, Stride: 1},
+		{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 0},
+		{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: -1},
+		{InC: 1, InH: 2, InW: 2, KH: 5, KW: 5, Stride: 1, Pad: 0}, // empty output
+	}
+	for i, g := range bad {
+		if g.Validate() == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, g)
+		}
+	}
+	good := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestIm2ColIdentityKernel(t *testing.T) {
+	// A 1x1 kernel with stride 1 and no padding is the identity lowering.
+	g := ConvGeom{InC: 2, InH: 3, InW: 3, KH: 1, KW: 1, Stride: 1, Pad: 0}
+	img := make([]float64, 2*3*3)
+	for i := range img {
+		img[i] = float64(i)
+	}
+	cols := make([]float64, g.OutH()*g.OutW()*g.InC)
+	Im2Col(cols, img, g)
+	// Column q holds the two channel values of pixel q.
+	for q := 0; q < 9; q++ {
+		if cols[q*2] != float64(q) || cols[q*2+1] != float64(9+q) {
+			t.Fatalf("col %d = %v,%v", q, cols[q*2], cols[q*2+1])
+		}
+	}
+}
+
+func TestIm2ColPaddingZeros(t *testing.T) {
+	g := ConvGeom{InC: 1, InH: 2, InW: 2, KH: 3, KW: 3, Stride: 1, Pad: 1}
+	img := []float64{1, 2, 3, 4}
+	cols := make([]float64, g.OutH()*g.OutW()*9)
+	Im2Col(cols, img, g)
+	// Output position (0,0): the 3x3 window centred at (0,0) touches the
+	// image only at its bottom-right 2x2 corner.
+	first := cols[:9]
+	want := []float64{0, 0, 0, 0, 1, 2, 0, 3, 4}
+	for i, v := range want {
+		if first[i] != v {
+			t.Fatalf("window(0,0) = %v, want %v", first, want)
+		}
+	}
+}
+
+// TestCol2ImAdjoint verifies ⟨Im2Col(x), y⟩ == ⟨x, Col2Im(y)⟩: Col2Im is the
+// exact adjoint of Im2Col, which is what makes the convolution backward
+// pass correct.
+func TestCol2ImAdjoint(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 10; trial++ {
+		g := ConvGeom{
+			InC: src.UniformInt(1, 3), InH: src.UniformInt(3, 8), InW: src.UniformInt(3, 8),
+			KH: 3, KW: 3, Stride: src.UniformInt(1, 2), Pad: src.UniformInt(0, 1),
+		}
+		if g.Validate() != nil {
+			continue
+		}
+		nImg := g.InC * g.InH * g.InW
+		nCols := g.OutH() * g.OutW() * g.InC * g.KH * g.KW
+		x := make([]float64, nImg)
+		y := make([]float64, nCols)
+		src.FillNormal(x, 0, 1)
+		src.FillNormal(y, 0, 1)
+
+		cols := make([]float64, nCols)
+		Im2Col(cols, x, g)
+		lhs := 0.0
+		for i := range cols {
+			lhs += cols[i] * y[i]
+		}
+		back := make([]float64, nImg)
+		Col2Im(back, y, g)
+		rhs := 0.0
+		for i := range back {
+			rhs += back[i] * x[i]
+		}
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("adjoint identity violated: %v vs %v (geom %+v)", lhs, rhs, g)
+		}
+	}
+}
+
+func TestIm2ColWrongDstPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dst length")
+		}
+	}()
+	g := ConvGeom{InC: 1, InH: 4, InW: 4, KH: 3, KW: 3, Stride: 1, Pad: 0}
+	Im2Col(make([]float64, 1), make([]float64, 16), g)
+}

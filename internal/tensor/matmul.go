@@ -1,0 +1,129 @@
+package tensor
+
+import (
+	"fmt"
+
+	"fifl/internal/parallel"
+)
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n), writing the
+// result into a freshly allocated tensor. Rows of the output are computed in
+// parallel across cores; the inner loops are ordered i-k-j so B is streamed
+// row-wise for cache locality.
+func MatMul(a, b *Tensor) *Tensor {
+	c := New(a.Dim(0), b.Dim(1))
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A·B, reusing dst's storage. It panics on shape
+// mismatch. dst must not alias a or b.
+func MatMulInto(dst, a, b *Tensor) {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic("tensor: MatMul requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic(fmt.Sprintf("tensor: MatMul output shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := cd[i*n : (i+1)*n]
+			for j := range ci {
+				ci[j] = 0
+			}
+			ai := ad[i*k : (i+1)*k]
+			for p, av := range ai {
+				if av == 0 {
+					continue
+				}
+				bp := bd[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+}
+
+// MatMulT1 computes C = Aᵀ·B for A (k×m) and B (k×n), producing m×n.
+// Used by the Linear layer backward pass (dW = Xᵀ·dY).
+func MatMulT1(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT1 requires rank-2 tensors")
+	}
+	k, m := a.Dim(0), a.Dim(1)
+	k2, n := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT1 inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	// Parallelize over output rows; each output row i gathers column i of A.
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := cd[i*n : (i+1)*n]
+			for p := 0; p < k; p++ {
+				av := ad[p*m+i]
+				if av == 0 {
+					continue
+				}
+				bp := bd[p*n : (p+1)*n]
+				for j, bv := range bp {
+					ci[j] += av * bv
+				}
+			}
+		}
+	})
+	return c
+}
+
+// MatMulT2 computes C = A·Bᵀ for A (m×k) and B (n×k), producing m×n.
+// Used by the Linear layer backward pass (dX = dY·Wᵀ).
+func MatMulT2(a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic("tensor: MatMulT2 requires rank-2 tensors")
+	}
+	m, k := a.Dim(0), a.Dim(1)
+	n, k2 := b.Dim(0), b.Dim(1)
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulT2 inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	parallel.ForChunked(m, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ai := ad[i*k : (i+1)*k]
+			ci := cd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := bd[j*k : (j+1)*k]
+				s := 0.0
+				for p, av := range ai {
+					s += av * bj[p]
+				}
+				ci[j] = s
+			}
+		}
+	})
+	return c
+}
+
+// Transpose2D returns the transpose of a rank-2 tensor as a new tensor.
+func Transpose2D(a *Tensor) *Tensor {
+	if a.Rank() != 2 {
+		panic("tensor: Transpose2D requires a rank-2 tensor")
+	}
+	m, n := a.Dim(0), a.Dim(1)
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return t
+}

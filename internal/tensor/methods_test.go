@@ -1,0 +1,91 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFullAndFill(t *testing.T) {
+	a := Full(3.5, 2, 2)
+	for _, v := range a.Data() {
+		if v != 3.5 {
+			t.Fatalf("Full = %v", a.Data())
+		}
+	}
+	a.Fill(-1)
+	for _, v := range a.Data() {
+		if v != -1 {
+			t.Fatalf("Fill = %v", a.Data())
+		}
+	}
+	a.Zero()
+	for _, v := range a.Data() {
+		if v != 0 {
+			t.Fatalf("Zero = %v", a.Data())
+		}
+	}
+}
+
+func TestApply(t *testing.T) {
+	a := FromSlice([]float64{1, -2, 3}, 3)
+	a.Apply(math.Abs)
+	if a.Data()[1] != 2 {
+		t.Fatalf("Apply = %v", a.Data())
+	}
+}
+
+func TestSumMaxAbs(t *testing.T) {
+	a := FromSlice([]float64{1, -5, 3}, 3)
+	if a.Sum() != -1 {
+		t.Fatalf("Sum = %v", a.Sum())
+	}
+	if a.MaxAbs() != 5 {
+		t.Fatalf("MaxAbs = %v", a.MaxAbs())
+	}
+	if New().MaxAbs() != 0 {
+		t.Fatal("empty MaxAbs should be 0")
+	}
+}
+
+func TestMulElem(t *testing.T) {
+	a := FromSlice([]float64{2, 3}, 2)
+	b := FromSlice([]float64{4, 5}, 2)
+	a.MulElem(b)
+	if a.Data()[0] != 8 || a.Data()[1] != 15 {
+		t.Fatalf("MulElem = %v", a.Data())
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	a, b := New(2), New(3)
+	for name, fn := range map[string]func(){
+		"Add":     func() { a.Add(b) },
+		"Sub":     func() { a.Sub(b) },
+		"MulElem": func() { a.MulElem(b) },
+		"Dot":     func() { a.Dot(b) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStringCompact(t *testing.T) {
+	if got := New(2, 3).String(); got != "Tensor[2 3]" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestReshapeBadVolumePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(4).Reshape(3)
+}

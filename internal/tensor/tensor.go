@@ -1,0 +1,260 @@
+// Package tensor implements dense float64 tensors and the numerical kernels
+// the neural-network engine is built on: element-wise arithmetic, blocked
+// cache-friendly matrix multiplication parallelized across cores, and the
+// im2col transform used to lower convolutions onto matmul.
+//
+// Tensors are row-major and carry an explicit shape. The package favours
+// in-place operations so the training loop can run allocation-free in steady
+// state; every mutating method returns its receiver to allow chaining.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"fifl/internal/rng"
+)
+
+// Tensor is a dense row-major float64 tensor. The zero value is an empty
+// tensor; use New or FromSlice to create usable values.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New allocates a zero-filled tensor with the given shape. It panics if any
+// dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: make([]float64, n)}
+}
+
+// FromSlice wraps data in a tensor with the given shape. The tensor aliases
+// data; it does not copy. It panics if the length of data does not match the
+// shape volume.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (need %d)", len(data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: data}
+}
+
+// Full returns a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// RandN returns a tensor filled with normal deviates of the given std.
+func RandN(src *rng.Source, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	src.FillNormal(t.data, 0, std)
+	return t
+}
+
+// Shape returns the tensor's shape. The caller must not mutate it.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Dim returns the size of axis i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of axes.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the underlying storage. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Clone returns a deep copy.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a view with a new shape sharing the same storage. It
+// panics if the volumes differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	return &Tensor{shape: append([]int(nil), shape...), data: t.data}
+}
+
+// offset computes the flat index of a multi-dimensional index.
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.offset(idx)] }
+
+// Set assigns the element at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.offset(idx)] = v }
+
+// Zero resets every element to 0 and returns the receiver.
+func (t *Tensor) Zero() *Tensor {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+	return t
+}
+
+// Fill sets every element to v and returns the receiver.
+func (t *Tensor) Fill(v float64) *Tensor {
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+// sameShape panics unless a and b have identical shapes.
+func sameShape(op string, a, b *Tensor) {
+	if len(a.shape) != len(b.shape) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, a.shape, b.shape))
+		}
+	}
+}
+
+// Add adds o element-wise into t and returns t.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	sameShape("Add", t, o)
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+	return t
+}
+
+// Sub subtracts o element-wise from t and returns t.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	sameShape("Sub", t, o)
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+	return t
+}
+
+// MulElem multiplies t by o element-wise and returns t.
+func (t *Tensor) MulElem(o *Tensor) *Tensor {
+	sameShape("MulElem", t, o)
+	for i, v := range o.data {
+		t.data[i] *= v
+	}
+	return t
+}
+
+// Scale multiplies every element by s and returns t.
+func (t *Tensor) Scale(s float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= s
+	}
+	return t
+}
+
+// AddScaled adds s*o element-wise into t and returns t (axpy).
+func (t *Tensor) AddScaled(s float64, o *Tensor) *Tensor {
+	sameShape("AddScaled", t, o)
+	for i, v := range o.data {
+		t.data[i] += s * v
+	}
+	return t
+}
+
+// Apply replaces every element x by f(x) and returns t.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	if len(t.data) != len(o.data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", len(t.data), len(o.data)))
+	}
+	s := 0.0
+	for i, v := range t.data {
+		s += v * o.data[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of t viewed as a flat vector.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// HasNaN reports whether any element is NaN or infinite. The paper notes
+// that strong sign-flipping attacks (p_s >= 10) drive the loss to NaN; the
+// training loop uses this to detect a crashed model.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}

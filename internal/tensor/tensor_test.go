@@ -1,0 +1,229 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fifl/internal/rng"
+)
+
+func TestNewShapeAndSize(t *testing.T) {
+	tt := New(2, 3, 4)
+	if tt.Size() != 24 {
+		t.Fatalf("Size = %d, want 24", tt.Size())
+	}
+	if tt.Rank() != 3 {
+		t.Fatalf("Rank = %d, want 3", tt.Rank())
+	}
+	if tt.Dim(1) != 3 {
+		t.Fatalf("Dim(1) = %d, want 3", tt.Dim(1))
+	}
+}
+
+func TestNewNegativeDimPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for negative dimension")
+		}
+	}()
+	New(2, -1)
+}
+
+func TestFromSliceLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad FromSlice length")
+		}
+	}()
+	FromSlice([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	tt := New(3, 4)
+	tt.Set(7.5, 2, 1)
+	if got := tt.At(2, 1); got != 7.5 {
+		t.Fatalf("At(2,1) = %v, want 7.5", got)
+	}
+	// Row-major layout: element (2,1) is at flat index 2*4+1.
+	if tt.Data()[9] != 7.5 {
+		t.Fatalf("flat layout wrong: %v", tt.Data())
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range index")
+		}
+	}()
+	New(2, 2).At(0, 2)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := a.Clone()
+	b.Data()[0] = 99
+	if a.Data()[0] != 1 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestReshapeSharesStorage(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b := a.Reshape(4)
+	b.Data()[3] = 42
+	if a.At(1, 1) != 42 {
+		t.Fatal("Reshape must alias storage")
+	}
+}
+
+func TestElementwiseOps(t *testing.T) {
+	a := FromSlice([]float64{1, 2, 3}, 3)
+	b := FromSlice([]float64{4, 5, 6}, 3)
+	a.Add(b)
+	want := []float64{5, 7, 9}
+	for i, v := range want {
+		if a.Data()[i] != v {
+			t.Fatalf("Add: got %v, want %v", a.Data(), want)
+		}
+	}
+	a.Sub(b)
+	for i, v := range []float64{1, 2, 3} {
+		if a.Data()[i] != v {
+			t.Fatalf("Sub: got %v at %d, want %v", a.Data()[i], i, v)
+		}
+	}
+	a.Scale(2)
+	if a.Data()[2] != 6 {
+		t.Fatalf("Scale: got %v", a.Data())
+	}
+	a.AddScaled(0.5, b)
+	if a.Data()[0] != 2+2 {
+		t.Fatalf("AddScaled: got %v", a.Data())
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	a := FromSlice([]float64{3, 4}, 2)
+	if got := a.Dot(a); got != 25 {
+		t.Fatalf("Dot = %v, want 25", got)
+	}
+	if got := a.Norm2(); got != 5 {
+		t.Fatalf("Norm2 = %v, want 5", got)
+	}
+}
+
+func TestHasNaN(t *testing.T) {
+	a := FromSlice([]float64{1, math.NaN()}, 2)
+	if !a.HasNaN() {
+		t.Fatal("HasNaN missed NaN")
+	}
+	b := FromSlice([]float64{1, math.Inf(1)}, 2)
+	if !b.HasNaN() {
+		t.Fatal("HasNaN missed Inf")
+	}
+	c := FromSlice([]float64{1, 2}, 2)
+	if c.HasNaN() {
+		t.Fatal("HasNaN false positive")
+	}
+}
+
+// matMulNaive is the reference implementation for property tests.
+func matMulNaive(a, b *Tensor) *Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	c := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += a.At(i, p) * b.At(p, j)
+			}
+			c.Set(s, i, j)
+		}
+	}
+	return c
+}
+
+func tensorsClose(a, b *Tensor, tol float64) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	for i, v := range a.Data() {
+		if math.Abs(v-b.Data()[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMatMulMatchesNaive(t *testing.T) {
+	src := rng.New(1)
+	for trial := 0; trial < 20; trial++ {
+		m, k, n := src.UniformInt(1, 12), src.UniformInt(1, 12), src.UniformInt(1, 12)
+		a := RandN(src, 1, m, k)
+		b := RandN(src, 1, k, n)
+		if !tensorsClose(MatMul(a, b), matMulNaive(a, b), 1e-12) {
+			t.Fatalf("MatMul mismatch at %dx%dx%d", m, k, n)
+		}
+	}
+}
+
+func TestMatMulT1MatchesTranspose(t *testing.T) {
+	src := rng.New(2)
+	a := RandN(src, 1, 7, 5)
+	b := RandN(src, 1, 7, 6)
+	got := MatMulT1(a, b)
+	want := MatMul(Transpose2D(a), b)
+	if !tensorsClose(got, want, 1e-12) {
+		t.Fatal("MatMulT1 != Aᵀ·B")
+	}
+}
+
+func TestMatMulT2MatchesTranspose(t *testing.T) {
+	src := rng.New(3)
+	a := RandN(src, 1, 7, 5)
+	b := RandN(src, 1, 6, 5)
+	got := MatMulT2(a, b)
+	want := MatMul(a, Transpose2D(b))
+	if !tensorsClose(got, want, 1e-12) {
+		t.Fatal("MatMulT2 != A·Bᵀ")
+	}
+}
+
+func TestMatMulShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inner-dimension mismatch")
+		}
+	}()
+	MatMul(New(2, 3), New(4, 2))
+}
+
+func TestTranspose2DInvolution(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		m, n := src.UniformInt(1, 10), src.UniformInt(1, 10)
+		a := RandN(src, 1, m, n)
+		return tensorsClose(Transpose2D(Transpose2D(a)), a, 0)
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ⟨A·x, y⟩ == ⟨x, Aᵀ·y⟩ (adjointness), the identity the backward
+// passes rely on.
+func TestMatMulAdjointProperty(t *testing.T) {
+	if err := quick.Check(func(seed uint64) bool {
+		src := rng.New(seed)
+		m, n := src.UniformInt(1, 8), src.UniformInt(1, 8)
+		a := RandN(src, 1, m, n)
+		x := RandN(src, 1, n, 1)
+		y := RandN(src, 1, m, 1)
+		lhs := MatMul(a, x).Dot(y)
+		rhs := x.Dot(MatMul(Transpose2D(a), y))
+		return math.Abs(lhs-rhs) < 1e-9
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func sampleRecorder() *Recorder {
+	r := NewRecorder()
+	for round := 0; round < 3; round++ {
+		for worker := 0; worker < 2; worker++ {
+			r.RecordWorker(WorkerRound{
+				Round:        round,
+				Worker:       worker,
+				Score:        float64(worker),
+				Accepted:     worker == 0,
+				Reputation:   0.5 + float64(round)*0.1,
+				Contribution: float64(round),
+				Reward:       float64(round) * 0.1,
+			})
+		}
+		r.RecordMetrics(RoundMetrics{Round: round, Accuracy: 0.1 * float64(round), Loss: 2 - float64(round)*0.1})
+	}
+	return r
+}
+
+func TestRecorderCounts(t *testing.T) {
+	r := sampleRecorder()
+	if r.Len() != 6 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.Rounds() != 3 {
+		t.Fatalf("Rounds = %d", r.Rounds())
+	}
+}
+
+func TestWorkerHistoryOrdered(t *testing.T) {
+	r := sampleRecorder()
+	h := r.WorkerHistory(1)
+	if len(h) != 3 {
+		t.Fatalf("history length %d", len(h))
+	}
+	for i, rec := range h {
+		if rec.Round != i || rec.Worker != 1 {
+			t.Fatalf("history out of order: %+v", h)
+		}
+	}
+}
+
+func TestCumulativeReward(t *testing.T) {
+	r := sampleRecorder()
+	if got := r.CumulativeReward(0); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("cumulative = %v", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := sampleRecorder()
+	sums := r.Summarize()
+	if len(sums) != 2 {
+		t.Fatalf("summaries = %d", len(sums))
+	}
+	s0 := sums[0]
+	if s0.Worker != 0 || s0.Rounds != 3 {
+		t.Fatalf("summary = %+v", s0)
+	}
+	if s0.AcceptRate != 1 {
+		t.Fatalf("accept rate = %v", s0.AcceptRate)
+	}
+	if sums[1].AcceptRate != 0 {
+		t.Fatalf("worker 1 accept rate = %v", sums[1].AcceptRate)
+	}
+	if math.Abs(s0.FinalReputation-0.7) > 1e-12 {
+		t.Fatalf("final reputation = %v", s0.FinalReputation)
+	}
+	if math.Abs(s0.MeanContribution-1) > 1e-12 {
+		t.Fatalf("mean contribution = %v", s0.MeanContribution)
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 9 { // 6 worker + 3 metrics
+		t.Fatalf("jsonl lines = %d", len(lines))
+	}
+	// Every line must be valid JSON with a type tag.
+	for _, line := range lines {
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(line), &obj); err != nil {
+			t.Fatalf("invalid JSON line %q: %v", line, err)
+		}
+		if obj["type"] != "worker" && obj["type"] != "metrics" {
+			t.Fatalf("unexpected type %v", obj["type"])
+		}
+	}
+}
+
+func TestWriteJSONLSanitizesNaN(t *testing.T) {
+	r := NewRecorder()
+	r.RecordWorker(WorkerRound{Round: 0, Worker: 0, Score: math.NaN(), Uncertain: true})
+	var buf bytes.Buffer
+	if err := r.WriteJSONL(&buf); err != nil {
+		t.Fatalf("NaN score must not break JSON encoding: %v", err)
+	}
+	if !strings.Contains(buf.String(), `"uncertain":true`) {
+		t.Fatal("uncertain flag lost")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := sampleRecorder()
+	var buf bytes.Buffer
+	if err := r.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 7 { // header + 6
+		t.Fatalf("csv rows = %d", len(rows))
+	}
+	if rows[0][0] != "round" || len(rows[0]) != 8 {
+		t.Fatalf("header = %v", rows[0])
+	}
+}
