@@ -14,9 +14,11 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"fifl/internal/chain"
 	"fifl/internal/experiments"
+	"fifl/internal/fl"
 	"fifl/internal/rng"
 	"fifl/internal/trace"
 )
@@ -37,11 +39,27 @@ func main() {
 		audit     = flag.Bool("audit", false, "verify the blockchain ledger and audit a reputation at the end")
 		evalEach  = flag.Int("eval", 5, "evaluate global model every this many rounds")
 		traceFile = flag.String("trace", "", "write a JSONL run trace to this file (.csv extension switches to CSV)")
+		drop      = flag.Float64("drop", 0, "per-round upload loss probability")
+		quorum    = flag.Int("quorum", 0, "minimum arrivals for a round to commit (0 = no quorum)")
+		retries   = flag.Int("retries", 0, "retransmission attempts for lost uploads")
+		backoff   = flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff between retransmissions")
 	)
 	flag.Parse()
 
 	if *nFlip+*nPoison >= *workers {
 		fmt.Fprintln(os.Stderr, "fifl-sim: attackers must be fewer than workers")
+		os.Exit(2)
+	}
+	if *drop < 0 || *drop > 1 {
+		fmt.Fprintf(os.Stderr, "fifl-sim: -drop must be in [0,1], got %g\n", *drop)
+		os.Exit(2)
+	}
+	if *quorum > *workers {
+		fmt.Fprintf(os.Stderr, "fifl-sim: -quorum %d exceeds -workers %d\n", *quorum, *workers)
+		os.Exit(2)
+	}
+	if *retries < 0 || *backoff < 0 {
+		fmt.Fprintln(os.Stderr, "fifl-sim: -retries and -retry-backoff must be non-negative")
 		os.Exit(2)
 	}
 
@@ -77,7 +95,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	fed := experiments.BuildFederation(sc, dk, kinds, rng.New(sc.Seed).Split("sim"))
+	sc.DropRate = *drop
+	var opts []fl.Option
+	if *quorum > 0 {
+		opts = append(opts, fl.WithQuorum(*quorum))
+	}
+	if *retries > 0 {
+		opts = append(opts, fl.WithRetry(*retries, *backoff))
+	}
+	fed := experiments.BuildFederation(sc, dk, kinds, rng.New(sc.Seed).Split("sim"), opts...)
 	coord := experiments.DefaultCoordinator(fed, *sy, true)
 
 	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
@@ -85,7 +111,11 @@ func main() {
 
 	recorder := trace.NewRecorder()
 	for t := 0; t < *rounds; t++ {
-		rep := coord.RunRound(t)
+		rep, err := coord.RunRound(t)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fifl-sim: round %d: %v\n", t, err)
+			os.Exit(1)
+		}
 		for _, rec := range rep.TraceRecords() {
 			recorder.RecordWorker(rec)
 		}
@@ -96,6 +126,9 @@ func main() {
 			}
 		}
 		line := fmt.Sprintf("round %3d  accepted %d/%d  servers %v", t, accepted, *workers, rep.Servers)
+		if !rep.Committed {
+			line += "  QUORUM MISSED (round degraded)"
+		}
 		if t%sc.EvalEvery == 0 || t == *rounds-1 {
 			acc, loss := fed.Engine.Evaluate(fed.Test, 256)
 			recorder.RecordMetrics(trace.RoundMetrics{Round: t, Accuracy: acc, Loss: loss})

@@ -8,6 +8,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"fifl/internal/experiments"
 	"fifl/internal/gradvec"
@@ -56,7 +57,10 @@ func main() {
 
 		caught, certain := 0, 0
 		for t := 0; t < cfg.TrainRounds; t++ {
-			rep := coord.RunRound(t)
+			rep, err := coord.RunRound(t)
+			if err != nil {
+				log.Fatal(err)
+			}
 			last := cfg.TrainWorkers - 1
 			if !rep.Detection.Uncertain[last] {
 				certain++

@@ -7,6 +7,7 @@ package main
 
 import (
 	"fmt"
+	"log"
 
 	"fifl/internal/experiments"
 	"fifl/internal/rng"
@@ -39,7 +40,10 @@ func main() {
 	coord := experiments.DefaultCoordinator(fedB, 0.05, false)
 	caught := 0
 	for t := 0; t < sc.TrainRounds; t++ {
-		report := coord.RunRound(t)
+		report, err := coord.RunRound(t)
+		if err != nil {
+			log.Fatal(err)
+		}
 		for i, k := range kinds {
 			if k.Kind == "signflip" && !report.Detection.Accept[i] && !report.Detection.Uncertain[i] {
 				caught++

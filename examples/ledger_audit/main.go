@@ -32,7 +32,9 @@ func main() {
 	coord := experiments.DefaultCoordinator(fed, 0.02, true) // ledger on
 
 	for t := 0; t < sc.TrainRounds; t++ {
-		coord.RunRound(t)
+		if _, err := coord.RunRound(t); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("ran %d rounds; ledger holds %d signed blocks\n", sc.TrainRounds, coord.Ledger.Len())
 	fmt.Printf("attacker (worker %d) reputation on chain: %.3f\n\n", attacker, coord.Rep.Reputation(attacker))

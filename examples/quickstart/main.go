@@ -37,7 +37,10 @@ func main() {
 	// The last worker flips the sign of its gradients with intensity 4.
 	workers[nWorkers-1] = attack.NewSignFlipWorker(nWorkers-1, parts[nWorkers-1], build, local, src, 4)
 
-	engine := fifl.NewEngine(fifl.EngineConfig{Servers: nServers, GlobalLR: 0.05}, build, workers, src)
+	engine, err := fifl.NewEngine(fifl.EngineConfig{Servers: nServers, GlobalLR: 0.05}, build, workers, src)
+	if err != nil {
+		log.Fatal(err)
+	}
 	coord, err := fifl.NewCoordinator(fifl.CoordinatorConfig{
 		Detection:  fifl.Detector{Threshold: 0.02},
 		Reputation: fifl.DefaultReputationConfig(),
@@ -52,7 +55,10 @@ func main() {
 	}
 
 	for t := 0; t < rounds; t++ {
-		report := coord.RunRound(t)
+		report, err := coord.RunRound(t)
+		if err != nil {
+			log.Fatal(err)
+		}
 		if t%5 == 0 || t == rounds-1 {
 			acc, loss := engine.Evaluate(test, 128)
 			fmt.Printf("round %2d: accepted=%v acc=%.3f loss=%.3f\n",

@@ -19,23 +19,32 @@
 //		workers = append(workers, fifl.NewHonestWorker(i, p, build,
 //			fifl.LocalConfig{K: 1, BatchSize: 16, LR: 0.05}, src))
 //	}
-//	engine := fifl.NewEngine(fifl.EngineConfig{Servers: 2, GlobalLR: 0.05},
-//		build, workers, src)
+//	engine, err := fifl.NewEngine(fifl.EngineConfig{Servers: 2, GlobalLR: 0.05},
+//		build, workers, src,
+//		fifl.WithQuorum(3), fifl.WithRetry(2, 50*time.Millisecond))
+//	// handle err
 //	coord, err := fifl.NewCoordinator(fifl.CoordinatorConfig{
 //		Detection:      fifl.Detector{Threshold: 0.02},
 //		Reputation:     fifl.DefaultReputationConfig(),
 //		Contribution:   fifl.ContributionConfig{BaselineWorker: -1, Clamp: 10, SmoothBH: 0.2},
 //		RewardPerRound: 1,
 //	}, engine, []int{0, 1})
-//	// handle err, then: report := coord.RunRound(0)
+//	// handle err, then: report, err := coord.RunRound(0)
+//
+// Every constructor and round entry point returns errors instead of
+// panicking; rounds accept a context through RunRoundContext and
+// CollectGradientsContext for cancellation.
 //
 // See examples/ for complete programs and internal/experiments for the
 // code behind every figure of the paper.
 package fifl
 
 import (
+	"time"
+
 	"fifl/internal/core"
 	"fifl/internal/dataset"
+	"fifl/internal/faults"
 	"fifl/internal/fl"
 	"fifl/internal/gradvec"
 	"fifl/internal/incentive"
@@ -96,16 +105,63 @@ type (
 	RoundResult = fl.RoundResult
 	// Gradient is a flat gradient vector.
 	Gradient = gradvec.Vector
+	// EngineOption customizes the engine's fault-tolerant round runtime.
+	EngineOption = fl.Option
+	// UploadStatus classifies the fate of one worker's upload in one
+	// round: OK, Retried, Dropped, TimedOut or Crashed.
+	UploadStatus = faults.UploadStatus
+	// Fault is one simulated failure decision (none, drop, straggle,
+	// crash).
+	Fault = faults.Fault
+	// FaultInjector is a pluggable failure model consulted for every
+	// transmission attempt; see the faults package for crash, straggler
+	// and bursty-link implementations.
+	FaultInjector = faults.Injector
 )
+
+// Upload status values recorded by the fault-tolerant runtime.
+const (
+	// UploadOK marks an upload that arrived on the first attempt.
+	UploadOK = faults.StatusOK
+	// UploadRetried marks an upload that arrived after retransmission.
+	UploadRetried = faults.StatusRetried
+	// UploadDropped marks an upload lost despite every retry.
+	UploadDropped = faults.StatusDropped
+	// UploadTimedOut marks a worker cut off at the straggler deadline.
+	UploadTimedOut = faults.StatusTimedOut
+	// UploadCrashed marks a worker that crashed before uploading.
+	UploadCrashed = faults.StatusCrashed
+)
+
+// WithQuorum makes rounds commit only when at least k uploads arrive;
+// rounds below the threshold degrade gracefully (no aggregation, uncertain
+// events for everyone).
+func WithQuorum(k int) EngineOption { return fl.WithQuorum(k) }
+
+// WithWorkerTimeout sets the per-worker round deadline (straggler cutoff).
+func WithWorkerTimeout(d time.Duration) EngineOption { return fl.WithWorkerTimeout(d) }
+
+// WithRetry lets workers retransmit lost uploads up to n times with
+// exponential backoff; decisions stay on the engine's deterministic
+// random stream.
+func WithRetry(n int, backoff time.Duration) EngineOption { return fl.WithRetry(n, backoff) }
+
+// WithFaultInjector installs a simulated failure model for the federation.
+func WithFaultInjector(inj FaultInjector) EngineOption { return fl.WithFaultInjector(inj) }
+
+// WithMaxConcurrent bounds how many workers train at once.
+func WithMaxConcurrent(k int) EngineOption { return fl.WithMaxConcurrent(k) }
 
 // NewHonestWorker builds a faithful worker over a local dataset.
 func NewHonestWorker(id int, data *Dataset, build ModelBuilder, cfg LocalConfig, src *RNG) *fl.HonestWorker {
 	return fl.NewHonestWorker(id, data, build, cfg, src)
 }
 
-// NewEngine builds a federation runtime.
-func NewEngine(cfg EngineConfig, build ModelBuilder, workers []Worker, src *RNG) *Engine {
-	return fl.NewEngine(cfg, build, workers, src)
+// NewEngine builds a federation runtime. Options configure the
+// fault-tolerant round runtime: WithQuorum, WithWorkerTimeout, WithRetry,
+// WithFaultInjector and WithMaxConcurrent.
+func NewEngine(cfg EngineConfig, build ModelBuilder, workers []Worker, src *RNG, opts ...EngineOption) (*Engine, error) {
+	return fl.NewEngine(cfg, build, workers, src, opts...)
 }
 
 // FIFL mechanism types.

@@ -31,7 +31,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	}
 	workers[nWorkers-1] = attack.NewSignFlipWorker(nWorkers-1, parts[nWorkers-1], build, local, src, 4)
 
-	engine := NewEngine(EngineConfig{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	engine, err := NewEngine(EngineConfig{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	coord, err := NewCoordinator(CoordinatorConfig{
 		Detection:      Detector{Threshold: 0.02},
 		Reputation:     DefaultReputationConfig(),
@@ -46,7 +49,10 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	_, lossBefore := engine.Evaluate(test, 128)
 	attackerRejections := 0
 	for round := 0; round < rounds; round++ {
-		report := coord.RunRound(round)
+		report, err := coord.RunRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if !report.Detection.Accept[nWorkers-1] && !report.Detection.Uncertain[nWorkers-1] {
 			attackerRejections++
 		}

@@ -24,7 +24,10 @@ func buildSmallFederation(t *testing.T, seed uint64) (*Engine, *Dataset, []Worke
 		workers[i] = NewHonestWorker(i, parts[i], build, local, src)
 	}
 	workers[4] = attack.NewSignFlipWorker(4, parts[4], build, local, src, 4)
-	engine := NewEngine(EngineConfig{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	engine, err := NewEngine(EngineConfig{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return engine, test, workers
 }
 
@@ -74,7 +77,10 @@ func TestTraceThroughFacade(t *testing.T) {
 	rec := NewTraceRecorder()
 	const rounds = 6
 	for round := 0; round < rounds; round++ {
-		rep := coord.RunRound(round)
+		rep, err := coord.RunRound(round)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for _, wr := range rep.TraceRecords() {
 			rec.RecordWorker(wr)
 		}
@@ -153,7 +159,9 @@ func TestDeterministicEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		for round := 0; round < 5; round++ {
-			coord.RunRound(round)
+			if _, err := coord.RunRound(round); err != nil {
+				t.Fatal(err)
+			}
 		}
 		out := append([]float64(nil), engine.Params()...)
 		return append(out, coord.CumulativeRewards()...)

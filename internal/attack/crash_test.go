@@ -32,7 +32,10 @@ func TestUndefendedStrongAttackDestroysModel(t *testing.T) {
 	// gradient points strongly uphill every round.
 	workers[n-2] = NewSignFlipWorker(n-2, parts[n-2], build, lc, src, 12)
 	workers[n-1] = NewSignFlipWorker(n-1, parts[n-1], build, lc, src, 12)
-	engine := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.1}, build, workers, src)
+	engine, err := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.1}, build, workers, src)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	crashed := false
 	for round := 0; round < 60 && !crashed; round++ {

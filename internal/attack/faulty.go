@@ -1,0 +1,56 @@
+package attack
+
+import (
+	"fifl/internal/faults"
+	"fifl/internal/fl"
+)
+
+// CrashWorker wraps any worker with a crash window: in rounds [From, Until)
+// the device is down and uploads nothing; outside the window it behaves as
+// the wrapped worker. Until <= From crashes the worker forever from round
+// From on. The fl runtime discovers the window through the faults.Faulty
+// interface and records the rounds as StatusCrashed — the worker's
+// LocalTrain is never invoked while it is down, matching a real crashed
+// device that burns no compute.
+type CrashWorker struct {
+	fl.Worker
+	From, Until int
+}
+
+// NewCrashWorker wraps w with a crash window over rounds [from, until).
+func NewCrashWorker(w fl.Worker, from, until int) *CrashWorker {
+	return &CrashWorker{Worker: w, From: from, Until: until}
+}
+
+// FaultAt implements faults.Faulty.
+func (w *CrashWorker) FaultAt(round int) faults.Fault {
+	if round >= w.From && (w.Until <= w.From || round < w.Until) {
+		return faults.FaultCrash
+	}
+	return faults.FaultNone
+}
+
+// Straggler wraps any worker with a straggle window: in rounds
+// [From, Until) the device is too slow to meet the round deadline and is
+// recorded as StatusTimedOut; outside the window it behaves as the wrapped
+// worker. Until <= From straggles forever from round From on. The
+// slowdown is virtual — the runtime times the worker out on its
+// deterministic schedule without spending wall-clock time, so experiments
+// with straggling federations stay fast and reproducible.
+type Straggler struct {
+	fl.Worker
+	From, Until int
+}
+
+// NewStraggler wraps w so it misses deadlines over rounds [from, until).
+func NewStraggler(w fl.Worker, from, until int) *Straggler {
+	return &Straggler{Worker: w, From: from, Until: until}
+}
+
+// FaultAt implements faults.Faulty.
+func (w *Straggler) FaultAt(round int) faults.Fault {
+	if round >= w.From && (w.Until <= w.From || round < w.Until) {
+		return faults.FaultStraggle
+	}
+	return faults.FaultNone
+}

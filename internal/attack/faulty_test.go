@@ -1,0 +1,101 @@
+package attack
+
+import (
+	"testing"
+
+	"fifl/internal/dataset"
+	"fifl/internal/faults"
+	"fifl/internal/fl"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+func faultySetup(t *testing.T, workers []fl.Worker, src *rng.Source, build nn.Builder) *fl.Engine {
+	t.Helper()
+	e, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.05}, build, workers, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestCrashWorkerWindow(t *testing.T) {
+	w := NewCrashWorker(nil, 2, 5)
+	for round, want := range map[int]faults.Fault{
+		0: faults.FaultNone, 1: faults.FaultNone,
+		2: faults.FaultCrash, 4: faults.FaultCrash,
+		5: faults.FaultNone, 100: faults.FaultNone,
+	} {
+		if got := w.FaultAt(round); got != want {
+			t.Fatalf("round %d: fault %v, want %v", round, got, want)
+		}
+	}
+	// Until <= From crashes forever.
+	forever := NewCrashWorker(nil, 3, 0)
+	if forever.FaultAt(2) != faults.FaultNone || forever.FaultAt(1000) != faults.FaultCrash {
+		t.Fatal("open-ended crash window wrong")
+	}
+}
+
+func TestStragglerWindow(t *testing.T) {
+	w := NewStraggler(nil, 1, 3)
+	if w.FaultAt(0) != faults.FaultNone || w.FaultAt(1) != faults.FaultStraggle || w.FaultAt(3) != faults.FaultNone {
+		t.Fatal("straggle window wrong")
+	}
+}
+
+// TestCrashThenRecoverThroughRuntime drives a crash-then-recover worker
+// through the engine and checks its upload statuses round by round.
+func TestCrashThenRecoverThroughRuntime(t *testing.T) {
+	src := rng.New(90)
+	const n = 3
+	build := nn.NewMLP(90, 28*28, []int{8}, 10)
+	data := dataset.SynthDigits(src.Split("train"), n*60)
+	parts := data.PartitionIID(src.Split("parts"), n)
+	lc := fl.LocalConfig{K: 1, BatchSize: 8, LR: 0.05}
+	workers := make([]fl.Worker, n)
+	for i := 0; i < n-1; i++ {
+		workers[i] = fl.NewHonestWorker(i, parts[i], build, lc, src)
+	}
+	honest := fl.NewHonestWorker(n-1, parts[n-1], build, lc, src)
+	workers[n-1] = NewCrashWorker(honest, 1, 3)
+	e := faultySetup(t, workers, src, build)
+
+	for round := 0; round < 5; round++ {
+		rr := e.Step(round)
+		want := faults.StatusOK
+		if round >= 1 && round < 3 {
+			want = faults.StatusCrashed
+		}
+		if rr.Status[n-1] != want {
+			t.Fatalf("round %d: status %v, want %v", round, rr.Status[n-1], want)
+		}
+		if (rr.Grads[n-1] == nil) != (want == faults.StatusCrashed) {
+			t.Fatalf("round %d: gradient presence inconsistent with status", round)
+		}
+	}
+}
+
+// TestStragglerThroughRuntime: a Straggler is timed out on the virtual
+// schedule — no wall clock, no LocalTrain invocation.
+func TestStragglerThroughRuntime(t *testing.T) {
+	src := rng.New(91)
+	const n = 2
+	build := nn.NewMLP(91, 28*28, []int{8}, 10)
+	data := dataset.SynthDigits(src.Split("train"), n*60)
+	parts := data.PartitionIID(src.Split("parts"), n)
+	lc := fl.LocalConfig{K: 1, BatchSize: 8, LR: 0.05}
+	workers := []fl.Worker{
+		fl.NewHonestWorker(0, parts[0], build, lc, src),
+		NewStraggler(fl.NewHonestWorker(1, parts[1], build, lc, src), 0, 2),
+	}
+	e := faultySetup(t, workers, src, build)
+	rr := e.Step(0)
+	if rr.Status[1] != faults.StatusTimedOut || rr.Grads[1] != nil {
+		t.Fatalf("straggler round 0: status %v", rr.Status[1])
+	}
+	rr = e.Step(2)
+	if rr.Status[1] != faults.StatusOK || rr.Grads[1] == nil {
+		t.Fatalf("recovered round 2: status %v", rr.Status[1])
+	}
+}

@@ -36,6 +36,7 @@ const (
 	KindContribution RecordKind = "contribution" // per-worker contribution C_i(t)
 	KindReward       RecordKind = "reward"       // per-worker reward share I_i(t)
 	KindElection     RecordKind = "election"     // server cluster membership for an iteration
+	KindUpload       RecordKind = "upload"       // per-worker upload status (faults.UploadStatus as a float)
 )
 
 // Record is one assessment result written by a server.

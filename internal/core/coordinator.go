@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"fifl/internal/chain"
+	"fifl/internal/faults"
 	"fifl/internal/fl"
 	"fifl/internal/gradvec"
 	"fifl/internal/trace"
@@ -39,6 +42,21 @@ type CoordinatorConfig struct {
 	RecordToLedger bool
 }
 
+// Validate reports whether the configuration describes a runnable
+// coordinator. NewCoordinator calls it.
+func (c CoordinatorConfig) Validate() error {
+	if err := c.Reputation.Validate(); err != nil {
+		return err
+	}
+	if math.IsNaN(c.RewardPerRound) || math.IsInf(c.RewardPerRound, 0) {
+		return fmt.Errorf("core: CoordinatorConfig.RewardPerRound must be finite, got %v", c.RewardPerRound)
+	}
+	if math.IsNaN(c.Detection.Threshold) {
+		return fmt.Errorf("core: CoordinatorConfig.Detection.Threshold must not be NaN")
+	}
+	return nil
+}
+
 // RoundReport is the full assessment of one communication iteration.
 type RoundReport struct {
 	Round         int
@@ -49,6 +67,14 @@ type RoundReport struct {
 	Rewards       []float64 // shares scaled by RewardPerRound
 	Servers       []int     // server cluster that executed this round
 	Global        gradvec.Vector
+	// Statuses records each upload's fate in the fault-tolerant runtime;
+	// Retries the retransmission attempts made for it.
+	Statuses []faults.UploadStatus
+	Retries  []int
+	// Committed reports whether the round met the engine's quorum. An
+	// uncommitted round is degraded: the model did not move, every worker
+	// recorded an uncertain event, and all contributions are zero.
+	Committed bool
 }
 
 // Coordinator runs the complete FIFL mechanism on top of an fl.Engine:
@@ -72,6 +98,12 @@ type Coordinator struct {
 // must contain exactly engine.NumServers() worker indices (use
 // SelectInitialServers for the paper's accuracy-based election).
 func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []int) (*Coordinator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("core: NewCoordinator requires an engine")
+	}
 	if len(initialServers) != engine.NumServers() {
 		return nil, fmt.Errorf("core: got %d initial servers, engine expects %d", len(initialServers), engine.NumServers())
 	}
@@ -120,40 +152,81 @@ func (c *Coordinator) Banned(i int) bool { return c.banned[i] }
 func (c *Coordinator) Signer(i int) *chain.Signer { return c.signers[i] }
 
 // RunRound executes one complete FIFL iteration and returns its report.
-func (c *Coordinator) RunRound(t int) *RoundReport {
+// It is CollectGradientsContext's sibling: RunRoundContext with a
+// background context.
+func (c *Coordinator) RunRound(t int) (*RoundReport, error) {
+	return c.RunRoundContext(context.Background(), t)
+}
+
+// RunRoundContext executes one complete FIFL iteration: collect uploads
+// under the engine's fault-tolerant runtime, detect attacks, update
+// reputations, aggregate, assess contributions, distribute rewards, log to
+// the ledger and re-elect servers.
+//
+// A round that misses the engine's quorum degrades gracefully instead of
+// failing: the model stays put, every worker records an uncertain event
+// (keeping reputations consistent with the paper's treatment of
+// transmission failures), contributions and rewards are zero, and the
+// report carries Committed == false. Errors are reserved for context
+// cancellation, internal shape mismatches and ledger write failures —
+// simulated faults are data, not errors.
+func (c *Coordinator) RunRoundContext(ctx context.Context, t int) (*RoundReport, error) {
 	engine := c.Engine
-	rr := engine.CollectGradients(t)
+	rr, err := engine.CollectGradientsContext(ctx, t)
+	if err != nil {
+		return nil, err
+	}
 
 	// 1. Attack detection (§4.1): by default the slice-wise cosine screen
 	// against the server cluster's own gradients; with a custom Scorer,
-	// its scores thresholded at S_y.
+	// its scores thresholded at S_y. A round below quorum skips detection
+	// — too few uploads arrived to judge anyone — and marks every worker
+	// uncertain.
 	var det *DetectionResult
-	if c.Cfg.Scorer != nil {
+	switch {
+	case !rr.Committed:
+		det = degradedDetection(len(rr.Grads))
+	case c.Cfg.Scorer != nil:
 		det = detectWithScorer(c.Cfg.Scorer, c.Cfg.Detection.Threshold, engine.Params(), rr)
-	} else {
+	default:
 		slices := engine.SliceGradients(rr)
-		det = c.Cfg.Detection.Detect(rr, slices, c.servers, engine.NumServers())
+		det, err = c.Cfg.Detection.Detect(rr, slices, c.servers, engine.NumServers())
+		if err != nil {
+			return nil, err
+		}
 	}
 
-	// 2. Reputation update (§4.2).
-	c.Rep.Update(det.Events())
+	// 2. Reputation update (§4.2). Non-arrivals — dropped, timed-out or
+	// crashed uploads — surface as uncertain events through the detection
+	// result, feeding the Su term of Eq. 8.
+	if err := c.Rep.Update(det.Events()); err != nil {
+		return nil, err
+	}
 	reps := c.Rep.Reputations()
 
 	// 3. Filtered aggregation: G̃ = Σ n_i·r_i·G_i / Σ n_j·r_j (§4.1) and
-	// global update (Eq. 3).
-	global := engine.Aggregate(rr, det.Accept)
+	// global update (Eq. 3). AggregateRound returns nil for an uncommitted
+	// round, so the model does not move on a sliver of the federation.
+	global, err := engine.AggregateRound(rr, det.Accept)
+	if err != nil {
+		return nil, err
+	}
 	engine.ApplyGlobal(global)
 
 	// 4. Contribution assessment against the filtered global gradient
 	// (§4.3). All arrivals are assessed — including rejected attackers, so
-	// their negative contributions convert into punishments.
+	// their negative contributions convert into punishments. With a nil
+	// global (degraded round) every contribution is zero.
 	contrib := ComputeContributions(c.Cfg.Contribution, global, rr.Grads)
 	if s := c.Cfg.Contribution.SmoothBH; s > 0 && contrib.BH > 0 {
 		RescaleWithBH(contrib, c.bhSmoother.Update(contrib.BH, s), c.Cfg.Contribution.Clamp)
 	}
 
 	// 5. Incentive (§4.4).
-	shares := RewardShares(reps, contrib.C)
+	shares, err := RewardShares(reps, contrib.C)
+	if err != nil {
+		return nil, err
+	}
 	rewards := Rewards(shares, c.Cfg.RewardPerRound)
 	for i, r := range rewards {
 		c.cumulative[i] += r
@@ -162,7 +235,9 @@ func (c *Coordinator) RunRound(t int) *RoundReport {
 	// 6. Ledger records, signed by the servers that executed the round
 	// (round-robin across the cluster).
 	if c.Cfg.RecordToLedger {
-		c.logRound(t, det, contrib, reps, shares)
+		if err := c.logRound(t, rr, det, contrib, reps, shares); err != nil {
+			return nil, err
+		}
 	}
 
 	report := &RoundReport{
@@ -174,16 +249,37 @@ func (c *Coordinator) RunRound(t int) *RoundReport {
 		Rewards:       rewards,
 		Servers:       c.Servers(),
 		Global:        global,
+		Statuses:      append([]faults.UploadStatus(nil), rr.Status...),
+		Retries:       append([]int(nil), rr.Retries...),
+		Committed:     rr.Committed,
 	}
 
 	// 7. Server re-election for the next iteration (§4.5).
 	c.servers = ReselectServers(reps, engine.NumServers(), c.banned)
-	return report
+	return report, nil
+}
+
+// degradedDetection is the assessment of a round that missed its quorum:
+// nobody can be judged, so every worker is uncertain — the same treatment
+// the paper gives individual transmission failures, applied federation-wide.
+func degradedDetection(n int) *DetectionResult {
+	det := &DetectionResult{
+		Scores:    make([]float64, n),
+		Accept:    make([]bool, n),
+		Uncertain: make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		det.Scores[i] = math.NaN()
+		det.Uncertain[i] = true
+	}
+	return det
 }
 
 // logRound writes this round's assessment records to the ledger. Each
-// record is signed by one of the executing servers.
-func (c *Coordinator) logRound(t int, det *DetectionResult, contrib *Contributions, reps, shares []float64) {
+// record is signed by one of the executing servers. The upload-status
+// record makes the runtime's verdict on each transmission auditable
+// alongside the assessment that depended on it.
+func (c *Coordinator) logRound(t int, rr *fl.RoundResult, det *DetectionResult, contrib *Contributions, reps, shares []float64) error {
 	m := len(c.servers)
 	signerFor := func(i int) *chain.Signer { return c.signers[c.servers[i%m]] }
 	for i := range det.Accept {
@@ -191,11 +287,20 @@ func (c *Coordinator) logRound(t int, det *DetectionResult, contrib *Contributio
 		if det.Accept[i] {
 			r = 1
 		}
-		mustAppend(c.Ledger, signerFor(i), chain.Record{Kind: chain.KindDetection, Iteration: t, WorkerID: i, Value: r})
-		mustAppend(c.Ledger, signerFor(i), chain.Record{Kind: chain.KindReputation, Iteration: t, WorkerID: i, Value: reps[i]})
-		mustAppend(c.Ledger, signerFor(i), chain.Record{Kind: chain.KindContribution, Iteration: t, WorkerID: i, Value: contrib.C[i]})
-		mustAppend(c.Ledger, signerFor(i), chain.Record{Kind: chain.KindReward, Iteration: t, WorkerID: i, Value: shares[i]})
+		recs := []chain.Record{
+			{Kind: chain.KindUpload, Iteration: t, WorkerID: i, Value: float64(rr.Status[i])},
+			{Kind: chain.KindDetection, Iteration: t, WorkerID: i, Value: r},
+			{Kind: chain.KindReputation, Iteration: t, WorkerID: i, Value: reps[i]},
+			{Kind: chain.KindContribution, Iteration: t, WorkerID: i, Value: contrib.C[i]},
+			{Kind: chain.KindReward, Iteration: t, WorkerID: i, Value: shares[i]},
+		}
+		for _, rec := range recs {
+			if _, err := c.Ledger.Append(signerFor(i), rec); err != nil {
+				return fmt.Errorf("core: ledger append for worker %d, round %d: %w", i, t, err)
+			}
+		}
 	}
+	return nil
 }
 
 // detectWithScorer adapts a custom Scorer's output into a DetectionResult:
@@ -232,16 +337,11 @@ func (r *RoundReport) TraceRecords() []trace.WorkerRound {
 			Contribution: r.Contributions.C[i],
 			Reward:       r.Rewards[i],
 		}
+		if i < len(r.Statuses) {
+			out[i].Status = r.Statuses[i].String()
+		}
 	}
 	return out
-}
-
-// mustAppend panics on ledger write failure; all executors are registered
-// at construction so failure indicates a programming error.
-func mustAppend(l *chain.Ledger, s *chain.Signer, r chain.Record) {
-	if _, err := l.Append(s, r); err != nil {
-		panic(err)
-	}
 }
 
 // AuditReputation re-derives worker w's reputation for iteration t from
@@ -258,14 +358,16 @@ func (c *Coordinator) AuditReputation(t, w int) (culprit string, err error) {
 	tr := NewReputationTracker(c.Cfg.Reputation, 1)
 	for it := 0; it <= t; it++ {
 		recs := c.Ledger.Query(chain.KindDetection, it, w)
-		if len(recs) == 0 {
-			tr.Update([]Event{EventUncertain})
-			continue
+		ev := EventUncertain
+		if len(recs) > 0 {
+			if recs[len(recs)-1].Value >= 0.5 {
+				ev = EventPositive
+			} else {
+				ev = EventNegative
+			}
 		}
-		if recs[len(recs)-1].Value >= 0.5 {
-			tr.Update([]Event{EventPositive})
-		} else {
-			tr.Update([]Event{EventNegative})
+		if err := tr.Update([]Event{ev}); err != nil {
+			return "", err
 		}
 	}
 	culprit, err = c.Ledger.Audit(chain.KindReputation, t, w, tr.Reputation(0), 1e-9)

@@ -28,7 +28,10 @@ func buildTestCoordinator(t *testing.T, nHonest, nFlip int, ledger bool) (*Coord
 	for i := nHonest; i < n; i++ {
 		workers[i] = attack.NewSignFlipWorker(i, parts[i], build, lc, src, 4)
 	}
-	engine := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	engine, err := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	coord, err := NewCoordinator(CoordinatorConfig{
 		Detection:      Detector{Threshold: 0.02},
 		Reputation:     DefaultReputationConfig(),
@@ -42,12 +45,23 @@ func buildTestCoordinator(t *testing.T, nHonest, nFlip int, ledger bool) (*Coord
 	return coord, engine
 }
 
+// runRound is the test-side RunRound wrapper: any runtime error fails the
+// test immediately.
+func runRound(t *testing.T, c *Coordinator, round int) *RoundReport {
+	t.Helper()
+	rep, err := c.RunRound(round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
 func TestCoordinatorRejectsAttackers(t *testing.T) {
 	coord, _ := buildTestCoordinator(t, 4, 2, false)
 	rejected := 0
 	const rounds = 10
 	for round := 0; round < rounds; round++ {
-		rep := coord.RunRound(round)
+		rep := runRound(t, coord, round)
 		for i := 4; i < 6; i++ {
 			if !rep.Detection.Accept[i] {
 				rejected++
@@ -62,7 +76,7 @@ func TestCoordinatorRejectsAttackers(t *testing.T) {
 func TestCoordinatorReputationSeparation(t *testing.T) {
 	coord, _ := buildTestCoordinator(t, 4, 2, false)
 	for round := 0; round < 20; round++ {
-		coord.RunRound(round)
+		runRound(t, coord, round)
 	}
 	for i := 0; i < 4; i++ {
 		if coord.Rep.Reputation(i) < 0.5 {
@@ -79,7 +93,7 @@ func TestCoordinatorReputationSeparation(t *testing.T) {
 func TestCoordinatorPunishesAttackers(t *testing.T) {
 	coord, _ := buildTestCoordinator(t, 4, 2, false)
 	for round := 0; round < 20; round++ {
-		coord.RunRound(round)
+		runRound(t, coord, round)
 	}
 	cum := coord.CumulativeRewards()
 	for i := 4; i < 6; i++ {
@@ -100,7 +114,7 @@ func TestCoordinatorPunishesAttackers(t *testing.T) {
 func TestCoordinatorServerReelection(t *testing.T) {
 	coord, _ := buildTestCoordinator(t, 4, 2, false)
 	for round := 0; round < 15; round++ {
-		coord.RunRound(round)
+		runRound(t, coord, round)
 	}
 	// After the reputations separate, no attacker (workers 4, 5) may sit
 	// in the server cluster.
@@ -115,14 +129,15 @@ func TestCoordinatorLedgerRecords(t *testing.T) {
 	coord, _ := buildTestCoordinator(t, 3, 1, true)
 	const rounds = 3
 	for round := 0; round < rounds; round++ {
-		coord.RunRound(round)
+		runRound(t, coord, round)
 	}
 	if err := coord.Ledger.Verify(); err != nil {
 		t.Fatalf("ledger broken: %v", err)
 	}
-	// 4 record kinds × 4 workers × 3 rounds.
-	if got := coord.Ledger.Len(); got != 4*4*rounds {
-		t.Fatalf("ledger has %d blocks, want %d", got, 4*4*rounds)
+	// 5 record kinds (upload, detection, reputation, contribution,
+	// reward) × 4 workers × 3 rounds.
+	if got := coord.Ledger.Len(); got != 5*4*rounds {
+		t.Fatalf("ledger has %d blocks, want %d", got, 5*4*rounds)
 	}
 	recs := coord.Ledger.Query(chain.KindReputation, 1, 2)
 	if len(recs) != 1 {
@@ -133,7 +148,7 @@ func TestCoordinatorLedgerRecords(t *testing.T) {
 func TestCoordinatorAuditCleanLedger(t *testing.T) {
 	coord, _ := buildTestCoordinator(t, 3, 1, true)
 	for round := 0; round < 5; round++ {
-		coord.RunRound(round)
+		runRound(t, coord, round)
 	}
 	culprit, err := coord.AuditReputation(4, 0)
 	if err != nil {
@@ -147,7 +162,7 @@ func TestCoordinatorAuditCleanLedger(t *testing.T) {
 func TestCoordinatorAuditDetectsTampering(t *testing.T) {
 	coord, _ := buildTestCoordinator(t, 3, 1, true)
 	for round := 0; round < 5; round++ {
-		coord.RunRound(round)
+		runRound(t, coord, round)
 	}
 	// A malicious server whitewashes the attacker's final reputation by
 	// appending a forged record (append is the only write the chain
@@ -174,7 +189,7 @@ func TestCoordinatorAuditDetectsTampering(t *testing.T) {
 	}
 	// The banned device never re-enters the server cluster.
 	for round := 5; round < 10; round++ {
-		coord.RunRound(round)
+		runRound(t, coord, round)
 		for _, s := range coord.Servers() {
 			if s == 1 {
 				t.Fatal("banned device re-elected")
@@ -186,8 +201,27 @@ func TestCoordinatorAuditDetectsTampering(t *testing.T) {
 func TestNewCoordinatorWrongServerCount(t *testing.T) {
 	src := rng.New(78)
 	build := nn.NewMLP(78, 16, nil, 2)
-	engine := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.1}, build, nil, src)
+	engine, err := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.1}, build, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := NewCoordinator(CoordinatorConfig{}, engine, []int{0}); err == nil {
 		t.Fatal("wrong initial server count must error")
+	}
+}
+
+func TestNewCoordinatorRejectsBadConfig(t *testing.T) {
+	src := rng.New(79)
+	build := nn.NewMLP(79, 16, nil, 2)
+	engine, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.1}, build, nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := CoordinatorConfig{Reputation: ReputationConfig{Gamma: 1.5}}
+	if _, err := NewCoordinator(bad, engine, []int{0}); err == nil {
+		t.Fatal("gamma out of range must error")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{}, nil, nil); err == nil {
+		t.Fatal("nil engine must error")
 	}
 }

@@ -6,6 +6,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"fifl/internal/fl"
@@ -69,8 +70,12 @@ func (d *DetectionResult) Events() []Event {
 // Detect screens one round. slices is the per-worker, per-server slicing
 // from fl.Engine.SliceGradients; servers lists the worker indices currently
 // acting as the server cluster, in slice order (server j aggregates slice
-// j). m is the slice count and must equal len(servers).
-func (d *Detector) Detect(rr *fl.RoundResult, slices [][]gradvec.Vector, servers []int, m int) *DetectionResult {
+// j). m is the slice count and must equal len(servers); a mismatch is
+// reported as an error.
+func (d *Detector) Detect(rr *fl.RoundResult, slices [][]gradvec.Vector, servers []int, m int) (*DetectionResult, error) {
+	if len(servers) != m {
+		return nil, fmt.Errorf("core: Detect got %d servers for %d slices", len(servers), m)
+	}
 	n := len(rr.Grads)
 	res := &DetectionResult{
 		Scores:    make([]float64, n),
@@ -90,7 +95,7 @@ func (d *Detector) Detect(rr *fl.RoundResult, slices [][]gradvec.Vector, servers
 		for i := range res.Accept {
 			res.Accept[i] = !res.Uncertain[i] && !rr.Grads[i].HasNaN()
 		}
-		return res
+		return res, nil
 	}
 	total := len(res.Benchmark)
 	for i, g := range rr.Grads {
@@ -132,7 +137,7 @@ func (d *Detector) Detect(rr *fl.RoundResult, slices [][]gradvec.Vector, servers
 		}
 		res.Accept[i] = res.Scores[i] >= d.Threshold
 	}
-	return res
+	return res, nil
 }
 
 // compositeBenchmark assembles the benchmark vector: region j comes from
@@ -140,11 +145,9 @@ func (d *Detector) Detect(rr *fl.RoundResult, slices [][]gradvec.Vector, servers
 // surviving server's slice over region j substitutes (any trusted device's
 // slice is an unbiased benchmark); if no server survived, nil is returned.
 // owners[j] records which worker's slice fills region j, so Detect can
-// exclude self-assessment.
+// exclude self-assessment. Detect validates the server/slice shape before
+// calling.
 func compositeBenchmark(rr *fl.RoundResult, slices [][]gradvec.Vector, servers []int, m int, owners []int) gradvec.Vector {
-	if len(servers) != m {
-		panic("core: server list length must equal slice count")
-	}
 	// Find a fallback server whose upload survived.
 	fallback := -1
 	for _, s := range servers {

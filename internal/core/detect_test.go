@@ -37,6 +37,16 @@ func noisy(src *rng.Source, base gradvec.Vector, sigma float64) gradvec.Vector {
 	return out
 }
 
+// mustDetect unwraps Detect for tests with well-formed server lists.
+func mustDetect(t *testing.T, d *Detector, rr *fl.RoundResult, slices [][]gradvec.Vector, servers []int, m int) *DetectionResult {
+	t.Helper()
+	res, err := d.Detect(rr, slices, servers, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func TestDetectSeparatesSignFlip(t *testing.T) {
 	src := rng.New(1)
 	dim, m := 64, 4
@@ -55,7 +65,7 @@ func TestDetectSeparatesSignFlip(t *testing.T) {
 	}
 	rr, slices := syntheticRound(grads, m)
 	det := Detector{Threshold: 0.1}
-	res := det.Detect(rr, slices, []int{0, 1, 2, 3}, m)
+	res := mustDetect(t, &det, rr, slices, []int{0, 1, 2, 3}, m)
 	for i := 0; i < 4; i++ {
 		if !res.Accept[i] {
 			t.Fatalf("honest worker %d rejected with score %v", i, res.Scores[i])
@@ -81,7 +91,7 @@ func TestDetectScoreIsCosine(t *testing.T) {
 	src.FillNormal(a, 0, 1)
 	src.FillNormal(b, 0, 1)
 	rr, slices := syntheticRound([]gradvec.Vector{a, b}, 1)
-	res := (&Detector{Threshold: 0}).Detect(rr, slices, []int{0}, 1)
+	res := mustDetect(t, (&Detector{Threshold: 0}), rr, slices, []int{0}, 1)
 	if math.Abs(res.Scores[1]-a.CosSim(b)) > 1e-12 {
 		t.Fatalf("score %v, want cosine %v", res.Scores[1], a.CosSim(b))
 	}
@@ -114,7 +124,7 @@ func TestDetectServerCannotSelfValidate(t *testing.T) {
 	// slice also pollutes everyone else's benchmark, dragging honest
 	// scores toward zero (until re-election evicts it), so the unit test
 	// uses a small threshold.
-	res := (&Detector{Threshold: 0.02}).Detect(rr, slices, []int{0, 1, 2, 3, 4, 5}, m)
+	res := mustDetect(t, (&Detector{Threshold: 0.02}), rr, slices, []int{0, 1, 2, 3, 4, 5}, m)
 	if res.Accept[5] {
 		t.Fatalf("attacker-server self-validated with score %v", res.Scores[5])
 	}
@@ -134,7 +144,7 @@ func TestDetectDroppedUncertain(t *testing.T) {
 	src.FillNormal(truth, 0, 1)
 	grads := []gradvec.Vector{truth.Clone(), nil, truth.Clone()}
 	rr, slices := syntheticRound(grads, 2)
-	res := (&Detector{Threshold: 0}).Detect(rr, slices, []int{0, 2}, 2)
+	res := mustDetect(t, (&Detector{Threshold: 0}), rr, slices, []int{0, 2}, 2)
 	if !res.Uncertain[1] || res.Accept[1] {
 		t.Fatal("dropped upload must be uncertain and not accepted")
 	}
@@ -150,7 +160,7 @@ func TestDetectNaNGradientRejected(t *testing.T) {
 	bad := truth.Clone()
 	bad[3] = math.NaN()
 	rr, slices := syntheticRound([]gradvec.Vector{truth.Clone(), bad}, 2)
-	res := (&Detector{Threshold: 0}).Detect(rr, slices, []int{0, 0}, 2)
+	res := mustDetect(t, (&Detector{Threshold: 0}), rr, slices, []int{0, 0}, 2)
 	if res.Accept[1] {
 		t.Fatal("NaN gradient must be rejected")
 	}
@@ -165,7 +175,7 @@ func TestDetectZeroGradientFreeRider(t *testing.T) {
 	src.FillNormal(truth, 0, 1)
 	zero := make(gradvec.Vector, 8)
 	rr, slices := syntheticRound([]gradvec.Vector{truth.Clone(), zero}, 2)
-	res := (&Detector{Threshold: 0.05}).Detect(rr, slices, []int{0, 0}, 2)
+	res := mustDetect(t, (&Detector{Threshold: 0.05}), rr, slices, []int{0, 0}, 2)
 	if res.Accept[1] {
 		t.Fatal("zero-gradient free-rider must fall below any positive threshold")
 	}
@@ -184,7 +194,7 @@ func TestDetectServerDropFallsBack(t *testing.T) {
 	atk.Scale(-2)
 	grads := []gradvec.Vector{nil, noisy(src, truth, 0.1), noisy(src, truth, 0.1), atk}
 	rr, slices := syntheticRound(grads, 2)
-	res := (&Detector{Threshold: 0.05}).Detect(rr, slices, []int{0, 1}, 2)
+	res := mustDetect(t, (&Detector{Threshold: 0.05}), rr, slices, []int{0, 1}, 2)
 	if res.Benchmark == nil {
 		t.Fatal("benchmark should fall back to the surviving server")
 	}
@@ -202,7 +212,7 @@ func TestDetectAllServersDownAcceptsArrivals(t *testing.T) {
 	src.FillNormal(truth, 0, 1)
 	grads := []gradvec.Vector{nil, nil, truth.Clone()}
 	rr, slices := syntheticRound(grads, 2)
-	res := (&Detector{Threshold: 0.05}).Detect(rr, slices, []int{0, 1}, 2)
+	res := mustDetect(t, (&Detector{Threshold: 0.05}), rr, slices, []int{0, 1}, 2)
 	if res.Benchmark != nil {
 		t.Fatal("no benchmark should exist when every server dropped")
 	}

@@ -1,5 +1,7 @@
 package core
 
+import "fmt"
+
 // RewardShares computes FIFL's per-worker reward share (Eq. 15):
 //
 //	I_i = R_i · C_i / Σ_{j: C_j>0} C_j      (C_i > 0, reward)
@@ -21,9 +23,10 @@ package core
 // their cumulative reward upward instead of cancelling.)
 //
 // Workers with zero contribution (including lost uploads) receive zero.
-func RewardShares(reputations, contributions []float64) []float64 {
+// Mismatched slice lengths are reported as an error.
+func RewardShares(reputations, contributions []float64) ([]float64, error) {
 	if len(reputations) != len(contributions) {
-		panic("core: RewardShares length mismatch")
+		return nil, fmt.Errorf("core: RewardShares got %d reputations for %d contributions", len(reputations), len(contributions))
 	}
 	total := 0.0
 	for _, c := range contributions {
@@ -33,7 +36,7 @@ func RewardShares(reputations, contributions []float64) []float64 {
 	}
 	out := make([]float64, len(contributions))
 	if total == 0 {
-		return out
+		return out, nil
 	}
 	for i, c := range contributions {
 		if c >= 0 {
@@ -42,7 +45,7 @@ func RewardShares(reputations, contributions []float64) []float64 {
 			out[i] = c / total
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Rewards converts shares into absolute rewards for a round with the given

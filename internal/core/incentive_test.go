@@ -9,10 +9,20 @@ import (
 	"fifl/internal/stats"
 )
 
+// mustShares unwraps RewardShares for tests with well-formed inputs.
+func mustShares(t *testing.T, reps, contribs []float64) []float64 {
+	t.Helper()
+	out, err := RewardShares(reps, contribs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
 func TestRewardSharesBasic(t *testing.T) {
 	reps := []float64{1, 1, 1}
 	contribs := []float64{0.5, 0.25, 0.25}
-	shares := RewardShares(reps, contribs)
+	shares := mustShares(t, reps, contribs)
 	if math.Abs(shares[0]-0.5) > 1e-12 || math.Abs(shares[1]-0.25) > 1e-12 {
 		t.Fatalf("shares = %v", shares)
 	}
@@ -22,7 +32,7 @@ func TestRewardSharesBasic(t *testing.T) {
 }
 
 func TestRewardSharesReputationScales(t *testing.T) {
-	shares := RewardShares([]float64{0.5, 1}, []float64{1, 1})
+	shares := mustShares(t, []float64{0.5, 1}, []float64{1, 1})
 	if math.Abs(shares[0]-0.25) > 1e-12 || math.Abs(shares[1]-0.5) > 1e-12 {
 		t.Fatalf("reputation scaling wrong: %v", shares)
 	}
@@ -31,7 +41,7 @@ func TestRewardSharesReputationScales(t *testing.T) {
 func TestRewardSharesPunishment(t *testing.T) {
 	// Fines are reputation-independent: a zero-reputation attacker and a
 	// fully trusted worker pay the same fine for the same damage.
-	shares := RewardShares([]float64{0, 1, 1}, []float64{-2, -2, 1})
+	shares := mustShares(t, []float64{0, 1, 1}, []float64{-2, -2, 1})
 	if shares[0] != -2 {
 		t.Fatalf("distrusted attacker fine = %v, want -2", shares[0])
 	}
@@ -42,14 +52,14 @@ func TestRewardSharesPunishment(t *testing.T) {
 		t.Fatalf("honest share = %v, want 1", shares[2])
 	}
 	// Rewards, by contrast, scale with trust.
-	r := RewardShares([]float64{0.5, 1}, []float64{1, 1})
+	r := mustShares(t, []float64{0.5, 1}, []float64{1, 1})
 	if r[0] != 0.25 || r[1] != 0.5 {
 		t.Fatalf("trust-scaled rewards = %v", r)
 	}
 }
 
 func TestRewardSharesNoPositiveTotal(t *testing.T) {
-	shares := RewardShares([]float64{1, 1}, []float64{-1, 0})
+	shares := mustShares(t, []float64{1, 1}, []float64{-1, 0})
 	for _, s := range shares {
 		if s != 0 {
 			t.Fatalf("no positive contribution: shares must be zero, got %v", shares)
@@ -57,13 +67,10 @@ func TestRewardSharesNoPositiveTotal(t *testing.T) {
 	}
 }
 
-func TestRewardSharesMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	RewardShares([]float64{1}, []float64{1, 2})
+func TestRewardSharesMismatchErrors(t *testing.T) {
+	if _, err := RewardShares([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("mismatched lengths must error")
+	}
 }
 
 func TestRewards(t *testing.T) {
@@ -96,7 +103,7 @@ func TestTheorem2Fairness(t *testing.T) {
 		for i := range reps {
 			reps[i] = rep
 		}
-		shares := RewardShares(reps, contribs)
+		shares := mustShares(t, reps, contribs)
 		cs, err := stats.Pearson(contribs, shares)
 		return err == nil && math.Abs(cs-1) < 1e-9
 	}, &quick.Config{MaxCount: 50}); err != nil {
@@ -116,12 +123,12 @@ func TestRewardMonotonicity(t *testing.T) {
 			contribs[i] = src.Uniform(0.05, 1)
 			reps[i] = src.Uniform(0.1, 1)
 		}
-		base := RewardShares(reps, contribs)
+		base := mustShares(t, reps, contribs)
 
 		// Raising worker 0's reputation raises its share.
 		reps2 := append([]float64(nil), reps...)
 		reps2[0] = math.Min(1, reps2[0]+0.1)
-		if r2 := RewardShares(reps2, contribs); r2[0] <= base[0] && reps2[0] > reps[0] {
+		if r2 := mustShares(t, reps2, contribs); r2[0] <= base[0] && reps2[0] > reps[0] {
 			return false
 		}
 		// Raising worker 0's contribution raises its share, with the
@@ -130,7 +137,7 @@ func TestRewardMonotonicity(t *testing.T) {
 		delta := math.Min(0.04, c2[1]/2)
 		c2[0] += delta
 		c2[1] -= delta
-		r3 := RewardShares(reps, c2)
+		r3 := mustShares(t, reps, c2)
 		return r3[0] > base[0]
 	}, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
@@ -140,7 +147,7 @@ func TestRewardMonotonicity(t *testing.T) {
 func TestPunishmentOrdersWithDamage(t *testing.T) {
 	// Two equally distrusted attackers: the one with the larger negative
 	// contribution pays the bigger fine — the Figure 14 property.
-	shares := RewardShares([]float64{0, 0, 1}, []float64{-1, -5, 1})
+	shares := mustShares(t, []float64{0, 0, 1}, []float64{-1, -5, 1})
 	if !(shares[1] < shares[0] && shares[0] < 0) {
 		t.Fatalf("punishments must order with damage: %v", shares)
 	}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Event is the outcome of one worker's update in one iteration, as judged
 // by the attack detection module (§4.2): positive for a useful gradient
@@ -32,6 +35,19 @@ type ReputationConfig struct {
 // uncertainty equally.
 func DefaultReputationConfig() ReputationConfig {
 	return ReputationConfig{Gamma: 0.1, Initial: 0, AlphaT: 1, AlphaN: 1, AlphaU: 1}
+}
+
+// Validate reports whether the configuration is usable: the decay factor γ
+// must lie in [0,1] for Eq. 10 to be a convex combination (Theorem 1's
+// convergence argument depends on it).
+func (c ReputationConfig) Validate() error {
+	if math.IsNaN(c.Gamma) || c.Gamma < 0 || c.Gamma > 1 {
+		return fmt.Errorf("core: ReputationConfig.Gamma must be in [0,1], got %v", c.Gamma)
+	}
+	if math.IsNaN(c.Initial) || math.IsInf(c.Initial, 0) {
+		return fmt.Errorf("core: ReputationConfig.Initial must be finite, got %v", c.Initial)
+	}
+	return nil
 }
 
 // ReputationTracker maintains per-worker reputations with the paper's
@@ -67,10 +83,16 @@ func (t *ReputationTracker) N() int { return len(t.r) }
 // Update folds one round of events into the reputations:
 // R_i(t+1) = (1−γ)·R_i(t) + γ·r_i(t+1). Uncertain events leave the decayed
 // reputation unchanged (no evidence either way) but are counted for the
-// SLM uncertainty mass Su.
-func (t *ReputationTracker) Update(events []Event) {
+// SLM uncertainty mass Su. A mismatched or malformed event slice is
+// rejected as an error before any state changes.
+func (t *ReputationTracker) Update(events []Event) error {
 	if len(events) != len(t.r) {
-		panic(fmt.Sprintf("core: reputation update with %d events for %d workers", len(events), len(t.r)))
+		return fmt.Errorf("core: reputation update with %d events for %d workers", len(events), len(t.r))
+	}
+	for _, e := range events {
+		if e != EventPositive && e != EventNegative && e != EventUncertain {
+			return fmt.Errorf("core: unknown reputation event %d", e)
+		}
 	}
 	g := t.cfg.Gamma
 	for i, e := range events {
@@ -83,10 +105,9 @@ func (t *ReputationTracker) Update(events []Event) {
 			t.pn[i]++
 		case EventUncertain:
 			t.pu[i]++
-		default:
-			panic(fmt.Sprintf("core: unknown reputation event %d", e))
 		}
 	}
+	return nil
 }
 
 // Reputation returns worker i's current decayed reputation R_i(t).

@@ -151,13 +151,18 @@ func TestResetPeriodKeepsDecayedReputation(t *testing.T) {
 	}
 }
 
-func TestUpdateLengthMismatchPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	NewReputationTracker(DefaultReputationConfig(), 2).Update([]Event{EventPositive})
+func TestUpdateLengthMismatchErrors(t *testing.T) {
+	tr := NewReputationTracker(DefaultReputationConfig(), 2)
+	if err := tr.Update([]Event{EventPositive}); err == nil {
+		t.Fatal("mismatched event count must error")
+	}
+	if err := tr.Update([]Event{Event(99), EventPositive}); err == nil {
+		t.Fatal("unknown event must error")
+	}
+	// A rejected update must not have touched any state.
+	if tr.Reputation(0) != 0 || tr.Reputation(1) != 0 {
+		t.Fatal("failed update mutated reputations")
+	}
 }
 
 func TestSetReputation(t *testing.T) {

@@ -28,7 +28,10 @@ func TestCoordinatorWithLossDeltaScorer(t *testing.T) {
 		workers[i] = fl.NewHonestWorker(i, parts[i], build, lc, src)
 	}
 	workers[n-1] = attack.NewSignFlipWorker(n-1, parts[n-1], build, lc, src, 4)
-	engine := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	engine, err := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.05}, build, workers, src)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	scorer := &LossDeltaScorer{
 		Model:     build(),
@@ -49,7 +52,7 @@ func TestCoordinatorWithLossDeltaScorer(t *testing.T) {
 
 	caught, certain := 0, 0
 	for round := 0; round < 12; round++ {
-		rep := coord.RunRound(round)
+		rep := runRound(t, coord, round)
 		if !rep.Detection.Uncertain[n-1] {
 			certain++
 			if !rep.Detection.Accept[n-1] {

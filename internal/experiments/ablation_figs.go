@@ -40,7 +40,7 @@ func RunAblServers(sc Scale) *Result {
 		var xs, accs []float64
 		rejected, certain := 0, 0
 		for t := 0; t < sub.TrainRounds; t++ {
-			rep := coord.RunRound(t)
+			rep := mustRound(coord, t)
 			if !rep.Detection.Uncertain[n-1] {
 				certain++
 				if !rep.Detection.Accept[n-1] {
@@ -103,7 +103,7 @@ func RunAblFreeRider(sc Scale) *Result {
 		freeShare += shares[i]
 	}
 	for t := 0; t < sc.TrainRounds; t++ {
-		coord.RunRound(t)
+		mustRound(coord, t)
 		cum := coord.CumulativeRewards()
 		var fr, hr float64
 		for i := 0; i < n; i++ {
@@ -213,7 +213,7 @@ func RunAblNonIID(sc Scale) *Result {
 		coord := DefaultCoordinator(f, 0.02, false)
 		var rejH, certH, caught, certA int
 		for t := 0; t < cfg.TrainRounds; t++ {
-			rep := coord.RunRound(t)
+			rep := mustRound(coord, t)
 			for i := 0; i < n-1; i++ {
 				if !rep.Detection.Uncertain[i] {
 					certH++
@@ -270,7 +270,7 @@ func RunAblThreshold(sc Scale) *Result {
 		coord := DefaultCoordinator(f, sy, false)
 		rejHonest, certHonest := 0, 0
 		for t := 0; t < sc.TrainRounds; t++ {
-			rep := coord.RunRound(t)
+			rep := mustRound(coord, t)
 			for i := 0; i < n-2; i++ {
 				if !rep.Detection.Uncertain[i] {
 					certHonest++

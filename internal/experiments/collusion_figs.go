@@ -57,7 +57,7 @@ func RunAblCollusion(sc Scale) *Result {
 
 	var colluderCaught, colluderRounds, flipCaught, flipRounds int
 	for t := 0; t < sub.TrainRounds; t++ {
-		rep := coord.RunRound(t)
+		rep := mustRound(coord, t)
 		for i := 0; i < cabalSize; i++ {
 			idx := n - 1 - i
 			if !rep.Detection.Uncertain[idx] {

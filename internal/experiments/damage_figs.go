@@ -181,7 +181,7 @@ func RunFig10(sc Scale) []*Result {
 	coord := DefaultCoordinator(f2, 0.05, false)
 	var xs2, accs2, losses2 []float64
 	for t := 0; t < sc.TrainRounds; t++ {
-		coord.RunRound(t)
+		mustRound(coord, t)
 		if t%sc.EvalEvery == 0 || t == sc.TrainRounds-1 {
 			acc, loss := f2.Engine.Evaluate(f2.Test, 256)
 			xs2 = append(xs2, float64(t))

@@ -63,7 +63,7 @@ func RunAblDefense(sc Scale) *Result {
 		f := BuildFederation(sc, TaskDigitsMLP, mkKinds(), rng.New(sc.Seed).Split("abl-defense"))
 		coord := DefaultCoordinator(f, 0.02, false)
 		for t := 0; t < sc.TrainRounds; t++ {
-			coord.RunRound(t)
+			mustRound(coord, t)
 			if t%sc.EvalEvery == 0 || t == sc.TrainRounds-1 {
 				acc, _ := f.Engine.Evaluate(f.Test, 256)
 				xs = append(xs, float64(t))

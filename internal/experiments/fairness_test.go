@@ -33,7 +33,7 @@ func TestTheorem2OnRealRounds(t *testing.T) {
 
 	checked := 0
 	for round := 0; round < sc.TrainRounds; round++ {
-		rep := coord.RunRound(round)
+		rep := mustRound(coord, round)
 		// All honest + accept-all ⇒ identical reputations; gather the
 		// positive contributors.
 		var cs, rs []float64
@@ -73,7 +73,7 @@ func TestRewardBudgetConservation(t *testing.T) {
 	f := BuildFederation(sc, TaskDigitsMLP, kinds, rng.New(22).Split("budget"))
 	coord := DefaultCoordinator(f, -1, false)
 	for round := 0; round < sc.TrainRounds; round++ {
-		rep := coord.RunRound(round)
+		rep := mustRound(coord, round)
 		pos := 0.0
 		for _, r := range rep.Rewards {
 			if r > 0 {

@@ -67,8 +67,10 @@ const (
 
 // BuildFederation constructs a federation with the given worker slots over
 // the selected task. The training data is generated once and partitioned
-// IID across workers, matching the paper's §5.3 setup.
-func BuildFederation(sc Scale, task DatasetKind, kinds []WorkerKind, src *rng.Source) *Federation {
+// IID across workers, matching the paper's §5.3 setup. Extra fl options
+// (quorum, straggler cutoff, retries, fault injectors) pass through to the
+// engine.
+func BuildFederation(sc Scale, task DatasetKind, kinds []WorkerKind, src *rng.Source, opts ...fl.Option) *Federation {
 	n := len(kinds)
 	var train, test *dataset.Dataset
 	var build nn.Builder
@@ -126,7 +128,10 @@ func BuildFederation(sc Scale, task DatasetKind, kinds []WorkerKind, src *rng.So
 	if m > n {
 		m = n
 	}
-	engine := fl.NewEngine(fl.Config{Servers: m, GlobalLR: sc.GlobalLR, DropRate: sc.DropRate}, build, workers, src)
+	engine, err := fl.NewEngine(fl.Config{Servers: m, GlobalLR: sc.GlobalLR, DropRate: sc.DropRate}, build, workers, src, opts...)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
 	if sc.WarmupSteps > 0 {
 		warmup(engine, train, sc, src.Split("warmup"))
 	}
@@ -154,7 +159,21 @@ func warmup(engine *fl.Engine, train *dataset.Dataset, sc Scale, src *rng.Source
 		model.Backward(d)
 		opt.Step(model.Params(), model.Grads())
 	}
-	engine.SetParams(model.ParamsVector())
+	if err := engine.SetParams(model.ParamsVector()); err != nil {
+		panic("experiments: " + err.Error())
+	}
+}
+
+// mustRound runs one coordinator round and panics on runtime failure; the
+// experiment harnesses run with background contexts and registered
+// executors, so an error here is a programming mistake, not a recoverable
+// condition worth threading through every figure generator.
+func mustRound(c *core.Coordinator, t int) *core.RoundReport {
+	rep, err := c.RunRound(t)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return rep
 }
 
 // DefaultCoordinator wraps a federation in a FIFL coordinator with the

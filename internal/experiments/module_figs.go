@@ -45,7 +45,7 @@ func RunFig11(sc Scale) *Result {
 	traces := make([][]float64, len(pas))
 	var xs []float64
 	for t := 0; t < sc.TrainRounds; t++ {
-		rep := coord.RunRound(t)
+		rep := mustRound(coord, t)
 		xs = append(xs, float64(t))
 		for i, idx := range tagged {
 			traces[i] = append(traces[i], rep.Reputations[idx])
@@ -173,7 +173,7 @@ func RunFig13(sc Scale) *Result {
 	traces := make([][]float64, len(tagged))
 	var xs []float64
 	for t := 0; t < sc.TrainRounds; t++ {
-		coord.RunRound(t)
+		mustRound(coord, t)
 		cum := coord.CumulativeRewards()
 		xs = append(xs, float64(t))
 		for i, idx := range tagged {
@@ -221,7 +221,7 @@ func RunFig14(sc Scale) *Result {
 	traces := make([][]float64, len(tagged))
 	var xs []float64
 	for t := 0; t < sc.TrainRounds; t++ {
-		coord.RunRound(t)
+		mustRound(coord, t)
 		cum := coord.CumulativeRewards()
 		xs = append(xs, float64(t))
 		for i, idx := range tagged {

@@ -23,7 +23,7 @@ func TestUncertainEventsFeedSLM(t *testing.T) {
 
 	uncertainSeen := 0
 	for round := 0; round < sc.TrainRounds; round++ {
-		rep := coord.RunRound(round)
+		rep := mustRound(coord, round)
 		for i := range rep.Detection.Uncertain {
 			if rep.Detection.Uncertain[i] {
 				uncertainSeen++

@@ -1,11 +1,13 @@
 package fl
 
 import (
+	"context"
+	"errors"
 	"fmt"
-
-	"sync"
+	"math"
 
 	"fifl/internal/dataset"
+	"fifl/internal/faults"
 	"fifl/internal/gradvec"
 	"fifl/internal/nn"
 	"fifl/internal/rng"
@@ -21,20 +23,55 @@ type Config struct {
 	GlobalLR float64
 	// DropRate is the probability that a worker's upload is lost in
 	// transit in a given round. Lost uploads are the paper's "uncertain
-	// events" and feed the Su term of the reputation module.
+	// events" and feed the Su term of the reputation module. A positive
+	// DropRate is shorthand for a faults.Bernoulli injector; richer
+	// failure models (bursty links, crashes, stragglers) are installed
+	// with WithFaultInjector.
 	DropRate float64
 }
 
-// RoundResult holds everything one communication iteration produced before
-// aggregation: per-worker local gradients (nil for dropped uploads) and the
-// reported sample counts.
-type RoundResult struct {
-	Round   int
-	Grads   []gradvec.Vector // indexed by worker position; nil = uncertain event
-	Samples []int
+// Validate reports whether the configuration describes a runnable
+// federation. NewEngine calls it; callers constructing configurations
+// programmatically can use it for early validation.
+func (c Config) Validate() error {
+	if c.Servers <= 0 {
+		return fmt.Errorf("fl: Config.Servers must be positive, got %d", c.Servers)
+	}
+	if math.IsNaN(c.GlobalLR) || math.IsInf(c.GlobalLR, 0) {
+		return fmt.Errorf("fl: Config.GlobalLR must be finite, got %v", c.GlobalLR)
+	}
+	if math.IsNaN(c.DropRate) || c.DropRate < 0 || c.DropRate > 1 {
+		return fmt.Errorf("fl: Config.DropRate must be in [0,1], got %v", c.DropRate)
+	}
+	return nil
 }
 
-// Dropped reports whether worker i's upload was lost this round.
+// RoundResult holds everything one communication iteration produced before
+// aggregation: per-worker local gradients (nil for uploads that never
+// arrived), the reported sample counts, and the fate of every upload in
+// the shared failure vocabulary of internal/faults.
+type RoundResult struct {
+	Round   int
+	Grads   []gradvec.Vector // indexed by worker position; nil = no arrival
+	Samples []int
+	// Status classifies each worker's upload: OK, Retried, Dropped,
+	// TimedOut or Crashed. Grads[i] is non-nil iff Status[i].Arrived().
+	Status []faults.UploadStatus
+	// Retries counts the retransmission attempts made for each worker
+	// (0 for uploads that arrived — or were lost — first try).
+	Retries []int
+	// Arrived is the number of uploads that reached the servers.
+	Arrived int
+	// Quorum is the commit threshold that applied to this round
+	// (0 = no quorum requirement).
+	Quorum int
+	// Committed reports whether the round met its quorum. An uncommitted
+	// round must not be aggregated: the runtime degrades it gracefully
+	// (every worker records an uncertain event, the model stays put).
+	Committed bool
+}
+
+// Dropped reports whether worker i's upload failed to arrive this round.
 func (r *RoundResult) Dropped(i int) bool { return r.Grads[i] == nil }
 
 // Engine orchestrates a federation: it owns the global parameter vector, a
@@ -46,14 +83,38 @@ type Engine struct {
 	global *nn.Sequential
 	params []float64
 	src    *rng.Source
+	opt    options
 }
 
 // NewEngine builds a federation. The global model is constructed from the
 // builder; all workers are expected to have been built from the same seed
-// so shapes agree.
-func NewEngine(cfg Config, build nn.Builder, workers []Worker, src *rng.Source) *Engine {
-	if cfg.Servers <= 0 {
-		panic("fl: Config.Servers must be positive")
+// so shapes agree. Options configure the fault-tolerant runtime: quorum
+// commit (WithQuorum), straggler cutoff (WithWorkerTimeout), upload
+// retransmission (WithRetry), simulated failures (WithFaultInjector) and
+// bounded fan-out (WithMaxConcurrent).
+func NewEngine(cfg Config, build nn.Builder, workers []Worker, src *rng.Source, opts ...Option) (*Engine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if build == nil {
+		return nil, errors.New("fl: NewEngine requires a model builder")
+	}
+	if src == nil {
+		return nil, errors.New("fl: NewEngine requires a random source")
+	}
+	var o options
+	for _, op := range opts {
+		if op != nil {
+			op(&o)
+		}
+	}
+	if err := o.validate(len(workers)); err != nil {
+		return nil, err
+	}
+	if o.injector == nil && cfg.DropRate > 0 {
+		// Preserve the legacy DropRate semantics through the shared fault
+		// vocabulary: one Bernoulli loss draw per upload attempt.
+		o.injector = faults.Bernoulli{P: cfg.DropRate}
 	}
 	g := build()
 	return &Engine{
@@ -62,7 +123,8 @@ func NewEngine(cfg Config, build nn.Builder, workers []Worker, src *rng.Source) 
 		global:  g,
 		params:  g.ParamsVector(),
 		src:     src.Split("engine"),
-	}
+		opt:     o,
+	}, nil
 }
 
 // Params returns the current global parameter vector (aliased; callers must
@@ -70,13 +132,15 @@ func NewEngine(cfg Config, build nn.Builder, workers []Worker, src *rng.Source) 
 func (e *Engine) Params() []float64 { return e.params }
 
 // SetParams overwrites the global parameters (e.g. with a warm-started
-// model) and refreshes the evaluation replica.
-func (e *Engine) SetParams(v []float64) {
+// model) and refreshes the evaluation replica. It returns an error if the
+// vector length does not match the model.
+func (e *Engine) SetParams(v []float64) error {
 	if len(v) != len(e.params) {
-		panic(fmt.Sprintf("fl: SetParams length %d, want %d", len(v), len(e.params)))
+		return fmt.Errorf("fl: SetParams length %d, want %d", len(v), len(e.params))
 	}
 	copy(e.params, v)
 	e.global.SetParamsVector(e.params)
+	return nil
 }
 
 // GlobalModel returns the evaluation replica holding the current global
@@ -86,47 +150,24 @@ func (e *Engine) GlobalModel() *nn.Sequential { return e.global }
 // NumServers returns M.
 func (e *Engine) NumServers() int { return e.Cfg.Servers }
 
-// CollectGradients runs local training on every worker in parallel and
-// simulates transmission loss. Deterministic given the engine's RNG stream:
-// drop decisions are drawn sequentially before the parallel fan-out.
-func (e *Engine) CollectGradients(round int) *RoundResult {
-	n := len(e.Workers)
-	rr := &RoundResult{
-		Round:   round,
-		Grads:   make([]gradvec.Vector, n),
-		Samples: make([]int, n),
-	}
-	dropped := make([]bool, n)
-	for i := range dropped {
-		dropped[i] = e.Cfg.DropRate > 0 && e.src.Bernoulli(e.Cfg.DropRate)
-	}
-	// One goroutine per worker, unconditionally: workers are independent
-	// devices, and some worker types coordinate with each other during a
-	// round (e.g. colluding attackers), which requires them to actually
-	// run concurrently.
-	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			rr.Samples[i] = e.Workers[i].NumSamples()
-			if dropped[i] {
-				return
-			}
-			rr.Grads[i] = e.Workers[i].LocalTrain(round, e.params)
-		}(i)
-	}
-	wg.Wait()
-	return rr
-}
+// Quorum returns the configured round-commit threshold (0 = none).
+func (e *Engine) Quorum() int { return e.opt.quorum }
 
-// Aggregate computes the global gradient G̃ = Σ_i (n_i·r_i / Σ_j n_j·r_j)·G_i
-// over the workers whose accept flag is true and whose upload arrived.
-// Passing a nil accept slice accepts everyone (plain FedAvg). It returns
-// nil if no gradient survives.
-func (e *Engine) Aggregate(rr *RoundResult, accept []bool) gradvec.Vector {
+// AggregateRound computes the global gradient G̃ = Σ_i (n_i·r_i / Σ_j
+// n_j·r_j)·G_i over the workers whose accept flag is true and whose upload
+// arrived. Passing a nil accept slice accepts everyone (plain FedAvg). It
+// returns (nil, nil) if no gradient survives or the round failed its
+// quorum, and an error if the accept mask does not match the round.
+func (e *Engine) AggregateRound(rr *RoundResult, accept []bool) (gradvec.Vector, error) {
+	if rr == nil {
+		return nil, errors.New("fl: AggregateRound on a nil round")
+	}
 	if accept != nil && len(accept) != len(rr.Grads) {
-		panic(fmt.Sprintf("fl: Aggregate accept length %d, want %d", len(accept), len(rr.Grads)))
+		return nil, fmt.Errorf("fl: AggregateRound accept length %d, want %d", len(accept), len(rr.Grads))
+	}
+	if rr.Quorum > 0 && !rr.Committed {
+		// Quorum unmet: the round is degraded and must not move the model.
+		return nil, nil
 	}
 	total := 0.0
 	for i, g := range rr.Grads {
@@ -136,7 +177,7 @@ func (e *Engine) Aggregate(rr *RoundResult, accept []bool) gradvec.Vector {
 		total += float64(rr.Samples[i])
 	}
 	if total == 0 {
-		return nil
+		return nil, nil
 	}
 	out := gradvec.Zeros(len(e.params))
 	for i, g := range rr.Grads {
@@ -145,7 +186,19 @@ func (e *Engine) Aggregate(rr *RoundResult, accept []bool) gradvec.Vector {
 		}
 		out.AddScaled(float64(rr.Samples[i])/total, g)
 	}
-	return out
+	return out, nil
+}
+
+// Aggregate is the legacy single-value shape of AggregateRound.
+//
+// Deprecated: use AggregateRound, which reports mask mismatches as errors
+// instead of silently returning nil.
+func (e *Engine) Aggregate(rr *RoundResult, accept []bool) gradvec.Vector {
+	g, err := e.AggregateRound(rr, accept)
+	if err != nil {
+		return nil
+	}
+	return g
 }
 
 // ApplyGlobal performs θ_{t+1} = θ_t − η·G̃ and refreshes the evaluation
@@ -162,7 +215,8 @@ func (e *Engine) ApplyGlobal(g gradvec.Vector) {
 
 // Step runs one undefended FedAvg iteration: collect, aggregate all
 // arrivals, apply. Used by the attack-damage experiments (Figures 7, 8 and
-// the "without detection" arm of Figure 10).
+// the "without detection" arm of Figure 10). Rounds that miss their quorum
+// leave the model unchanged.
 func (e *Engine) Step(round int) *RoundResult {
 	rr := e.CollectGradients(round)
 	e.ApplyGlobal(e.Aggregate(rr, nil))
@@ -176,7 +230,7 @@ func (e *Engine) Evaluate(test *dataset.Dataset, batchSize int) (acc, loss float
 
 // SliceGradients splits every collected gradient into M server slices
 // (§3.2 step 1.2). Entry [i][j] is worker i's slice for server j; nil rows
-// correspond to dropped uploads.
+// correspond to uploads that never arrived.
 func (e *Engine) SliceGradients(rr *RoundResult) [][]gradvec.Vector {
 	out := make([][]gradvec.Vector, len(rr.Grads))
 	for i, g := range rr.Grads {
@@ -186,4 +240,15 @@ func (e *Engine) SliceGradients(rr *RoundResult) [][]gradvec.Vector {
 		out[i] = gradvec.Split(g, e.Cfg.Servers)
 	}
 	return out
+}
+
+// CollectGradients is the legacy context-free collection entry point.
+//
+// Deprecated: use CollectGradientsContext, which supports cancellation and
+// reports it as an error.
+func (e *Engine) CollectGradients(round int) *RoundResult {
+	// With a background context the only error source — cancellation —
+	// cannot fire, so the error is statically nil.
+	rr, _ := e.CollectGradientsContext(context.Background(), round)
+	return rr
 }

@@ -3,6 +3,7 @@ package fl
 import (
 	"math"
 	"testing"
+	"time"
 
 	"fifl/internal/dataset"
 	"fifl/internal/gradvec"
@@ -22,7 +23,11 @@ func testSetup(t *testing.T, n int, drop float64) (*Engine, *dataset.Dataset) {
 	for i := range workers {
 		workers[i] = NewHonestWorker(i, parts[i], build, lc, src)
 	}
-	return NewEngine(Config{Servers: 2, GlobalLR: 0.05, DropRate: drop}, build, workers, src), test
+	e, err := NewEngine(Config{Servers: 2, GlobalLR: 0.05, DropRate: drop}, build, workers, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, test
 }
 
 func TestCollectGradientsShapes(t *testing.T) {
@@ -229,11 +234,60 @@ func TestEngineDeterminism(t *testing.T) {
 	}
 }
 
-func TestNewEngineBadServersPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestNewEngineRejectsBadInputs(t *testing.T) {
+	build := nn.NewMLP(1, 4, nil, 2)
+	cases := []struct {
+		name string
+		run  func() (*Engine, error)
+	}{
+		{"zero servers", func() (*Engine, error) {
+			return NewEngine(Config{Servers: 0}, build, nil, rng.New(1))
+		}},
+		{"bad drop rate", func() (*Engine, error) {
+			return NewEngine(Config{Servers: 1, DropRate: 1.5}, build, nil, rng.New(1))
+		}},
+		{"nil builder", func() (*Engine, error) {
+			return NewEngine(Config{Servers: 1}, nil, nil, rng.New(1))
+		}},
+		{"nil source", func() (*Engine, error) {
+			return NewEngine(Config{Servers: 1}, build, nil, nil)
+		}},
+		{"negative quorum", func() (*Engine, error) {
+			return NewEngine(Config{Servers: 1}, build, nil, rng.New(1), WithQuorum(-1))
+		}},
+		{"negative retries", func() (*Engine, error) {
+			return NewEngine(Config{Servers: 1}, build, nil, rng.New(1), WithRetry(-1, 0))
+		}},
+		{"negative timeout", func() (*Engine, error) {
+			return NewEngine(Config{Servers: 1}, build, nil, rng.New(1), WithWorkerTimeout(-time.Second))
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.run(); err == nil {
+			t.Fatalf("%s: expected an error", tc.name)
 		}
-	}()
-	NewEngine(Config{Servers: 0}, nn.NewMLP(1, 4, nil, 2), nil, rng.New(1))
+	}
+}
+
+func TestSetParamsLengthMismatchErrors(t *testing.T) {
+	e, _ := testSetup(t, 2, 0)
+	if err := e.SetParams([]float64{1, 2, 3}); err == nil {
+		t.Fatal("SetParams with a mismatched vector must error")
+	}
+	ok := append([]float64(nil), e.Params()...)
+	if err := e.SetParams(ok); err != nil {
+		t.Fatalf("SetParams with a matching vector errored: %v", err)
+	}
+}
+
+func TestAggregateRoundMaskMismatchErrors(t *testing.T) {
+	e, _ := testSetup(t, 3, 0)
+	rr := e.CollectGradients(0)
+	if _, err := e.AggregateRound(rr, []bool{true}); err == nil {
+		t.Fatal("AggregateRound with a short accept mask must error")
+	}
+	// The deprecated wrapper degrades to nil rather than panicking.
+	if g := e.Aggregate(rr, []bool{true}); g != nil {
+		t.Fatal("deprecated Aggregate must return nil on a bad mask")
+	}
 }

@@ -1,0 +1,45 @@
+package netsim
+
+import (
+	"fmt"
+
+	"fifl/internal/faults"
+	"fifl/internal/gradvec"
+)
+
+// ExchangeFaulty runs one polycentric communication round for a federation
+// under the fault-tolerant runtime. status and retries come from an
+// fl.RoundResult: workers whose upload never arrived (dropped, timed out
+// or crashed) send nothing regardless of their gradient, and a worker that
+// arrived after k retransmissions is charged (k+1)× its uplink traffic —
+// every lost attempt still crossed the wire up to the point of loss, which
+// is what the §3.2 bottleneck analysis should see under loss.
+//
+// It returns the recombined global gradient over the arrivals and the
+// per-node traffic counters, or an error if the shapes disagree.
+func ExchangeFaulty(grads []gradvec.Vector, weights []float64, m int, status []faults.UploadStatus, retries []int) (gradvec.Vector, *Traffic, error) {
+	if len(grads) != len(weights) {
+		return nil, nil, fmt.Errorf("netsim: %d gradients vs %d weights", len(grads), len(weights))
+	}
+	if len(status) != len(grads) || len(retries) != len(grads) {
+		return nil, nil, fmt.Errorf("netsim: %d gradients vs %d statuses / %d retry counts", len(grads), len(status), len(retries))
+	}
+	if m <= 0 {
+		return nil, nil, fmt.Errorf("netsim: need at least one server, got %d", m)
+	}
+	masked := make([]gradvec.Vector, len(grads))
+	for i, g := range grads {
+		if status[i].Arrived() {
+			masked[i] = g
+		}
+	}
+	global, traffic := Exchange(masked, weights, m)
+	// Charge the wasted attempts: the first transmission plus each
+	// retransmission that preceded the one that got through.
+	for i, k := range retries {
+		if k > 0 && masked[i] != nil {
+			traffic.addWorkerUp(i, k*len(masked[i]))
+		}
+	}
+	return global, traffic, nil
+}

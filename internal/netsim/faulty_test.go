@@ -1,0 +1,70 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+
+	"fifl/internal/faults"
+	"fifl/internal/gradvec"
+)
+
+func TestExchangeFaultyMasksNonArrivals(t *testing.T) {
+	grads := []gradvec.Vector{
+		{1, 1, 1, 1},
+		{3, 3, 3, 3},
+		{5, 5, 5, 5},
+	}
+	weights := []float64{1, 1, 1}
+	status := []faults.UploadStatus{faults.StatusOK, faults.StatusCrashed, faults.StatusRetried}
+	retries := []int{0, 0, 2}
+	global, traffic, err := ExchangeFaulty(grads, weights, 2, status, retries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1 crashed: the aggregate is the mean of workers 0 and 2.
+	for _, v := range global {
+		if math.Abs(v-3) > 1e-12 {
+			t.Fatalf("global = %v, want all 3", global)
+		}
+	}
+	if traffic.WorkerUp[1] != 0 {
+		t.Fatalf("crashed worker sent %d scalars", traffic.WorkerUp[1])
+	}
+	// Worker 2 retried twice: 3× its 4-scalar gradient on the uplink.
+	if traffic.WorkerUp[2] != 3*4 {
+		t.Fatalf("retried worker uplink = %d, want %d", traffic.WorkerUp[2], 3*4)
+	}
+	if traffic.WorkerUp[0] != 4 {
+		t.Fatalf("clean worker uplink = %d, want 4", traffic.WorkerUp[0])
+	}
+}
+
+func TestExchangeFaultyMatchesExchangeWhenClean(t *testing.T) {
+	grads := []gradvec.Vector{{1, 2, 3, 4}, {5, 6, 7, 8}}
+	weights := []float64{1, 3}
+	status := []faults.UploadStatus{faults.StatusOK, faults.StatusOK}
+	retries := []int{0, 0}
+	want, _ := Exchange(grads, weights, 2)
+	got, _, err := ExchangeFaulty(grads, weights, 2, status, retries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("clean ExchangeFaulty diverges from Exchange: %v vs %v", got, want)
+		}
+	}
+}
+
+func TestExchangeFaultyShapeErrors(t *testing.T) {
+	g := []gradvec.Vector{{1, 2}}
+	if _, _, err := ExchangeFaulty(g, []float64{1, 2}, 1, []faults.UploadStatus{faults.StatusOK}, []int{0}); err == nil {
+		t.Fatal("weight mismatch must error")
+	}
+	if _, _, err := ExchangeFaulty(g, []float64{1}, 1, nil, []int{0}); err == nil {
+		t.Fatal("status mismatch must error")
+	}
+	if _, _, err := ExchangeFaulty(g, []float64{1}, 0, []faults.UploadStatus{faults.StatusOK}, []int{0}); err == nil {
+		t.Fatal("zero servers must error")
+	}
+}

@@ -70,6 +70,47 @@ func Map[T any](n int, f func(i int) T) []T {
 	return out
 }
 
+// ForLimit runs body(i) for every i in [0,n) with at most limit bodies in
+// flight at once; limit <= 0 (or limit >= n) runs one goroutine per index.
+// Unlike ForChunked, indices are handed out one at a time from a shared
+// queue, so a slow body only occupies one of the limit slots instead of
+// serializing a whole contiguous chunk behind it — the right shape for
+// heterogeneous tasks like federated workers. Bodies that coordinate with
+// each other must not exceed the limit, or they deadlock waiting for
+// partners that never get a slot.
+func ForLimit(n, limit int, body func(i int)) {
+	if n <= 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	if limit <= 0 || limit >= n {
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			go func(i int) {
+				defer wg.Done()
+				body(i)
+			}(i)
+		}
+		wg.Wait()
+		return
+	}
+	idx := make(chan int)
+	wg.Add(limit)
+	for w := 0; w < limit; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				body(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
 // Do runs the given functions concurrently and waits for all of them.
 func Do(fns ...func()) {
 	var wg sync.WaitGroup

@@ -25,6 +25,10 @@ type WorkerRound struct {
 	Reputation   float64 `json:"reputation"`
 	Contribution float64 `json:"contribution"`
 	Reward       float64 `json:"reward"`
+	// Status is the upload's fate in the fault-tolerant runtime ("ok",
+	// "retried", "dropped", "timed_out", "crashed"); empty for records
+	// produced before the runtime recorded statuses.
+	Status string `json:"status,omitempty"`
 }
 
 // RoundMetrics carries optional whole-model measurements for a round.
@@ -168,7 +172,7 @@ func sanitize(w WorkerRound) WorkerRound {
 // WriteCSV writes the worker records as one CSV table.
 func (r *Recorder) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"round", "worker", "score", "accepted", "uncertain", "reputation", "contribution", "reward"}); err != nil {
+	if err := cw.Write([]string{"round", "worker", "score", "accepted", "uncertain", "reputation", "contribution", "reward", "status"}); err != nil {
 		return fmt.Errorf("trace: writing CSV header: %w", err)
 	}
 	for _, rec := range r.workers {
@@ -182,6 +186,7 @@ func (r *Recorder) WriteCSV(w io.Writer) error {
 			strconv.FormatFloat(rec.Reputation, 'g', -1, 64),
 			strconv.FormatFloat(rec.Contribution, 'g', -1, 64),
 			strconv.FormatFloat(rec.Reward, 'g', -1, 64),
+			rec.Status,
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("trace: writing CSV row: %w", err)

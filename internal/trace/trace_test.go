@@ -129,7 +129,32 @@ func TestWriteCSV(t *testing.T) {
 	if len(rows) != 7 { // header + 6
 		t.Fatalf("csv rows = %d", len(rows))
 	}
-	if rows[0][0] != "round" || len(rows[0]) != 8 {
+	if rows[0][0] != "round" || len(rows[0]) != 9 {
 		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[0][8] != "status" {
+		t.Fatalf("last header column = %q, want status", rows[0][8])
+	}
+}
+
+func TestStatusRoundTrips(t *testing.T) {
+	r := NewRecorder()
+	r.RecordWorker(WorkerRound{Round: 0, Worker: 0, Status: "timed_out"})
+	var jbuf, cbuf bytes.Buffer
+	if err := r.WriteJSONL(&jbuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jbuf.String(), `"status":"timed_out"`) {
+		t.Fatalf("status missing from JSONL: %s", jbuf.String())
+	}
+	if err := r.WriteCSV(&cbuf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&cbuf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[1][8] != "timed_out" {
+		t.Fatalf("status column = %q", rows[1][8])
 	}
 }

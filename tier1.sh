@@ -1,0 +1,15 @@
+#!/bin/sh
+# Tier-1 gate: vet, build and race-test the module.
+#
+# internal/experiments is excluded from the -race leg only: its figure
+# tests run real training loops that exceed CI timeouts under the race
+# detector's ~10x slowdown, and the package spawns no goroutines of its
+# own — all concurrency lives in the packages below it (fl, parallel,
+# tensor, netsim), which are raced here. It is still covered by the
+# plain test leg.
+set -eux
+cd "$(dirname "$0")"
+go vet ./...
+go build ./...
+go test ./internal/experiments/
+go test -race -timeout 20m $(go list ./... | grep -v internal/experiments)
