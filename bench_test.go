@@ -12,9 +12,14 @@
 package fifl
 
 import (
+	"context"
+	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"fifl/internal/experiments"
+	"fifl/internal/transport/codec"
 )
 
 // benchScale is the miniature configuration the benchmarks run at: the
@@ -144,3 +149,140 @@ func BenchmarkAblationCollusion(b *testing.B) { runExperiment(b, "abl-collusion"
 // BenchmarkAblationDynamics runs the multi-iteration §5.2 market with
 // workers re-choosing federations under attack.
 func BenchmarkAblationDynamics(b *testing.B) { runExperiment(b, "abl-dynamics") }
+
+// benchGrad is a gradient-sized payload for the codec benchmarks (the
+// dimension of the transport recipe's default MLP).
+func benchGrad() []float64 {
+	g := make([]float64, 28*28*16+16+16*10+10)
+	for i := range g {
+		g[i] = float64(i%97)/97 - 0.5
+	}
+	return g
+}
+
+// BenchmarkCodecEncode measures upload-frame encoding throughput in both
+// wire encodings.
+func BenchmarkCodecEncode(b *testing.B) {
+	u := codec.Upload{Round: 3, Worker: 1, Samples: 200, Grad: benchGrad()}
+	for _, mode := range []struct {
+		name string
+		f32  bool
+	}{{"float64", false}, {"float32", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			frame, err := codec.EncodeUpload(u, mode.f32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.EncodeUpload(u, mode.f32); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCodecDecode measures upload-frame decoding (CRC check, length
+// validation, finiteness screening) in both wire encodings.
+func BenchmarkCodecDecode(b *testing.B) {
+	u := codec.Upload{Round: 3, Worker: 1, Samples: 200, Grad: benchGrad()}
+	for _, mode := range []struct {
+		name string
+		f32  bool
+	}{{"float64", false}, {"float32", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			frame, err := codec.EncodeUpload(u, mode.f32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(frame)))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.DecodeUpload(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLoopbackRound measures one full FIFL round over real HTTP
+// (loopback): model broadcast, local training on every worker, upload,
+// detection, reputation, reward and ledger append. It reports the wire
+// bytes a round moves.
+func BenchmarkLoopbackRound(b *testing.B) {
+	const nWorkers = 2
+	recipe := FederationRecipe{Seed: 5, Workers: nWorkers, SamplesPerWorker: 64}
+	build, err := recipe.Builder()
+	if err != nil {
+		b.Fatal(err)
+	}
+	hub, err := NewTransportHub(nWorkers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine, err := NewEngine(EngineConfig{Servers: 1, GlobalLR: 0.05}, build, hub.Workers(),
+		NewRNG(recipe.Seed).Split("bench"), WithWorkerTimeout(30*time.Second))
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Detection:      Detector{Threshold: 0.02},
+		Reputation:     DefaultReputationConfig(),
+		Contribution:   ContributionConfig{BaselineWorker: -1},
+		RewardPerRound: 1,
+		RecordToLedger: true,
+	}, engine, []int{0})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv, err := ServeCoordinator(coord, hub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		w, err := recipe.Worker(i)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := DialWorker(ctx, WorkerClientConfig{BaseURL: ts.URL, Worker: w, PollWait: time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = c.Run(ctx)
+		}()
+	}
+	if err := srv.WaitReady(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.RunRound(ctx, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	up, down := srv.WorkerTraffic()
+	var total int64
+	for i := 0; i < nWorkers; i++ {
+		total += up[i] + down[i]
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "bytes/round")
+	srv.MarkDone()
+	wg.Wait()
+}

@@ -1,0 +1,214 @@
+// Command fifl-node runs one node of a real, multi-process FIFL
+// federation over the wire protocol in internal/transport: a coordinator
+// process serves the HTTP API, and each worker process rebuilds its
+// federation slot from the shared seed, dials in and trains.
+//
+// Every node derives its data, model and training streams from the shared
+// -seed, so a networked federation reproduces the in-process engine
+// bit for bit (see the transport package's loopback equivalence test).
+//
+// Usage (three terminals):
+//
+//	fifl-node -role coordinator -workers 2 -rounds 5 -listen :7070
+//	fifl-node -role worker -id 0 -coordinator http://127.0.0.1:7070
+//	fifl-node -role worker -id 1 -coordinator http://127.0.0.1:7070 -audit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fifl/internal/core"
+	"fifl/internal/fl"
+	"fifl/internal/rng"
+	"fifl/internal/transport"
+)
+
+func main() {
+	var (
+		role    = flag.String("role", "", "node role: coordinator or worker")
+		seed    = flag.Uint64("seed", 1, "shared federation seed (must match on every node)")
+		workers = flag.Int("workers", 2, "federation size N (must match on every node)")
+		samples = flag.Int("samples", 120, "local samples per worker (must match on every node)")
+
+		// Coordinator flags.
+		listen   = flag.String("listen", ":7070", "coordinator listen address")
+		rounds   = flag.Int("rounds", 5, "communication iterations")
+		servers  = flag.Int("servers", 1, "server cluster size M")
+		quorum   = flag.Int("quorum", 0, "minimum arrivals for a round to commit (0 = no quorum)")
+		wtmo     = flag.Duration("worker-timeout", 15*time.Second, "per-worker round deadline; a silent worker is recorded as timed out")
+		sy       = flag.Float64("sy", 0.02, "detection threshold S_y")
+		evalEach = flag.Int("eval", 1, "evaluate the global model every this many rounds (0 = never)")
+		linger   = flag.Duration("linger", 10*time.Second, "how long the coordinator keeps serving reports and the ledger after the last round")
+
+		// Worker flags.
+		coordURL = flag.String("coordinator", "http://127.0.0.1:7070", "coordinator base URL")
+		id       = flag.Int("id", 0, "this worker's federation slot")
+		f32      = flag.Bool("f32", false, "use the float32 compression mode (half the bytes, lossy)")
+		audit    = flag.Bool("audit", false, "download and verify the coordinator's audit ledger at the end")
+	)
+	flag.Parse()
+
+	recipe := transport.Recipe{Seed: *seed, Workers: *workers, SamplesPerWorker: *samples}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var err error
+	switch *role {
+	case "coordinator":
+		err = runCoordinator(ctx, recipe, *listen, *rounds, *servers, *quorum, *wtmo, *sy, *evalEach, *linger)
+	case "worker":
+		err = runWorker(ctx, recipe, *coordURL, *id, *f32, *audit)
+	default:
+		fmt.Fprintln(os.Stderr, "fifl-node: -role must be coordinator or worker")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fifl-node:", err)
+		os.Exit(1)
+	}
+}
+
+func runCoordinator(ctx context.Context, recipe transport.Recipe, listen string, rounds, servers, quorum int, wtmo time.Duration, sy float64, evalEach int, linger time.Duration) error {
+	build, err := recipe.Builder()
+	if err != nil {
+		return err
+	}
+	hub, err := transport.NewHub(recipe.Workers)
+	if err != nil {
+		return err
+	}
+	opts := []fl.Option{fl.WithWorkerTimeout(wtmo)}
+	if quorum > 0 {
+		opts = append(opts, fl.WithQuorum(quorum))
+	}
+	engine, err := fl.NewEngine(fl.Config{Servers: servers, GlobalLR: 0.05},
+		build, hub.Workers(), rng.New(recipe.Seed).Split("netfed"), opts...)
+	if err != nil {
+		return err
+	}
+	initial := make([]int, servers)
+	for i := range initial {
+		initial[i] = i
+	}
+	coord, err := core.NewCoordinator(core.CoordinatorConfig{
+		Detection:      core.Detector{Threshold: sy},
+		Reputation:     core.DefaultReputationConfig(),
+		Contribution:   core.ContributionConfig{BaselineWorker: -1},
+		RewardPerRound: 1,
+		RecordToLedger: true,
+	}, engine, initial)
+	if err != nil {
+		return err
+	}
+	srv, err := transport.NewServer(coord, hub)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+	}()
+	fmt.Printf("coordinator: listening on %s, waiting for %d workers to register\n", listen, recipe.Workers)
+
+	if err := srv.WaitReady(ctx); err != nil {
+		select {
+		case serveErr := <-errc:
+			return fmt.Errorf("serving %s: %w", listen, serveErr)
+		default:
+			return fmt.Errorf("waiting for workers: %w", err)
+		}
+	}
+	fmt.Println("coordinator: federation ready")
+
+	test, err := recipe.TestSet(500)
+	if err != nil {
+		return err
+	}
+	for t := 0; t < rounds; t++ {
+		rep, err := srv.RunRound(ctx, t)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", t, err)
+		}
+		arrived := 0
+		for _, s := range rep.Statuses {
+			if s.Arrived() {
+				arrived++
+			}
+		}
+		fmt.Printf("round %2d: %d/%d uploads arrived, committed=%v, reputations=%s\n",
+			t, arrived, recipe.Workers, rep.Committed, fmtF64s(rep.Reputations))
+		if evalEach > 0 && (t+1)%evalEach == 0 {
+			acc, loss := engine.Evaluate(test, 64)
+			fmt.Printf("round %2d: global accuracy %.3f, loss %.4f\n", t, acc, loss)
+		}
+	}
+	srv.MarkDone()
+	fmt.Printf("coordinator: done — ledger holds %d blocks; serving reports for %s\n",
+		coord.Ledger.Len(), linger)
+	select {
+	case <-time.After(linger):
+	case <-ctx.Done():
+	}
+	return nil
+}
+
+func runWorker(ctx context.Context, recipe transport.Recipe, coordURL string, id int, f32, audit bool) error {
+	w, err := recipe.Worker(id)
+	if err != nil {
+		return err
+	}
+	client, err := transport.DialWorker(ctx, transport.ClientConfig{
+		BaseURL: coordURL,
+		Worker:  w,
+		Float32: f32,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d: registered with %s (%d local samples)\n", id, coordURL, w.NumSamples())
+	trained, err := client.Run(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker %d: federation done after training %d rounds\n", id, trained)
+	if last := client.LastRound(); last >= 0 {
+		rep, err := client.FetchReport(ctx, last)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("worker %d: final reputation %.4f, reward %.4f (round %d, status %s)\n",
+			id, rep.Reputations[id], rep.Rewards[id], rep.Round, rep.Statuses[id])
+	}
+	if audit {
+		blocks, err := client.VerifyLedger(ctx)
+		if err != nil {
+			return fmt.Errorf("ledger audit: %w", err)
+		}
+		fmt.Printf("worker %d: audit ledger verified, %d blocks intact\n", id, blocks)
+	}
+	return nil
+}
+
+func fmtF64s(v []float64) string {
+	s := "["
+	for i, x := range v {
+		if i > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%.3f", x)
+	}
+	return s + "]"
+}

@@ -40,6 +40,7 @@
 package fifl
 
 import (
+	"context"
 	"time"
 
 	"fifl/internal/core"
@@ -53,6 +54,7 @@ import (
 	"fifl/internal/rng"
 	"fifl/internal/robust"
 	"fifl/internal/trace"
+	"fifl/internal/transport"
 )
 
 // RNG re-exports the deterministic splittable random source every
@@ -275,3 +277,41 @@ type (
 // AnalyzeComm computes the per-round communication cost of an
 // architecture.
 func AnalyzeComm(p CommParams) CommCost { return netsim.Analyze(p) }
+
+// Wire transport: run a federation across real processes over HTTP with
+// the deterministic binary codec (see internal/transport and cmd/fifl-node).
+type (
+	// TransportHub bridges a coordinator-side engine to remote workers:
+	// the engine trains against hub stubs while real HTTP submissions feed
+	// them.
+	TransportHub = transport.Hub
+	// CoordinatorServer is the coordinator's HTTP endpoint (submit, model
+	// long poll, per-round reports, ledger export, healthz).
+	CoordinatorServer = transport.Server
+	// WorkerClient is a worker's connection to a coordinator: hello, then
+	// poll-train-submit until done.
+	WorkerClient = transport.Client
+	// WorkerClientConfig configures DialWorker.
+	WorkerClientConfig = transport.ClientConfig
+	// FederationRecipe is a deterministic federation specification every
+	// node rebuilds locally from the shared seed, making networked runs
+	// bit-identical to in-process runs.
+	FederationRecipe = transport.Recipe
+)
+
+// NewTransportHub creates the coordinator-side bridge for an n-worker
+// federation; build the engine over hub.Workers() with WithWorkerTimeout.
+func NewTransportHub(n int) (*TransportHub, error) { return transport.NewHub(n) }
+
+// ServeCoordinator wraps a coordinator (whose engine runs over hub stubs)
+// in the federation's HTTP API; serve its Handler with net/http or
+// httptest.
+func ServeCoordinator(coord *Coordinator, hub *TransportHub) (*CoordinatorServer, error) {
+	return transport.NewServer(coord, hub)
+}
+
+// DialWorker registers a worker with a coordinator and returns the client
+// that drives its poll-train-submit loop.
+func DialWorker(ctx context.Context, cfg WorkerClientConfig) (*WorkerClient, error) {
+	return transport.DialWorker(ctx, cfg)
+}

@@ -1,7 +1,11 @@
 package fifl
 
 import (
+	"context"
+	"net/http/httptest"
+	"sync"
 	"testing"
+	"time"
 
 	"fifl/internal/attack"
 )
@@ -104,4 +108,92 @@ func TestSelectInitialServersFacade(t *testing.T) {
 	if len(servers) != 2 || servers[0] != 1 || servers[1] != 2 {
 		t.Fatalf("servers = %v", servers)
 	}
+}
+
+// TestTransportFacade runs a miniature networked federation entirely
+// through the facade: NewTransportHub + ServeCoordinator on one side,
+// DialWorker on the other, loopback HTTP in between.
+func TestTransportFacade(t *testing.T) {
+	recipe := FederationRecipe{Seed: 21, Workers: 2, SamplesPerWorker: 40}
+	build, err := recipe.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := NewTransportHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := NewEngine(EngineConfig{Servers: 1, GlobalLR: 0.05}, build, hub.Workers(),
+		NewRNG(recipe.Seed).Split("facade"), WithWorkerTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Detection:      Detector{Threshold: 0.02},
+		Reputation:     DefaultReputationConfig(),
+		Contribution:   ContributionConfig{BaselineWorker: -1},
+		RewardPerRound: 1,
+		RecordToLedger: true,
+	}, engine, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := ServeCoordinator(coord, hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	var audited int
+	for i := 0; i < 2; i++ {
+		w, err := recipe.Worker(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := DialWorker(ctx, WorkerClientConfig{BaseURL: ts.URL, Worker: w, PollWait: 500 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int, c *WorkerClient) {
+			defer wg.Done()
+			if _, err := c.Run(ctx); err != nil {
+				t.Errorf("client %d: %v", i, err)
+			}
+		}(i, client)
+		if i == 0 {
+			defer func(c *WorkerClient) {
+				blocks, err := c.VerifyLedger(context.Background())
+				if err != nil {
+					t.Errorf("ledger audit: %v", err)
+				}
+				audited = blocks
+				if audited == 0 {
+					t.Error("audited ledger is empty")
+				}
+			}(client)
+		}
+	}
+	if err := srv.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := srv.RunRound(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Committed {
+		t.Fatal("loopback round failed to commit")
+	}
+	for i, s := range rep.Statuses {
+		if s != UploadOK {
+			t.Fatalf("worker %d status %v", i, s)
+		}
+	}
+	srv.MarkDone()
+	wg.Wait()
 }

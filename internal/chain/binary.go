@@ -1,0 +1,210 @@
+package chain
+
+import (
+	"bufio"
+	"crypto/ed25519"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// The binary export is a deterministic, self-contained serialization of
+// the ledger: the registered executor keys (sorted by name) followed by
+// every block in chain order, all little-endian. Unlike MarshalJSON it
+// carries the public keys, so a reader can verify the chain — hash links
+// and signatures — without any out-of-band state: that is what VerifyFrom
+// does, and what the transport's /v1/ledger endpoint serves to workers
+// auditing the coordinator over the wire.
+
+// binaryMagic identifies the export format and its version.
+const binaryMagic = "FIFLCHN1"
+
+// WriteBinary writes the ledger's deterministic binary export to w: the
+// same ledger state always produces the same bytes.
+func (l *Ledger) WriteBinary(w io.Writer) error {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("chain: writing export header: %w", err)
+	}
+	names := make([]string, 0, len(l.keys))
+	for name := range l.keys {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(names))); err != nil {
+		return fmt.Errorf("chain: writing key count: %w", err)
+	}
+	for _, name := range names {
+		if err := writeBytes(bw, []byte(name)); err != nil {
+			return fmt.Errorf("chain: writing executor %q: %w", name, err)
+		}
+		if err := writeBytes(bw, l.keys[name]); err != nil {
+			return fmt.Errorf("chain: writing key of %q: %w", name, err)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(l.blocks))); err != nil {
+		return fmt.Errorf("chain: writing block count: %w", err)
+	}
+	for i, b := range l.blocks {
+		if err := writeBlock(bw, b); err != nil {
+			return fmt.Errorf("chain: writing block %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// writeBlock serializes one block.
+func writeBlock(w io.Writer, b Block) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(b.Index)); err != nil {
+		return err
+	}
+	if _, err := w.Write(b.PrevHash[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(b.Hash[:]); err != nil {
+		return err
+	}
+	if err := writeBytes(w, []byte(b.Record.Kind)); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(b.Record.Iteration), uint64(b.Record.WorkerID), math.Float64bits(b.Record.Value)} {
+		if err := binary.Write(w, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := writeBytes(w, []byte(b.Record.Executor)); err != nil {
+		return err
+	}
+	return writeBytes(w, b.Signature)
+}
+
+// writeBytes writes a u16 length prefix followed by the bytes.
+func writeBytes(w io.Writer, b []byte) error {
+	if len(b) > math.MaxUint16 {
+		return fmt.Errorf("field of %d bytes exceeds the export range", len(b))
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(b))); err != nil {
+		return err
+	}
+	_, err := w.Write(b)
+	return err
+}
+
+// ReadBinary reconstructs a ledger from its binary export. The returned
+// ledger is fully functional (Query, Audit, Verify, re-export); call
+// Verify — or use VerifyFrom, which does both — before trusting it.
+func ReadBinary(r io.Reader) (*Ledger, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("chain: reading export header: %w", err)
+	}
+	if string(head) != binaryMagic {
+		return nil, fmt.Errorf("chain: bad export header %q", head)
+	}
+	l := NewLedger()
+	var nKeys uint32
+	if err := binary.Read(br, binary.LittleEndian, &nKeys); err != nil {
+		return nil, fmt.Errorf("chain: reading key count: %w", err)
+	}
+	for i := 0; i < int(nKeys); i++ {
+		name, err := readBytes(br)
+		if err != nil {
+			return nil, fmt.Errorf("chain: reading executor %d: %w", i, err)
+		}
+		key, err := readBytes(br)
+		if err != nil {
+			return nil, fmt.Errorf("chain: reading key of %q: %w", name, err)
+		}
+		if len(key) != ed25519.PublicKeySize {
+			return nil, fmt.Errorf("chain: key of %q is %d bytes, want %d", name, len(key), ed25519.PublicKeySize)
+		}
+		if err := l.RegisterExecutor(string(name), ed25519.PublicKey(key)); err != nil {
+			return nil, err
+		}
+	}
+	var nBlocks uint32
+	if err := binary.Read(br, binary.LittleEndian, &nBlocks); err != nil {
+		return nil, fmt.Errorf("chain: reading block count: %w", err)
+	}
+	for i := 0; i < int(nBlocks); i++ {
+		b, err := readBlock(br)
+		if err != nil {
+			return nil, fmt.Errorf("chain: reading block %d: %w", i, err)
+		}
+		if b.Index != i {
+			return nil, fmt.Errorf("chain: block %d carries index %d", i, b.Index)
+		}
+		l.blocks = append(l.blocks, b)
+	}
+	return l, nil
+}
+
+// readBlock deserializes one block.
+func readBlock(r io.Reader) (Block, error) {
+	var b Block
+	var idx uint32
+	if err := binary.Read(r, binary.LittleEndian, &idx); err != nil {
+		return b, err
+	}
+	b.Index = int(idx)
+	if _, err := io.ReadFull(r, b.PrevHash[:]); err != nil {
+		return b, err
+	}
+	if _, err := io.ReadFull(r, b.Hash[:]); err != nil {
+		return b, err
+	}
+	kind, err := readBytes(r)
+	if err != nil {
+		return b, err
+	}
+	b.Record.Kind = RecordKind(kind)
+	var fields [3]uint64
+	for i := range fields {
+		if err := binary.Read(r, binary.LittleEndian, &fields[i]); err != nil {
+			return b, err
+		}
+	}
+	b.Record.Iteration = int(fields[0])
+	b.Record.WorkerID = int(fields[1])
+	b.Record.Value = math.Float64frombits(fields[2])
+	exec, err := readBytes(r)
+	if err != nil {
+		return b, err
+	}
+	b.Record.Executor = string(exec)
+	b.Signature, err = readBytes(r)
+	return b, err
+}
+
+// readBytes reads a u16 length-prefixed field.
+func readBytes(r io.Reader) ([]byte, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	out := make([]byte, n)
+	if _, err := io.ReadFull(r, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// VerifyFrom reads a binary export and verifies the reconstructed chain —
+// hash links, executor signatures and block hashes — returning the number
+// of intact blocks. It is the round trip the /v1/ledger endpoint serves:
+// a worker can audit the coordinator's ledger from the wire bytes alone.
+func VerifyFrom(r io.Reader) (blocks int, err error) {
+	l, err := ReadBinary(r)
+	if err != nil {
+		return 0, err
+	}
+	if err := l.Verify(); err != nil {
+		return 0, err
+	}
+	return l.Len(), nil
+}

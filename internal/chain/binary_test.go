@@ -1,0 +1,114 @@
+package chain
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// buildLedger appends a few signed records across two executors.
+func buildLedger(t *testing.T) (*Ledger, []*Signer) {
+	t.Helper()
+	l := NewLedger()
+	var signers []*Signer
+	for i := 0; i < 2; i++ {
+		var seed [32]byte
+		seed[0] = byte(i + 1)
+		s := NewSigner([]string{"alpha", "beta"}[i], seed)
+		if err := l.RegisterExecutor(s.Name, s.Public()); err != nil {
+			t.Fatal(err)
+		}
+		signers = append(signers, s)
+	}
+	for it := 0; it < 3; it++ {
+		for w := 0; w < 2; w++ {
+			rec := Record{Kind: KindReputation, Iteration: it, WorkerID: w, Value: float64(it) + 0.5}
+			if _, err := l.Append(signers[w%2], rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return l, signers
+}
+
+// TestBinaryRoundTrip: export → ReadBinary reconstructs an equivalent,
+// verifiable ledger, and re-exporting is byte-identical (determinism).
+func TestBinaryRoundTrip(t *testing.T) {
+	l, _ := buildLedger(t)
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Len() != l.Len() {
+		t.Fatalf("restored %d blocks, want %d", restored.Len(), l.Len())
+	}
+	if err := restored.Verify(); err != nil {
+		t.Fatalf("restored ledger fails verification: %v", err)
+	}
+	recs := restored.Query(KindReputation, 1, 0)
+	if len(recs) != 1 || recs[0].Value != 1.5 {
+		t.Fatalf("restored query = %+v", recs)
+	}
+	var buf2 bytes.Buffer
+	if err := restored.WriteBinary(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("re-export is not byte-identical: the format is not deterministic")
+	}
+}
+
+// TestVerifyFrom: the one-call wire audit accepts an intact export and
+// pinpoints tampering.
+func TestVerifyFrom(t *testing.T) {
+	l, _ := buildLedger(t)
+	var buf bytes.Buffer
+	if err := l.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := VerifyFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != l.Len() {
+		t.Fatalf("VerifyFrom = %d, %v; want %d, nil", n, err, l.Len())
+	}
+
+	// Flip one bit inside a record value: signature verification must fail.
+	export := buf.Bytes()
+	tampered := append([]byte(nil), export...)
+	// The last 8 bytes before the executor field of the final block hold
+	// its float64 value; flipping anywhere in the payload works since the
+	// whole chain is covered by hashes + signatures. Flip a byte near the
+	// end (inside the last block's signature or value).
+	tampered[len(tampered)-10] ^= 0x01
+	if _, err := VerifyFrom(bytes.NewReader(tampered)); err == nil {
+		t.Fatal("VerifyFrom accepted a tampered export")
+	} else if !errors.Is(err, ErrTampered) {
+		// Parse errors are acceptable for flips that break framing, but a
+		// flip inside a signature must surface as tampering.
+		t.Logf("tamper surfaced as parse error: %v", err)
+	}
+
+	// Truncation must error, not hang or panic.
+	if _, err := VerifyFrom(bytes.NewReader(export[:len(export)/2])); err == nil {
+		t.Fatal("VerifyFrom accepted a truncated export")
+	}
+	// Foreign bytes must be rejected on the header.
+	if _, err := VerifyFrom(bytes.NewReader([]byte("not a ledger"))); err == nil {
+		t.Fatal("VerifyFrom accepted foreign bytes")
+	}
+}
+
+// TestBinaryEmptyLedger: a fresh ledger exports and round-trips.
+func TestBinaryEmptyLedger(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewLedger().WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := VerifyFrom(bytes.NewReader(buf.Bytes()))
+	if err != nil || n != 0 {
+		t.Fatalf("empty VerifyFrom = %d, %v", n, err)
+	}
+}

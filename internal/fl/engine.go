@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"fifl/internal/dataset"
 	"fifl/internal/faults"
@@ -152,6 +153,12 @@ func (e *Engine) NumServers() int { return e.Cfg.Servers }
 
 // Quorum returns the configured round-commit threshold (0 = none).
 func (e *Engine) Quorum() int { return e.opt.quorum }
+
+// WorkerTimeout returns the per-worker round deadline (0 = none). The
+// network transport requires a positive deadline: a remote worker that
+// never submits must resolve to StatusTimedOut instead of blocking the
+// round forever.
+func (e *Engine) WorkerTimeout() time.Duration { return e.opt.workerTimeout }
 
 // AggregateRound computes the global gradient G̃ = Σ_i (n_i·r_i / Σ_j
 // n_j·r_j)·G_i over the workers whose accept flag is true and whose upload

@@ -1,6 +1,9 @@
 package gradvec
 
-import "testing"
+import (
+	"math"
+	"testing"
+)
 
 func TestSplitMoreSlicesThanElements(t *testing.T) {
 	v := Vector{1, 2}
@@ -26,6 +29,66 @@ func TestZerosAndScaleEmpty(t *testing.T) {
 	}
 	if z.HasNaN() {
 		t.Fatal("empty vector has no NaN")
+	}
+}
+
+func TestNorm2NonFinite(t *testing.T) {
+	for _, v := range []Vector{
+		{1, math.NaN(), 3},
+		{math.Inf(1)},
+		{math.Inf(-1), 2},
+	} {
+		if got := v.Norm2(); !math.IsInf(got, 1) {
+			t.Fatalf("Norm2(%v) = %v, want +Inf", v, got)
+		}
+	}
+	// Intermediate x*x overflow on finite input must still yield +Inf,
+	// never NaN.
+	huge := Vector{1e308, -1e308}
+	if got := huge.Norm2(); math.IsNaN(got) {
+		t.Fatalf("Norm2(%v) = NaN", huge)
+	}
+}
+
+func TestCosSimDegenerateInputsScoreZero(t *testing.T) {
+	ref := Vector{1, 2, 3}
+	for name, v := range map[string]Vector{
+		"zero":    {0, 0, 0},
+		"nan":     {1, math.NaN(), 3},
+		"posinf":  {math.Inf(1), 0, 0},
+		"neginf":  {0, math.Inf(-1), 0},
+		"allnans": {math.NaN(), math.NaN(), math.NaN()},
+	} {
+		if got := v.CosSim(ref); got != 0 {
+			t.Fatalf("CosSim(%s, ref) = %v, want 0", name, got)
+		}
+		if got := ref.CosSim(v); got != 0 {
+			t.Fatalf("CosSim(ref, %s) = %v, want 0", name, got)
+		}
+	}
+}
+
+func TestCosSimClampedAndFinite(t *testing.T) {
+	// Parallel vectors: exactly 1 even when rounding would push past it.
+	a := Vector{1e-3, 2e-3, 3e-3}
+	b := Vector{2e-3, 4e-3, 6e-3}
+	if got := a.CosSim(b); got > 1 || got < 0.999999 {
+		t.Fatalf("parallel CosSim = %v", got)
+	}
+	if got := a.CosSim(a); got != 1 {
+		t.Fatalf("self CosSim = %v, want exactly 1", got)
+	}
+	neg := a.Clone()
+	neg.Scale(-1)
+	if got := a.CosSim(neg); got != -1 {
+		t.Fatalf("antiparallel CosSim = %v, want exactly -1", got)
+	}
+	// Huge finite values: Dot overflows to NaN internally; the guard
+	// reports 0 rather than NaN.
+	big := Vector{1e308, -1e308}
+	other := Vector{1e308, 1e308}
+	if got := big.CosSim(other); math.IsNaN(got) {
+		t.Fatal("CosSim leaked NaN on overflowing dot product")
 	}
 }
 

@@ -62,8 +62,21 @@ func (v Vector) Dot(o Vector) float64 {
 	return s
 }
 
-// Norm2 returns the Euclidean norm ‖v‖₂.
-func (v Vector) Norm2() float64 { return math.Sqrt(v.Dot(v)) }
+// Norm2 returns the Euclidean norm ‖v‖₂. It never returns NaN: any
+// non-finite element (NaN or ±Inf) yields +Inf — an unambiguous "this
+// vector is broken" signal that downstream guards (CosSim, the detection
+// screens) turn into a rejection instead of silently propagating NaN
+// through scores and reputations.
+func (v Vector) Norm2() float64 {
+	s := 0.0
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return math.Inf(1)
+		}
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
 
 // SqDist returns the squared Euclidean distance ‖v − o‖² — the Dis()
 // function of the paper's contribution module (Eq. 13).
@@ -79,14 +92,32 @@ func (v Vector) SqDist(o Vector) float64 {
 	return s
 }
 
-// CosSim returns the cosine similarity between v and o, or 0 if either is a
-// zero vector.
+// CosSim returns the cosine similarity between v and o, clamped to
+// [-1, 1]. Degenerate inputs score 0 instead of propagating NaN into the
+// detection pipeline: a zero vector has no direction to compare, and a
+// vector with non-finite elements (Norm2 = +Inf) carries no usable signal
+// — the detection modules treat a 0 score as "no evidence", which a
+// threshold S_y > 0 rejects.
 func (v Vector) CosSim(o Vector) float64 {
 	nv, no := v.Norm2(), o.Norm2()
-	if nv == 0 || no == 0 {
+	if nv == 0 || no == 0 || math.IsInf(nv, 0) || math.IsInf(no, 0) {
 		return 0
 	}
-	return v.Dot(o) / (nv * no)
+	// Divide by the norms one at a time: nv*no can overflow to +Inf even
+	// when both norms are finite, which would corrupt the quotient.
+	c := v.Dot(o) / nv / no
+	switch {
+	case math.IsNaN(c):
+		// Only reachable through intermediate overflow in Dot (huge finite
+		// elements summing +Inf and -Inf): no usable signal.
+		return 0
+	case c > 1:
+		return 1
+	case c < -1:
+		return -1
+	default:
+		return c
+	}
 }
 
 // HasNaN reports whether any element is NaN or infinite.

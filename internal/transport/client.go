@@ -1,0 +1,242 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"fifl/internal/chain"
+	"fifl/internal/fl"
+	"fifl/internal/transport/codec"
+)
+
+// ClientConfig configures a worker's connection to a coordinator.
+type ClientConfig struct {
+	// BaseURL is the coordinator's root, e.g. "http://127.0.0.1:7070".
+	BaseURL string
+	// Worker is the local participant: its ID names the federation slot,
+	// NumSamples is registered at hello, and LocalTrain runs each round.
+	Worker fl.Worker
+	// HTTPClient overrides the transport (nil = a client with sane
+	// timeouts for long polls).
+	HTTPClient *http.Client
+	// PollWait caps one model long poll (0 = 5s).
+	PollWait time.Duration
+	// RetryAttempts is how many times a failed HTTP request is retried
+	// before giving up (0 = 3); RetryBackoff is the base delay between
+	// attempts, doubling each retry (0 = 100ms).
+	RetryAttempts int
+	RetryBackoff  time.Duration
+	// Float32 requests the wire format's compression mode for model
+	// downloads and uses it for uploads: half the bytes, lossy — and it
+	// forfeits bit-identity with an in-process run.
+	Float32 bool
+}
+
+// Client is a worker's connection to a coordinator: it registers at hello,
+// then repeats poll-train-submit until the coordinator broadcasts done.
+type Client struct {
+	cfg       ClientConfig
+	http      *http.Client
+	lastRound int
+}
+
+// DialWorker validates the configuration and registers the worker with the
+// coordinator (the hello handshake). The returned client is single-
+// goroutine: drive it with Run or RunRound.
+func DialWorker(ctx context.Context, cfg ClientConfig) (*Client, error) {
+	if cfg.Worker == nil {
+		return nil, fmt.Errorf("transport: DialWorker requires a worker")
+	}
+	if _, err := url.Parse(cfg.BaseURL); err != nil || cfg.BaseURL == "" {
+		return nil, fmt.Errorf("transport: DialWorker requires a coordinator URL, got %q", cfg.BaseURL)
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 5 * time.Second
+	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 3
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 100 * time.Millisecond
+	}
+	c := &Client{cfg: cfg, http: cfg.HTTPClient, lastRound: noRound}
+	if c.http == nil {
+		c.http = &http.Client{Timeout: cfg.PollWait + 30*time.Second}
+	}
+	frame, err := codec.EncodeHello(codec.Hello{Worker: cfg.Worker.ID(), Samples: cfg.Worker.NumSamples()})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.post(ctx, "/v1/round/submit", frame); err != nil {
+		return nil, fmt.Errorf("transport: hello: %w", err)
+	}
+	return c, nil
+}
+
+// RunRound performs one poll-train-submit cycle. done reports that the
+// coordinator broadcast the terminal frame; trained reports whether this
+// call actually trained and submitted (false on an empty long poll).
+func (c *Client) RunRound(ctx context.Context) (trained, done bool, err error) {
+	q := url.Values{
+		"after":  {strconv.Itoa(c.lastRound)},
+		"worker": {strconv.Itoa(c.cfg.Worker.ID())},
+		"wait":   {strconv.Itoa(int(c.cfg.PollWait / time.Millisecond))},
+	}
+	if c.cfg.Float32 {
+		q.Set("enc", "f32")
+	}
+	body, err := c.get(ctx, "/v1/model?"+q.Encode())
+	if err != nil {
+		return false, false, fmt.Errorf("transport: polling model: %w", err)
+	}
+	if body == nil { // empty poll window
+		return false, false, nil
+	}
+	m, err := codec.DecodeModel(body)
+	if err != nil {
+		return false, false, fmt.Errorf("transport: model frame: %w", err)
+	}
+	if m.Done {
+		return false, true, nil
+	}
+	grad := c.cfg.Worker.LocalTrain(m.Round, m.Params)
+	frame, err := codec.EncodeUpload(codec.Upload{
+		Round:   m.Round,
+		Worker:  c.cfg.Worker.ID(),
+		Samples: c.cfg.Worker.NumSamples(),
+		Grad:    grad,
+	}, c.cfg.Float32)
+	if err != nil {
+		return false, false, fmt.Errorf("transport: encoding upload for round %d: %w", m.Round, err)
+	}
+	if _, err := c.post(ctx, "/v1/round/submit", frame); err != nil {
+		return false, false, fmt.Errorf("transport: submitting round %d: %w", m.Round, err)
+	}
+	c.lastRound = m.Round
+	return true, false, nil
+}
+
+// Run repeats RunRound until the coordinator broadcasts done or the
+// context is cancelled, returning the number of rounds trained.
+func (c *Client) Run(ctx context.Context) (rounds int, err error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return rounds, err
+		}
+		trained, done, err := c.RunRound(ctx)
+		if err != nil {
+			return rounds, err
+		}
+		if trained {
+			rounds++
+		}
+		if done {
+			return rounds, nil
+		}
+	}
+}
+
+// LastRound returns the most recent round this client trained in, or -1
+// before any round.
+func (c *Client) LastRound() int { return c.lastRound }
+
+// FetchReport downloads one round's assessment.
+func (c *Client) FetchReport(ctx context.Context, round int) (codec.Report, error) {
+	q := url.Values{"round": {strconv.Itoa(round)}}
+	if c.cfg.Float32 {
+		q.Set("enc", "f32")
+	}
+	body, err := c.get(ctx, "/v1/round/report?"+q.Encode())
+	if err != nil {
+		return codec.Report{}, fmt.Errorf("transport: fetching report %d: %w", round, err)
+	}
+	if body == nil {
+		return codec.Report{}, fmt.Errorf("transport: empty report response for round %d", round)
+	}
+	return codec.DecodeReport(body)
+}
+
+// VerifyLedger downloads the coordinator's audit chain and verifies it —
+// hash links and executor signatures — returning the block count. This is
+// the worker-side tamper check of §4.5 over the wire.
+func (c *Client) VerifyLedger(ctx context.Context) (blocks int, err error) {
+	body, err := c.get(ctx, "/v1/ledger")
+	if err != nil {
+		return 0, fmt.Errorf("transport: fetching ledger: %w", err)
+	}
+	if body == nil {
+		return 0, fmt.Errorf("transport: empty ledger response")
+	}
+	export, err := codec.DecodeLedger(body)
+	if err != nil {
+		return 0, err
+	}
+	return chain.VerifyFrom(bytes.NewReader(export))
+}
+
+// get issues a GET with retries. It returns nil bytes for 204 No Content.
+func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
+	return c.do(ctx, http.MethodGet, path, nil)
+}
+
+// post issues a POST with retries.
+func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, error) {
+	return c.do(ctx, http.MethodPost, path, body)
+}
+
+// do issues one HTTP request with exponential-backoff retries on transport
+// errors and 5xx responses. 4xx responses are terminal: the coordinator
+// rejected the request and a retransmission cannot fix it.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			wait := c.cfg.RetryBackoff << (attempt - 1)
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		var rd io.Reader
+		if body != nil {
+			rd = bytes.NewReader(body)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/octet-stream")
+		}
+		resp, err := c.http.Do(req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		out, err := io.ReadAll(io.LimitReader(resp.Body, maxUploadBytes))
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusNoContent:
+			return nil, nil
+		case resp.StatusCode >= 200 && resp.StatusCode < 300:
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			return out, nil
+		case resp.StatusCode >= 500:
+			lastErr = fmt.Errorf("%s %s: %s", method, path, resp.Status)
+			continue
+		default:
+			return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(out))
+		}
+	}
+	return nil, fmt.Errorf("%s %s failed after %d attempts: %w", method, path, c.cfg.RetryAttempts+1, lastErr)
+}

@@ -1,0 +1,559 @@
+// Package codec is the wire format of the FIFL transport layer: a
+// deterministic, versioned binary encoding for the messages a networked
+// federation exchanges — worker hellos, gradient uploads, global-model
+// broadcasts, reputation/reward reports and ledger exports.
+//
+// Every frame shares one layout:
+//
+//	magic "FIFL" | version u8 | type u8 | flags u8 | reserved u8
+//	  ... type-specific fixed fields (little-endian) ...
+//	  ... length-prefixed payload vectors ...
+//	crc32 (IEEE, little-endian) over everything before it
+//
+// Gradient and parameter payloads are length-prefixed float64 arrays in
+// little-endian bit order, so a float64 round-trips bit-exactly — the
+// property the transport's "bit-identical to the in-process engine"
+// guarantee rests on. Setting FlagFloat32 switches a frame's vector
+// payloads to float32 (half the bytes, lossy); both sides of a connection
+// negotiate it per request, and decoders accept either mode.
+//
+// Decoders are hardened against adversarial bytes: every declared length
+// is checked against the remaining input before allocation, the CRC is
+// verified before any field is parsed, unknown versions/types/flags are
+// rejected, and non-finite vector elements (NaN, ±Inf) are refused so a
+// malicious worker cannot inject detection-poisoning values below the
+// application layer. DecodeUpload and friends never panic — the package
+// fuzz target proves it.
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"fifl/internal/faults"
+)
+
+// Magic opens every frame.
+const Magic = "FIFL"
+
+// Version is the wire-format version this package speaks. Decoders reject
+// frames from other versions, so incompatible format changes must bump it.
+const Version = 1
+
+// MsgType labels what a frame carries.
+type MsgType uint8
+
+// Message types of wire-format version 1.
+const (
+	// TypeHello registers a worker with the coordinator before round 0.
+	TypeHello MsgType = 1
+	// TypeUpload carries one worker's local gradient for one round.
+	TypeUpload MsgType = 2
+	// TypeModel broadcasts the global parameters for one round.
+	TypeModel MsgType = 3
+	// TypeReport carries one round's assessment: statuses, reputations and
+	// rewards.
+	TypeReport MsgType = 4
+	// TypeLedger wraps a chain binary export (see chain.WriteBinary).
+	TypeLedger MsgType = 5
+)
+
+// String renders the message type for errors and logs.
+func (t MsgType) String() string {
+	switch t {
+	case TypeHello:
+		return "hello"
+	case TypeUpload:
+		return "upload"
+	case TypeModel:
+		return "model"
+	case TypeReport:
+		return "report"
+	case TypeLedger:
+		return "ledger"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Frame flags.
+const (
+	// FlagFloat32 switches the frame's vector payloads to float32 — the
+	// negotiable compression mode (half the bytes, lossy).
+	FlagFloat32 uint8 = 1 << 0
+	// FlagDone on a model frame tells workers the federation has finished;
+	// the frame carries no parameters.
+	FlagDone uint8 = 1 << 1
+	// FlagCommitted on a report frame records that the round met its
+	// quorum.
+	FlagCommitted uint8 = 1 << 2
+
+	knownFlags = FlagFloat32 | FlagDone | FlagCommitted
+)
+
+// headerSize is magic + version + type + flags + reserved.
+const headerSize = len(Magic) + 4
+
+// crcSize trails every frame.
+const crcSize = 4
+
+// Hello registers a worker with the coordinator: its stable federation
+// index and its local dataset size (the n_i aggregation weight the
+// coordinator will trust for the whole run).
+type Hello struct {
+	Worker  int
+	Samples int
+}
+
+// Upload is one worker's gradient submission for one round.
+type Upload struct {
+	Round   int
+	Worker  int
+	Samples int
+	Grad    []float64
+}
+
+// Model is the global-parameter broadcast for one round. Done marks the
+// federation's final frame; a done frame carries no parameters.
+type Model struct {
+	Round  int
+	Done   bool
+	Params []float64
+}
+
+// Report is one round's public assessment: each worker's upload status in
+// the shared faults vocabulary, its reputation after the round, and its
+// reward. Committed records whether the round met its quorum.
+type Report struct {
+	Round       int
+	Committed   bool
+	Statuses    []faults.UploadStatus
+	Reputations []float64
+	Rewards     []float64
+}
+
+// writer accumulates a frame.
+type writer struct{ b []byte }
+
+func newWriter(t MsgType, flags uint8, sizeHint int) *writer {
+	w := &writer{b: make([]byte, 0, headerSize+sizeHint+crcSize)}
+	w.b = append(w.b, Magic...)
+	w.b = append(w.b, Version, byte(t), flags, 0)
+	return w
+}
+
+func (w *writer) u32(v uint32) {
+	w.b = binary.LittleEndian.AppendUint32(w.b, v)
+}
+
+// vec appends a length-prefixed vector in the frame's element width.
+func (w *writer) vec(v []float64, f32 bool) {
+	w.u32(uint32(len(v)))
+	if f32 {
+		for _, x := range v {
+			w.b = binary.LittleEndian.AppendUint32(w.b, math.Float32bits(float32(x)))
+		}
+		return
+	}
+	for _, x := range v {
+		w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(x))
+	}
+}
+
+// seal appends the CRC and returns the finished frame.
+func (w *writer) seal() []byte {
+	return binary.LittleEndian.AppendUint32(w.b, crc32.ChecksumIEEE(w.b))
+}
+
+// reader consumes a verified frame body.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) u32() (uint32, error) {
+	if r.remaining() < 4 {
+		return 0, fmt.Errorf("codec: truncated frame at offset %d", r.off)
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("codec: truncated frame at offset %d", r.off)
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+// vec reads a length-prefixed vector in the frame's element width,
+// rejecting non-finite elements. The length prefix is validated against
+// the remaining bytes before any allocation, so adversarial prefixes
+// cannot force huge allocations.
+func (r *reader) vec(f32 bool, field string) ([]float64, error) {
+	count, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	elem := 8
+	if f32 {
+		elem = 4
+	}
+	if int64(count)*int64(elem) > int64(r.remaining()) {
+		return nil, fmt.Errorf("codec: %s declares %d elements, only %d bytes remain", field, count, r.remaining())
+	}
+	raw, err := r.bytes(int(count) * elem)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, count)
+	for i := range out {
+		var x float64
+		if f32 {
+			x = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
+		} else {
+			x = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("codec: %s element %d is non-finite", field, i)
+		}
+		out[i] = x
+	}
+	return out, nil
+}
+
+// done reports a parse error if the frame body has trailing bytes.
+func (r *reader) done() error {
+	if r.remaining() != 0 {
+		return fmt.Errorf("codec: %d trailing bytes after frame body", r.remaining())
+	}
+	return nil
+}
+
+// checkFinite rejects vectors the encoder must not put on the wire.
+func checkFinite(v []float64, field string) error {
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("codec: %s element %d is non-finite", field, i)
+		}
+	}
+	return nil
+}
+
+// checkU32 rejects fixed fields outside the wire range.
+func checkU32(v int, field string) error {
+	if v < 0 || int64(v) > math.MaxUint32 {
+		return fmt.Errorf("codec: %s %d outside the wire range [0, 2^32)", field, v)
+	}
+	return nil
+}
+
+// Type classifies a frame without decoding it: it validates the magic,
+// version and flag bits and returns the message type. The CRC is NOT
+// checked here — callers dispatch on Type and let the per-type decoder
+// verify integrity.
+func Type(b []byte) (MsgType, error) {
+	if len(b) < headerSize+crcSize {
+		return 0, fmt.Errorf("codec: frame of %d bytes is shorter than any message", len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return 0, fmt.Errorf("codec: bad magic %q", b[:len(Magic)])
+	}
+	if b[4] != Version {
+		return 0, fmt.Errorf("codec: unsupported wire version %d (speaking %d)", b[4], Version)
+	}
+	if b[6]&^knownFlags != 0 {
+		return 0, fmt.Errorf("codec: unknown flag bits %#x", b[6]&^knownFlags)
+	}
+	t := MsgType(b[5])
+	switch t {
+	case TypeHello, TypeUpload, TypeModel, TypeReport, TypeLedger:
+		return t, nil
+	default:
+		return 0, fmt.Errorf("codec: unknown message type %d", b[5])
+	}
+}
+
+// open validates a frame end to end — header, expected type and CRC — and
+// returns a reader positioned at the body plus the frame's flags.
+func open(b []byte, want MsgType) (*reader, uint8, error) {
+	t, err := Type(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	if t != want {
+		return nil, 0, fmt.Errorf("codec: got a %s frame, want %s", t, want)
+	}
+	body := b[:len(b)-crcSize]
+	got := binary.LittleEndian.Uint32(b[len(b)-crcSize:])
+	if want := crc32.ChecksumIEEE(body); got != want {
+		return nil, 0, fmt.Errorf("codec: CRC mismatch (frame %#x, computed %#x)", got, want)
+	}
+	return &reader{b: body, off: headerSize}, b[6], nil
+}
+
+// EncodeHello encodes a worker registration.
+func EncodeHello(h Hello) ([]byte, error) {
+	if err := checkU32(h.Worker, "hello worker"); err != nil {
+		return nil, err
+	}
+	if err := checkU32(h.Samples, "hello samples"); err != nil {
+		return nil, err
+	}
+	w := newWriter(TypeHello, 0, 8)
+	w.u32(uint32(h.Worker))
+	w.u32(uint32(h.Samples))
+	return w.seal(), nil
+}
+
+// DecodeHello decodes a worker registration.
+func DecodeHello(b []byte) (Hello, error) {
+	r, _, err := open(b, TypeHello)
+	if err != nil {
+		return Hello{}, err
+	}
+	worker, err := r.u32()
+	if err != nil {
+		return Hello{}, err
+	}
+	samples, err := r.u32()
+	if err != nil {
+		return Hello{}, err
+	}
+	if err := r.done(); err != nil {
+		return Hello{}, err
+	}
+	return Hello{Worker: int(worker), Samples: int(samples)}, nil
+}
+
+// EncodeUpload encodes a gradient submission. float32Mode halves the
+// payload at the cost of precision (and of the transport's bit-identity
+// guarantee).
+func EncodeUpload(u Upload, float32Mode bool) ([]byte, error) {
+	if err := checkU32(u.Round, "upload round"); err != nil {
+		return nil, err
+	}
+	if err := checkU32(u.Worker, "upload worker"); err != nil {
+		return nil, err
+	}
+	if err := checkU32(u.Samples, "upload samples"); err != nil {
+		return nil, err
+	}
+	if err := checkFinite(u.Grad, "upload gradient"); err != nil {
+		return nil, err
+	}
+	var flags uint8
+	if float32Mode {
+		flags |= FlagFloat32
+	}
+	w := newWriter(TypeUpload, flags, 16+8*len(u.Grad))
+	w.u32(uint32(u.Round))
+	w.u32(uint32(u.Worker))
+	w.u32(uint32(u.Samples))
+	w.vec(u.Grad, float32Mode)
+	return w.seal(), nil
+}
+
+// DecodeUpload decodes a gradient submission. It never panics: malformed,
+// truncated or corrupted frames — and frames smuggling NaN/Inf gradient
+// elements — are reported as errors.
+func DecodeUpload(b []byte) (Upload, error) {
+	r, flags, err := open(b, TypeUpload)
+	if err != nil {
+		return Upload{}, err
+	}
+	round, err := r.u32()
+	if err != nil {
+		return Upload{}, err
+	}
+	worker, err := r.u32()
+	if err != nil {
+		return Upload{}, err
+	}
+	samples, err := r.u32()
+	if err != nil {
+		return Upload{}, err
+	}
+	grad, err := r.vec(flags&FlagFloat32 != 0, "upload gradient")
+	if err != nil {
+		return Upload{}, err
+	}
+	if err := r.done(); err != nil {
+		return Upload{}, err
+	}
+	return Upload{Round: int(round), Worker: int(worker), Samples: int(samples), Grad: grad}, nil
+}
+
+// EncodeModel encodes a global-parameter broadcast. A done frame must
+// carry no parameters.
+func EncodeModel(m Model, float32Mode bool) ([]byte, error) {
+	if err := checkU32(m.Round, "model round"); err != nil {
+		return nil, err
+	}
+	if m.Done && len(m.Params) > 0 {
+		return nil, fmt.Errorf("codec: a done model frame must carry no parameters, got %d", len(m.Params))
+	}
+	if err := checkFinite(m.Params, "model parameters"); err != nil {
+		return nil, err
+	}
+	var flags uint8
+	if float32Mode {
+		flags |= FlagFloat32
+	}
+	if m.Done {
+		flags |= FlagDone
+	}
+	w := newWriter(TypeModel, flags, 8+8*len(m.Params))
+	w.u32(uint32(m.Round))
+	w.vec(m.Params, float32Mode)
+	return w.seal(), nil
+}
+
+// DecodeModel decodes a global-parameter broadcast.
+func DecodeModel(b []byte) (Model, error) {
+	r, flags, err := open(b, TypeModel)
+	if err != nil {
+		return Model{}, err
+	}
+	round, err := r.u32()
+	if err != nil {
+		return Model{}, err
+	}
+	params, err := r.vec(flags&FlagFloat32 != 0, "model parameters")
+	if err != nil {
+		return Model{}, err
+	}
+	if err := r.done(); err != nil {
+		return Model{}, err
+	}
+	m := Model{Round: int(round), Done: flags&FlagDone != 0, Params: params}
+	if m.Done && len(m.Params) > 0 {
+		return Model{}, fmt.Errorf("codec: done model frame carries %d parameters", len(m.Params))
+	}
+	return m, nil
+}
+
+// EncodeReport encodes a round assessment. Statuses, Reputations and
+// Rewards must agree on the federation size.
+func EncodeReport(rep Report, float32Mode bool) ([]byte, error) {
+	if err := checkU32(rep.Round, "report round"); err != nil {
+		return nil, err
+	}
+	n := len(rep.Statuses)
+	if len(rep.Reputations) != n || len(rep.Rewards) != n {
+		return nil, fmt.Errorf("codec: report shape mismatch: %d statuses, %d reputations, %d rewards",
+			n, len(rep.Reputations), len(rep.Rewards))
+	}
+	if err := checkFinite(rep.Reputations, "report reputations"); err != nil {
+		return nil, err
+	}
+	if err := checkFinite(rep.Rewards, "report rewards"); err != nil {
+		return nil, err
+	}
+	var flags uint8
+	if float32Mode {
+		flags |= FlagFloat32
+	}
+	if rep.Committed {
+		flags |= FlagCommitted
+	}
+	w := newWriter(TypeReport, flags, 8+n+16*n)
+	w.u32(uint32(rep.Round))
+	w.u32(uint32(n))
+	for _, s := range rep.Statuses {
+		w.b = append(w.b, byte(s))
+	}
+	w.vec(rep.Reputations, float32Mode)
+	w.vec(rep.Rewards, float32Mode)
+	return w.seal(), nil
+}
+
+// DecodeReport decodes a round assessment.
+func DecodeReport(b []byte) (Report, error) {
+	r, flags, err := open(b, TypeReport)
+	if err != nil {
+		return Report{}, err
+	}
+	round, err := r.u32()
+	if err != nil {
+		return Report{}, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return Report{}, err
+	}
+	raw, err := r.bytes(int(n))
+	if err != nil {
+		return Report{}, fmt.Errorf("codec: report declares %d workers: %w", n, err)
+	}
+	statuses := make([]faults.UploadStatus, n)
+	for i, s := range raw {
+		if faults.UploadStatus(s) > faults.StatusCrashed {
+			return Report{}, fmt.Errorf("codec: report status %d for worker %d unknown", s, i)
+		}
+		statuses[i] = faults.UploadStatus(s)
+	}
+	f32 := flags&FlagFloat32 != 0
+	reps, err := r.vec(f32, "report reputations")
+	if err != nil {
+		return Report{}, err
+	}
+	rewards, err := r.vec(f32, "report rewards")
+	if err != nil {
+		return Report{}, err
+	}
+	if err := r.done(); err != nil {
+		return Report{}, err
+	}
+	if len(reps) != int(n) || len(rewards) != int(n) {
+		return Report{}, fmt.Errorf("codec: report shape mismatch: %d statuses, %d reputations, %d rewards",
+			n, len(reps), len(rewards))
+	}
+	return Report{
+		Round:       int(round),
+		Committed:   flags&FlagCommitted != 0,
+		Statuses:    statuses,
+		Reputations: reps,
+		Rewards:     rewards,
+	}, nil
+}
+
+// EncodeLedger frames a chain binary export (an opaque byte payload; see
+// chain.WriteBinary for its inner format) with the transport's header and
+// CRC.
+func EncodeLedger(export []byte) ([]byte, error) {
+	if int64(len(export)) > math.MaxUint32 {
+		return nil, fmt.Errorf("codec: ledger export of %d bytes exceeds the wire range", len(export))
+	}
+	w := newWriter(TypeLedger, 0, 4+len(export))
+	w.u32(uint32(len(export)))
+	w.b = append(w.b, export...)
+	return w.seal(), nil
+}
+
+// DecodeLedger unwraps a framed chain binary export.
+func DecodeLedger(b []byte) ([]byte, error) {
+	r, _, err := open(b, TypeLedger)
+	if err != nil {
+		return nil, err
+	}
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	export, err := r.bytes(int(n))
+	if err != nil {
+		return nil, fmt.Errorf("codec: ledger declares %d bytes: %w", n, err)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return append([]byte(nil), export...), nil
+}

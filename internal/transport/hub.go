@@ -1,0 +1,324 @@
+// Package transport runs a FIFL federation across real processes: a
+// coordinator HTTP server wrapping core.Coordinator, a worker client
+// wrapping any fl.Worker, and the binary wire format of
+// internal/transport/codec. It is stdlib-only (net/http).
+//
+// # Architecture
+//
+// The coordinator owns the fl.Engine, but its workers are remote stubs
+// (Hub.Workers): a stub's LocalTrain publishes the round's global
+// parameters to the hub and then blocks until the matching submission
+// arrives over HTTP — so CollectGradientsContext's per-worker deadlines,
+// seeded retries and quorum commit drive real network calls unchanged.
+// Worker processes run the opposite side: poll the model, train locally,
+// submit the gradient.
+//
+// # Failure mapping
+//
+// Transport failures surface through the PR-1 UploadStatus taxonomy and
+// feed the Eq. 8–10 reputation events exactly like simulated ones:
+//
+//   - a submission that arrives before the engine's per-worker deadline —
+//     with or without client-side HTTP retries — is StatusOK;
+//   - a worker that crashes, partitions or submits malformed/corrupt
+//     frames never completes its stub, which the deadline resolves to
+//     StatusTimedOut — an uncertain event for the reputation module;
+//   - the engine's fault injector still composes on top, so simulated
+//     drops/retries/crashes (StatusDropped, StatusRetried, StatusCrashed)
+//     can be layered over a real network.
+package transport
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+)
+
+// noRound marks "nothing published yet".
+const noRound = -1
+
+// submission is one accepted gradient upload.
+type submission struct {
+	grad    gradvec.Vector
+	samples int
+}
+
+// Hub is the rendezvous between the coordinator's engine (which runs
+// remote-worker stubs) and the HTTP handlers (which receive the real
+// submissions). It is safe for concurrent use.
+type Hub struct {
+	mu sync.Mutex
+
+	n         int
+	samples   []int // registered at hello; the engine's NumSamples source
+	helloed   []bool
+	readyLeft int
+	readyCh   chan struct{} // closed when every expected worker said hello
+
+	round    int       // latest published round (noRound before the first)
+	params   []float64 // latest published global parameters
+	done     bool
+	modelCh  chan struct{} // closed and replaced on every publish/done
+	closedCh chan struct{} // closed by Close; unblocks every stub
+
+	subs map[int]map[int]submission // round -> worker -> submission
+	wait map[[2]int]chan struct{}   // (round, worker) -> arrival signal
+}
+
+// NewHub creates the coordinator-side rendezvous for a federation of n
+// workers.
+func NewHub(n int) (*Hub, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: NewHub requires a positive federation size, got %d", n)
+	}
+	return &Hub{
+		n:         n,
+		samples:   make([]int, n),
+		helloed:   make([]bool, n),
+		readyLeft: n,
+		readyCh:   make(chan struct{}),
+		round:     noRound,
+		modelCh:   make(chan struct{}),
+		closedCh:  make(chan struct{}),
+		subs:      make(map[int]map[int]submission),
+		wait:      make(map[[2]int]chan struct{}),
+	}, nil
+}
+
+// Workers returns the remote-worker stubs to build the coordinator's
+// fl.Engine over, in federation order.
+func (h *Hub) Workers() []fl.Worker {
+	out := make([]fl.Worker, h.n)
+	for i := range out {
+		out[i] = &remoteWorker{hub: h, id: i}
+	}
+	return out
+}
+
+// Close unblocks every waiting stub and poller. After Close the hub
+// accepts no further submissions.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case <-h.closedCh:
+	default:
+		close(h.closedCh)
+	}
+}
+
+// hello registers worker id with its dataset size. Re-registration with
+// the same size is idempotent (a restarted worker saying hello again).
+func (h *Hub) hello(id, samples int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if id < 0 || id >= h.n {
+		return fmt.Errorf("transport: hello from worker %d, federation has %d workers", id, h.n)
+	}
+	if samples <= 0 {
+		return fmt.Errorf("transport: hello from worker %d declares %d samples", id, samples)
+	}
+	if h.helloed[id] {
+		if h.samples[id] != samples {
+			return fmt.Errorf("transport: worker %d re-registered with %d samples, was %d", id, samples, h.samples[id])
+		}
+		return nil
+	}
+	h.helloed[id] = true
+	h.samples[id] = samples
+	h.readyLeft--
+	if h.readyLeft == 0 {
+		close(h.readyCh)
+	}
+	return nil
+}
+
+// WaitReady blocks until every expected worker has said hello.
+func (h *Hub) WaitReady(ctx context.Context) error {
+	select {
+	case <-h.readyCh:
+		return nil
+	case <-h.closedCh:
+		return fmt.Errorf("transport: hub closed while waiting for workers")
+	case <-ctx.Done():
+		return fmt.Errorf("transport: waiting for workers: %w", ctx.Err())
+	}
+}
+
+// numSamples returns worker id's registered dataset size (0 before hello).
+func (h *Hub) numSamples(id int) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.samples[id]
+}
+
+// publish makes (round, params) the current model broadcast. Stubs call it
+// concurrently at round fan-out with identical arguments; only the first
+// call per round takes effect.
+func (h *Hub) publish(round int, params []float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if round <= h.round || h.done {
+		return
+	}
+	h.round = round
+	h.params = append([]float64(nil), params...)
+	// Drop mailboxes of earlier rounds: their stubs have long resolved and
+	// stale submissions are rejected anyway.
+	for r := range h.subs {
+		if r < round {
+			delete(h.subs, r)
+		}
+	}
+	close(h.modelCh)
+	h.modelCh = make(chan struct{})
+}
+
+// markDone publishes the terminal "federation finished" state.
+func (h *Hub) markDone() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.done {
+		return
+	}
+	h.done = true
+	close(h.modelCh)
+	h.modelCh = make(chan struct{})
+}
+
+// model returns the current broadcast state.
+func (h *Hub) model() (round int, params []float64, done bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.round, h.params, h.done
+}
+
+// waitModel blocks until a round newer than `after` is published (or the
+// federation finishes), up to maxWait — the server side of the client's
+// long poll. It returns ok=false on timeout with nothing new.
+func (h *Hub) waitModel(ctx context.Context, after int, maxWait time.Duration) (round int, params []float64, done, ok bool) {
+	deadline := time.NewTimer(maxWait)
+	defer deadline.Stop()
+	for {
+		h.mu.Lock()
+		if h.done {
+			r := h.round
+			h.mu.Unlock()
+			return r, nil, true, true
+		}
+		if h.round > after {
+			r, p := h.round, h.params
+			h.mu.Unlock()
+			return r, p, false, true
+		}
+		ch := h.modelCh
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline.C:
+			return 0, nil, false, false
+		case <-h.closedCh:
+			return h.round, nil, true, true
+		case <-ctx.Done():
+			return 0, nil, false, false
+		}
+	}
+}
+
+// submit records worker id's gradient for the given round and wakes the
+// stub waiting on it. Stale, duplicate, out-of-range and inconsistent
+// submissions are rejected — a rejected upload simply never arrives, which
+// the engine's deadline resolves to StatusTimedOut.
+func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case <-h.closedCh:
+		return fmt.Errorf("transport: hub closed")
+	default:
+	}
+	if id < 0 || id >= h.n {
+		return fmt.Errorf("transport: submission from worker %d, federation has %d workers", id, h.n)
+	}
+	if !h.helloed[id] {
+		return fmt.Errorf("transport: worker %d submitted before hello", id)
+	}
+	if round != h.round || h.round == noRound {
+		return fmt.Errorf("transport: submission for round %d, current round is %d", round, h.round)
+	}
+	if samples != h.samples[id] {
+		return fmt.Errorf("transport: worker %d submitted %d samples, registered %d", id, samples, h.samples[id])
+	}
+	if len(grad) != len(h.params) {
+		return fmt.Errorf("transport: worker %d submitted a %d-dim gradient, model has %d", id, len(grad), len(h.params))
+	}
+	if _, dup := h.subs[round][id]; dup {
+		return fmt.Errorf("transport: duplicate submission from worker %d for round %d", id, round)
+	}
+	if h.subs[round] == nil {
+		h.subs[round] = make(map[int]submission)
+	}
+	h.subs[round][id] = submission{grad: grad, samples: samples}
+	key := [2]int{round, id}
+	if ch, exists := h.wait[key]; exists {
+		close(ch)
+		delete(h.wait, key)
+	}
+	return nil
+}
+
+// await blocks until worker id's submission for the round arrives and
+// returns its gradient, or nil if the hub closes first. The engine's
+// per-worker deadline bounds the wait: a stub abandoned at the deadline
+// keeps blocking harmlessly until arrival or Close.
+func (h *Hub) await(round, id int) gradvec.Vector {
+	h.mu.Lock()
+	if sub, arrived := h.subs[round][id]; arrived {
+		h.mu.Unlock()
+		return sub.grad
+	}
+	key := [2]int{round, id}
+	ch, exists := h.wait[key]
+	if !exists {
+		ch = make(chan struct{})
+		h.wait[key] = ch
+	}
+	h.mu.Unlock()
+	select {
+	case <-ch:
+	case <-h.closedCh:
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if sub, arrived := h.subs[round][id]; arrived {
+		return sub.grad
+	}
+	return nil
+}
+
+// remoteWorker is the coordinator-side stub standing in for one networked
+// worker. LocalTrain publishes the round and waits for the real upload;
+// the engine's fault-tolerant runtime supplies deadlines and statuses.
+type remoteWorker struct {
+	hub *Hub
+	id  int
+}
+
+// ID returns the worker's federation index.
+func (w *remoteWorker) ID() int { return w.id }
+
+// NumSamples returns the dataset size the worker registered at hello.
+func (w *remoteWorker) NumSamples() int { return w.hub.numSamples(w.id) }
+
+// LocalTrain publishes the global parameters for the round (idempotently —
+// every stub publishes the identical snapshot) and blocks until the
+// worker's submission arrives or the hub closes.
+func (w *remoteWorker) LocalTrain(round int, global []float64) gradvec.Vector {
+	w.hub.publish(round, global)
+	return w.hub.await(round, w.id)
+}

@@ -1,0 +1,114 @@
+package transport
+
+import (
+	"fmt"
+
+	"fifl/internal/dataset"
+	"fifl/internal/fl"
+	"fifl/internal/nn"
+	"fifl/internal/rng"
+)
+
+// Recipe is a deterministic federation specification every node can
+// rebuild locally from the shared seed: the synthetic digits task, an MLP
+// model, and an IID partition of the training data. Because the rng
+// package derives child streams from (seed, label) pairs — not from
+// consumption order — a worker process that rebuilds its slot from the
+// same recipe produces bit-identical data, model and training trajectory
+// to an in-process run, which is what makes the transport's loopback
+// equivalence test (and multi-process demo) exact.
+type Recipe struct {
+	// Seed roots every stream; two nodes agree iff their seeds agree.
+	Seed uint64
+	// Workers is the federation size N.
+	Workers int
+	// SamplesPerWorker sizes each local dataset.
+	SamplesPerWorker int
+	// Local controls worker-side training; zero fields take defaults
+	// (K=1, BatchSize=32, LR=0.05).
+	Local fl.LocalConfig
+	// Hidden is the MLP's hidden layout (nil = [16]).
+	Hidden []int
+}
+
+// normalized fills defaults and validates.
+func (r Recipe) normalized() (Recipe, error) {
+	if r.Workers <= 0 {
+		return r, fmt.Errorf("transport: Recipe.Workers must be positive, got %d", r.Workers)
+	}
+	if r.SamplesPerWorker <= 0 {
+		return r, fmt.Errorf("transport: Recipe.SamplesPerWorker must be positive, got %d", r.SamplesPerWorker)
+	}
+	if r.Local.K == 0 {
+		r.Local.K = 1
+	}
+	if r.Local.BatchSize == 0 {
+		r.Local.BatchSize = 32
+	}
+	if r.Local.LR == 0 {
+		r.Local.LR = 0.05
+	}
+	if r.Hidden == nil {
+		r.Hidden = []int{16}
+	}
+	return r, nil
+}
+
+// Builder returns the shared model builder; every node must construct its
+// replicas from it so shapes and initializations agree.
+func (r Recipe) Builder() (nn.Builder, error) {
+	r, err := r.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return nn.NewMLP(r.Seed, 28*28, r.Hidden, 10), nil
+}
+
+// Worker rebuilds federation slot i: the full training set is regenerated
+// and partitioned exactly as every other node does it, then slot i's part
+// backs an honest worker with its own deterministic stream.
+func (r Recipe) Worker(i int) (fl.Worker, error) {
+	r, err := r.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if i < 0 || i >= r.Workers {
+		return nil, fmt.Errorf("transport: Recipe.Worker(%d) outside federation of %d", i, r.Workers)
+	}
+	src := rng.New(r.Seed)
+	train := dataset.SynthDigits(src.Split("train"), r.Workers*r.SamplesPerWorker)
+	parts := train.PartitionIID(src.Split("split"), r.Workers)
+	build, err := r.Builder()
+	if err != nil {
+		return nil, err
+	}
+	return fl.NewHonestWorker(i, parts[i], build, r.Local, src), nil
+}
+
+// AllWorkers rebuilds every federation slot (the in-process reference
+// configuration the loopback tests compare against).
+func (r Recipe) AllWorkers() ([]fl.Worker, error) {
+	r, err := r.normalized()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]fl.Worker, r.Workers)
+	for i := range out {
+		if out[i], err = r.Worker(i); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TestSet generates the shared held-out evaluation set.
+func (r Recipe) TestSet(n int) (*dataset.Dataset, error) {
+	r, err := r.normalized()
+	if err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("transport: Recipe.TestSet requires a positive size, got %d", n)
+	}
+	return dataset.SynthDigits(rng.New(r.Seed).Split("test"), n), nil
+}

@@ -1,0 +1,290 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"fifl/internal/core"
+	"fifl/internal/transport/codec"
+)
+
+// maxUploadBytes bounds a submission body: header + gradient + CRC for the
+// largest model this repo trains, with generous slack. Larger bodies are
+// rejected before buffering.
+const maxUploadBytes = 64 << 20
+
+// defaultPollWait is the server-side cap on a model long poll.
+const defaultPollWait = 10 * time.Second
+
+// Server is the coordinator's wire endpoint: it wraps a core.Coordinator
+// whose engine runs over Hub stubs and serves the federation's HTTP API:
+//
+//	POST /v1/round/submit  — codec hello and upload frames
+//	GET  /v1/model         — long-polled global-parameter broadcast
+//	GET  /v1/round/report  — per-round assessment (statuses, reputations, rewards)
+//	GET  /v1/ledger        — framed chain binary export
+//	GET  /v1/healthz       — JSON liveness and progress
+type Server struct {
+	coord *core.Coordinator
+	hub   *Hub
+	mux   *http.ServeMux
+
+	mu      sync.Mutex
+	reports map[int]*core.RoundReport
+	// Per-worker wire accounting for the netsim cross-check: bytes of
+	// upload frames received and of non-done model frames served.
+	upBytes   []int64
+	downBytes []int64
+}
+
+// NewServer wires a coordinator to its hub. The coordinator's engine must
+// have been built over hub.Workers() with a positive worker timeout — the
+// deadline is what resolves a silent remote worker to StatusTimedOut.
+func NewServer(coord *core.Coordinator, hub *Hub) (*Server, error) {
+	if coord == nil {
+		return nil, fmt.Errorf("transport: NewServer requires a coordinator")
+	}
+	if hub == nil {
+		return nil, fmt.Errorf("transport: NewServer requires a hub")
+	}
+	if got := len(coord.Engine.Workers); got != hub.n {
+		return nil, fmt.Errorf("transport: engine has %d workers, hub expects %d", got, hub.n)
+	}
+	if coord.Engine.WorkerTimeout() <= 0 {
+		return nil, fmt.Errorf("transport: the engine needs a positive WithWorkerTimeout to bound remote workers")
+	}
+	s := &Server{
+		coord:     coord,
+		hub:       hub,
+		mux:       http.NewServeMux(),
+		reports:   make(map[int]*core.RoundReport),
+		upBytes:   make([]int64, hub.n),
+		downBytes: make([]int64, hub.n),
+	}
+	s.mux.HandleFunc("POST /v1/round/submit", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/model", s.handleModel)
+	s.mux.HandleFunc("GET /v1/round/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/ledger", s.handleLedger)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler, ready for http.Server or
+// httptest.NewServer (the loopback mode the integration tests use).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// WaitReady blocks until every expected worker has said hello.
+func (s *Server) WaitReady(ctx context.Context) error { return s.hub.WaitReady(ctx) }
+
+// RunRound executes one FIFL iteration over the wire: the engine's round
+// fan-out publishes the model, waits for real submissions under its
+// deadlines, and the coordinator assesses the arrivals exactly as it would
+// in process. The report is retained for /v1/round/report.
+func (s *Server) RunRound(ctx context.Context, t int) (*core.RoundReport, error) {
+	rep, err := s.coord.RunRoundContext(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.reports[t] = rep
+	s.mu.Unlock()
+	return rep, nil
+}
+
+// MarkDone broadcasts the terminal model frame; clients' Run loops exit
+// when they see it.
+func (s *Server) MarkDone() { s.hub.markDone() }
+
+// Close marks the federation done and unblocks every waiting stub and
+// poller.
+func (s *Server) Close() {
+	s.hub.markDone()
+	s.hub.Close()
+}
+
+// WorkerTraffic returns the per-worker wire bytes measured so far: upload
+// frames received and model frames served. The integration tests
+// cross-check these against netsim's analytic model.
+func (s *Server) WorkerTraffic() (up, down []int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]int64(nil), s.upBytes...), append([]int64(nil), s.downBytes...)
+}
+
+// handleSubmit accepts hello and upload frames. A rejected frame gets an
+// HTTP error and never reaches the engine — the per-worker deadline turns
+// the missing arrival into StatusTimedOut.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxUploadBytes+1))
+	if err != nil {
+		http.Error(w, "transport: reading submission: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(body) > maxUploadBytes {
+		http.Error(w, "transport: submission exceeds the frame size limit", http.StatusRequestEntityTooLarge)
+		return
+	}
+	typ, err := codec.Type(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	switch typ {
+	case codec.TypeHello:
+		h, err := codec.DecodeHello(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.hub.hello(h.Worker, h.Samples); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	case codec.TypeUpload:
+		u, err := codec.DecodeUpload(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.hub.submit(u.Round, u.Worker, u.Samples, u.Grad); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		s.mu.Lock()
+		s.upBytes[u.Worker] += int64(len(body))
+		s.mu.Unlock()
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, fmt.Sprintf("transport: %s frames do not belong on /v1/round/submit", typ), http.StatusBadRequest)
+	}
+}
+
+// handleModel serves the global-parameter broadcast as a long poll:
+// ?after=R blocks until a round newer than R is published (or the
+// federation finishes), ?wait=ms caps the block, ?worker=i attributes the
+// download for traffic accounting, and ?enc=f32 selects the float32
+// compression mode. No news within the window is 204 No Content.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	after, err := queryInt(r, "after", noRound)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	maxWait, err := queryInt(r, "wait", int(defaultPollWait/time.Millisecond))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	wait := time.Duration(maxWait) * time.Millisecond
+	if wait <= 0 || wait > defaultPollWait {
+		wait = defaultPollWait
+	}
+	round, params, done, ok := s.hub.waitModel(r.Context(), after, wait)
+	if !ok {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+	frame, err := codec.EncodeModel(codec.Model{Round: round, Done: done, Params: params}, r.URL.Query().Get("enc") == "f32")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if !done {
+		if worker, err := queryInt(r, "worker", -1); err == nil && worker >= 0 && worker < s.hub.n {
+			s.mu.Lock()
+			s.downBytes[worker] += int64(len(frame))
+			s.mu.Unlock()
+		}
+	}
+	writeFrame(w, frame)
+}
+
+// handleReport serves one round's assessment (?round=t).
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	round, err := queryInt(r, "round", -1)
+	if err != nil || round < 0 {
+		http.Error(w, "transport: /v1/round/report requires ?round=t", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	rep, exists := s.reports[round]
+	s.mu.Unlock()
+	if !exists {
+		http.Error(w, fmt.Sprintf("transport: no report for round %d yet", round), http.StatusNotFound)
+		return
+	}
+	frame, err := codec.EncodeReport(codec.Report{
+		Round:       rep.Round,
+		Committed:   rep.Committed,
+		Statuses:    rep.Statuses,
+		Reputations: rep.Reputations,
+		Rewards:     rep.Rewards,
+	}, r.URL.Query().Get("enc") == "f32")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeFrame(w, frame)
+}
+
+// handleLedger streams the audit chain as a framed binary export.
+func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	var buf bytes.Buffer
+	if err := s.coord.Ledger.WriteBinary(&buf); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	frame, err := codec.EncodeLedger(buf.Bytes())
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeFrame(w, frame)
+}
+
+// handleHealthz reports liveness and federation progress as JSON.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	round, _, done := s.hub.model()
+	s.hub.mu.Lock()
+	ready := s.hub.readyLeft == 0
+	registered := s.hub.n - s.hub.readyLeft
+	s.hub.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(map[string]any{
+		"status":     "ok",
+		"workers":    s.hub.n,
+		"registered": registered,
+		"ready":      ready,
+		"round":      round,
+		"done":       done,
+		"ledger":     s.coord.Ledger.Len(),
+	})
+}
+
+// writeFrame sends a codec frame as an octet stream.
+func writeFrame(w http.ResponseWriter, frame []byte) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(frame)))
+	_, _ = w.Write(frame)
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	raw := r.URL.Query().Get(key)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("transport: bad %s=%q: %w", key, raw, err)
+	}
+	return v, nil
+}

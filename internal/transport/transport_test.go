@@ -1,0 +1,412 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fifl/internal/core"
+	"fifl/internal/faults"
+	"fifl/internal/fl"
+	"fifl/internal/netsim"
+	"fifl/internal/rng"
+)
+
+// coordConfig is the shared FIFL configuration of both arms of the
+// equivalence test.
+func coordConfig() core.CoordinatorConfig {
+	return core.CoordinatorConfig{
+		Detection:      core.Detector{Threshold: 0.02},
+		Reputation:     core.DefaultReputationConfig(),
+		Contribution:   core.ContributionConfig{BaselineWorker: -1},
+		RewardPerRound: 1,
+		RecordToLedger: true,
+	}
+}
+
+// TestLoopbackFederationMatchesInProcess is the transport's acceptance
+// test: a 3-worker federation over real HTTP (httptest loopback), with
+// worker 2 going dark after round 0, must produce bit-identical
+// reputations, rewards, statuses, global parameters and ledger to the
+// in-process engine on the same seed — the in-process arm modelling the
+// outage with the equivalent simulated fault (a permanent straggler from
+// round 1, which the runtime also records as StatusTimedOut).
+func TestLoopbackFederationMatchesInProcess(t *testing.T) {
+	const (
+		nWorkers = 3
+		nRounds  = 3
+		quorum   = 2
+		deadline = 1500 * time.Millisecond
+	)
+	recipe := Recipe{Seed: 7, Workers: nWorkers, SamplesPerWorker: 60}
+	build, err := recipe.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engCfg := fl.Config{Servers: 2, GlobalLR: 0.05}
+	initialServers := []int{0, 1}
+
+	// In-process reference arm.
+	refWorkers, err := recipe.AllWorkers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	refEngine, err := fl.NewEngine(engCfg, build, refWorkers, rng.New(recipe.Seed).Split("netfed"),
+		fl.WithQuorum(quorum),
+		fl.WithFaultInjector(faults.Straggle{Worker: 2, From: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCoord, err := core.NewCoordinator(coordConfig(), refEngine, initialServers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReports := make([]*core.RoundReport, nRounds)
+	for i := 0; i < nRounds; i++ {
+		if refReports[i], err = refCoord.RunRound(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Networked arm: same seed, workers behind real HTTP.
+	hub, err := NewHub(nWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	netEngine, err := fl.NewEngine(engCfg, build, hub.Workers(), rng.New(recipe.Seed).Split("netfed"),
+		fl.WithQuorum(quorum),
+		fl.WithWorkerTimeout(deadline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	netCoord, err := core.NewCoordinator(coordConfig(), netEngine, initialServers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(netCoord, hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	clients := make([]*Client, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		w, err := recipe.Worker(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients[i], err = DialWorker(ctx, ClientConfig{
+			BaseURL:  ts.URL,
+			Worker:   w,
+			PollWait: 500 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("dialing worker %d: %v", i, err)
+		}
+	}
+	if err := srv.WaitReady(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	trained := make([]int, nWorkers)
+	clientErr := make([]error, nWorkers)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trained[i], clientErr[i] = clients[i].Run(ctx)
+		}(i)
+	}
+	// Worker 2's injected outage: it participates in round 0, then goes
+	// dark — no goodbye, no crash report, just silence on the wire.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			ok, done, err := clients[2].RunRound(ctx)
+			if err != nil || done {
+				clientErr[2] = err
+				return
+			}
+			if ok {
+				trained[2] = 1
+				return
+			}
+		}
+	}()
+
+	netReports := make([]*core.RoundReport, nRounds)
+	for i := 0; i < nRounds; i++ {
+		if netReports[i], err = srv.RunRound(ctx, i); err != nil {
+			t.Fatalf("network round %d: %v", i, err)
+		}
+	}
+	srv.MarkDone()
+	wg.Wait()
+	for i, err := range clientErr {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	if trained[0] != nRounds || trained[1] != nRounds || trained[2] != 1 {
+		t.Fatalf("trained rounds = %v, want [%d %d 1]", trained, nRounds, nRounds)
+	}
+
+	// Bit-identical assessments, round by round.
+	for r := 0; r < nRounds; r++ {
+		ref, net := refReports[r], netReports[r]
+		if ref.Committed != net.Committed {
+			t.Fatalf("round %d: committed %v vs %v", r, net.Committed, ref.Committed)
+		}
+		for i := 0; i < nWorkers; i++ {
+			if ref.Statuses[i] != net.Statuses[i] {
+				t.Fatalf("round %d worker %d: status %v over the wire, %v in process", r, i, net.Statuses[i], ref.Statuses[i])
+			}
+			if math.Float64bits(ref.Reputations[i]) != math.Float64bits(net.Reputations[i]) {
+				t.Fatalf("round %d worker %d: reputation %v over the wire, %v in process", r, i, net.Reputations[i], ref.Reputations[i])
+			}
+			if math.Float64bits(ref.Rewards[i]) != math.Float64bits(net.Rewards[i]) {
+				t.Fatalf("round %d worker %d: reward %v over the wire, %v in process", r, i, net.Rewards[i], ref.Rewards[i])
+			}
+		}
+	}
+	// The outage must actually have surfaced as a timeout from round 1 on.
+	if netReports[1].Statuses[2] != faults.StatusTimedOut || netReports[2].Statuses[2] != faults.StatusTimedOut {
+		t.Fatalf("worker 2 statuses = %v, %v; want timed_out", netReports[1].Statuses[2], netReports[2].Statuses[2])
+	}
+
+	// Bit-identical global model.
+	refParams, netParams := refEngine.Params(), netEngine.Params()
+	for i := range refParams {
+		if math.Float64bits(refParams[i]) != math.Float64bits(netParams[i]) {
+			t.Fatalf("global parameter %d diverged: %v vs %v", i, netParams[i], refParams[i])
+		}
+	}
+
+	// Bit-identical audit ledgers, and a clean wire-side audit.
+	var refLedger, netLedger bytes.Buffer
+	if err := refCoord.Ledger.WriteBinary(&refLedger); err != nil {
+		t.Fatal(err)
+	}
+	if err := netCoord.Ledger.WriteBinary(&netLedger); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(refLedger.Bytes(), netLedger.Bytes()) {
+		t.Fatal("ledger exports differ between the wire and in-process runs")
+	}
+	blocks, err := clients[0].VerifyLedger(ctx)
+	if err != nil {
+		t.Fatalf("wire-side ledger audit: %v", err)
+	}
+	if blocks != refCoord.Ledger.Len() {
+		t.Fatalf("wire-side audit saw %d blocks, want %d", blocks, refCoord.Ledger.Len())
+	}
+
+	// The report endpoint serves the same assessment the coordinator
+	// computed.
+	rep, err := clients[0].FetchReport(ctx, nRounds-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nWorkers; i++ {
+		if math.Float64bits(rep.Reputations[i]) != math.Float64bits(refReports[nRounds-1].Reputations[i]) {
+			t.Fatalf("report endpoint reputation %d = %v, want %v", i, rep.Reputations[i], refReports[nRounds-1].Reputations[i])
+		}
+		if rep.Statuses[i] != refReports[nRounds-1].Statuses[i] {
+			t.Fatalf("report endpoint status %d = %v, want %v", i, rep.Statuses[i], refReports[nRounds-1].Statuses[i])
+		}
+	}
+	if !rep.Committed {
+		t.Fatal("report endpoint lost the committed flag")
+	}
+
+	// Measured wire bytes match netsim's analytic model: payload plus
+	// bounded framing overhead, per worker per round.
+	up, down := srv.WorkerTraffic()
+	cost := netsim.Analyze(netsim.Params{Workers: nWorkers, Servers: 1, ModelDim: len(netParams)})
+	for _, w := range []int{0, 1} {
+		if err := cost.CheckMeasured(up[w]/nRounds, down[w]/nRounds, 64); err != nil {
+			t.Fatalf("worker %d traffic: %v", w, err)
+		}
+	}
+	// Worker 2 moved exactly one round's traffic before going dark.
+	if err := cost.CheckMeasured(up[2], down[2], 64); err != nil {
+		t.Fatalf("worker 2 traffic: %v", err)
+	}
+}
+
+// TestLoopbackFloat32Mode: the negotiated compression mode halves vector
+// payloads and still completes a federation (lossy, so no bit-identity —
+// just a sane run).
+func TestLoopbackFloat32Mode(t *testing.T) {
+	recipe := Recipe{Seed: 11, Workers: 2, SamplesPerWorker: 40}
+	build, err := recipe.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.05}, build, hub.Workers(),
+		rng.New(recipe.Seed).Split("f32"), fl.WithWorkerTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := core.NewCoordinator(coordConfig(), engine, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(coord, hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		w, err := recipe.Worker(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := DialWorker(ctx, ClientConfig{BaseURL: ts.URL, Worker: w, PollWait: 500 * time.Millisecond, Float32: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Run(ctx)
+		}(i)
+	}
+	rep, err := srv.RunRound(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.MarkDone()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+	for i, s := range rep.Statuses {
+		if s != faults.StatusOK {
+			t.Fatalf("worker %d status %v under float32 mode", i, s)
+		}
+		if math.IsNaN(rep.Reputations[i]) {
+			t.Fatalf("worker %d reputation is NaN", i)
+		}
+	}
+	up, down := srv.WorkerTraffic()
+	dim := int64(len(engine.Params()))
+	for i := 0; i < 2; i++ {
+		if up[i] >= dim*8 || down[i] >= dim*8 {
+			t.Fatalf("worker %d float32 traffic (%d up / %d down) not below the float64 payload %d", i, up[i], down[i], dim*8)
+		}
+	}
+}
+
+// TestServerValidation: the server refuses configurations whose remote
+// workers could block a round forever.
+func TestServerValidation(t *testing.T) {
+	recipe := Recipe{Seed: 3, Workers: 2, SamplesPerWorker: 20}
+	build, err := recipe.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.05}, build, hub.Workers(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := core.NewCoordinator(coordConfig(), engine, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewServer(coord, hub); err == nil {
+		t.Fatal("NewServer accepted an engine without a worker timeout")
+	}
+	if _, err := NewServer(nil, hub); err == nil {
+		t.Fatal("NewServer accepted a nil coordinator")
+	}
+	if _, err := NewHub(0); err == nil {
+		t.Fatal("NewHub accepted an empty federation")
+	}
+}
+
+// TestHubSubmissionHygiene: the hub rejects the whole taxonomy of bad
+// submissions — each one simply never arrives, which the engine's
+// deadline resolves to a timeout.
+func TestHubSubmissionHygiene(t *testing.T) {
+	hub, err := NewHub(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.hello(5, 10); err == nil {
+		t.Fatal("hello outside the federation accepted")
+	}
+	if err := hub.hello(0, 0); err == nil {
+		t.Fatal("hello with zero samples accepted")
+	}
+	if err := hub.hello(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.hello(0, 10); err != nil {
+		t.Fatalf("idempotent re-hello rejected: %v", err)
+	}
+	if err := hub.hello(0, 99); err == nil {
+		t.Fatal("re-hello with different samples accepted")
+	}
+	if err := hub.submit(0, 0, 10, make([]float64, 4)); err == nil {
+		t.Fatal("submission before any published round accepted")
+	}
+	hub.publish(0, []float64{1, 2, 3, 4})
+	if err := hub.submit(0, 1, 10, make([]float64, 4)); err == nil {
+		t.Fatal("submission before hello accepted")
+	}
+	if err := hub.submit(0, 0, 99, make([]float64, 4)); err == nil {
+		t.Fatal("submission with inconsistent samples accepted")
+	}
+	if err := hub.submit(0, 0, 10, make([]float64, 3)); err == nil {
+		t.Fatal("submission with wrong dimension accepted")
+	}
+	if err := hub.submit(0, 0, 10, make([]float64, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.submit(0, 0, 10, make([]float64, 4)); err == nil {
+		t.Fatal("duplicate submission accepted")
+	}
+	if g := hub.await(0, 0); len(g) != 4 {
+		t.Fatalf("await returned %v", g)
+	}
+	hub.publish(1, []float64{1, 2, 3, 4})
+	if err := hub.submit(0, 0, 10, make([]float64, 4)); err == nil {
+		t.Fatal("stale-round submission accepted")
+	}
+	hub.Close()
+	if err := hub.submit(1, 0, 10, make([]float64, 4)); err == nil {
+		t.Fatal("submission after close accepted")
+	}
+	if g := hub.await(1, 1); g != nil {
+		t.Fatal("await after close should return nil")
+	}
+}

@@ -1,15 +1,28 @@
 #!/bin/sh
-# Tier-1 gate: vet, build and race-test the module.
+# Tier-1 gate: format, vet, build, race-test and fuzz-smoke the module.
 #
 # internal/experiments is excluded from the -race leg only: its figure
 # tests run real training loops that exceed CI timeouts under the race
 # detector's ~10x slowdown, and the package spawns no goroutines of its
 # own — all concurrency lives in the packages below it (fl, parallel,
-# tensor, netsim), which are raced here. It is still covered by the
-# plain test leg.
+# tensor, netsim, transport), which are raced here. It is still covered
+# by the plain test leg.
 set -eux
 cd "$(dirname "$0")"
+
+# gofmt gate: fail on any unformatted file.
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+    echo "gofmt: unformatted files:" >&2
+    echo "$UNFORMATTED" >&2
+    exit 1
+fi
+
 go vet ./...
 go build ./...
 go test ./internal/experiments/
 go test -race -timeout 20m $(go list ./... | grep -v internal/experiments)
+
+# Fuzz smoke: the wire codec must survive 5s of hostile frames without
+# panicking (-fuzz accepts exactly one package).
+go test -run='^$' -fuzz=FuzzDecodeUpload -fuzztime=5s ./internal/transport/codec
