@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,8 +53,23 @@ func main() {
 		id       = flag.Int("id", 0, "this worker's federation slot")
 		f32      = flag.Bool("f32", false, "use the float32 compression mode (half the bytes, lossy)")
 		audit    = flag.Bool("audit", false, "download and verify the coordinator's audit ledger at the end")
+
+		// Shared debug flags.
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// The blank net/http/pprof import registers its handlers on
+			// http.DefaultServeMux; the federation API uses its own mux, so
+			// profiling stays on a separate, opt-in listener.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "fifl-node: pprof listener:", err)
+			}
+		}()
+		fmt.Printf("pprof: serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	recipe := transport.Recipe{Seed: *seed, Workers: *workers, SamplesPerWorker: *samples}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -19,6 +19,7 @@ import (
 	"fifl/internal/chain"
 	"fifl/internal/experiments"
 	"fifl/internal/fl"
+	"fifl/internal/metrics"
 	"fifl/internal/rng"
 	"fifl/internal/trace"
 )
@@ -43,6 +44,7 @@ func main() {
 		quorum    = flag.Int("quorum", 0, "minimum arrivals for a round to commit (0 = no quorum)")
 		retries   = flag.Int("retries", 0, "retransmission attempts for lost uploads")
 		backoff   = flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff between retransmissions")
+		dumpMet   = flag.Bool("metrics", false, "dump the run's metrics in Prometheus text format at the end")
 	)
 	flag.Parse()
 
@@ -183,5 +185,16 @@ func main() {
 		}
 		recs := coord.Ledger.Query(chain.KindReward, *rounds-1, -1)
 		fmt.Printf("last round reward records on chain: %d\n", len(recs))
+	}
+
+	if *dumpMet {
+		// The in-process federation records into the process-wide default
+		// registry; counters are deterministic for a fixed seed, latency
+		// histograms are wall-clock and observability-only.
+		fmt.Println("\n# --- metrics ---")
+		if err := metrics.Default.WritePrometheus(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 }

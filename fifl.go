@@ -49,6 +49,7 @@ import (
 	"fifl/internal/fl"
 	"fifl/internal/gradvec"
 	"fifl/internal/incentive"
+	"fifl/internal/metrics"
 	"fifl/internal/netsim"
 	"fifl/internal/nn"
 	"fifl/internal/rng"
@@ -315,3 +316,30 @@ func ServeCoordinator(coord *Coordinator, hub *TransportHub) (*CoordinatorServer
 func DialWorker(ctx context.Context, cfg WorkerClientConfig) (*WorkerClient, error) {
 	return transport.DialWorker(ctx, cfg)
 }
+
+// Observability: every layer — engine round phases, coordinator assessment,
+// transport server/client, wire codec — records counters, gauges and
+// latency histograms into a metrics registry. Metrics are observability-
+// only and never feed a decision, so enabling them cannot change a run.
+type (
+	// MetricsRegistry is an allocation-light, concurrency-safe metric
+	// store with a deterministic Prometheus text exposition
+	// (WritePrometheus) and a structured Snapshot.
+	MetricsRegistry = metrics.Registry
+	// MetricsSnapshot is a point-in-time copy of every instrument.
+	MetricsSnapshot = metrics.Snapshot
+)
+
+// NewMetricsRegistry returns an empty registry. Pass it to the engine with
+// WithMetrics to isolate one federation's instruments; by default every
+// component records into the process-wide registry read by Metrics.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.New() }
+
+// Metrics snapshots the process-wide default registry — the one engines,
+// coordinators and transports use unless overridden with WithMetrics.
+func Metrics() MetricsSnapshot { return metrics.Default.Snapshot() }
+
+// WithMetrics points the engine (and everything built on it: coordinator,
+// transport server) at a specific metrics registry instead of the
+// process-wide default.
+func WithMetrics(reg *MetricsRegistry) EngineOption { return fl.WithMetrics(reg) }

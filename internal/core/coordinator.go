@@ -9,6 +9,7 @@ import (
 	"fifl/internal/faults"
 	"fifl/internal/fl"
 	"fifl/internal/gradvec"
+	"fifl/internal/metrics"
 	"fifl/internal/trace"
 )
 
@@ -40,6 +41,11 @@ type CoordinatorConfig struct {
 	// the blockchain audit ledger; experiments that only need the model
 	// dynamics turn it off to save time.
 	RecordToLedger bool
+	// Metrics selects the registry the coordinator instruments itself into
+	// (detection verdicts, reputation deltas, reward totals). nil joins the
+	// engine's registry, so one scrape covers both layers. Metrics are
+	// observability-only and never feed a decision.
+	Metrics *metrics.Registry
 }
 
 // Validate reports whether the configuration describes a runnable
@@ -92,6 +98,8 @@ type Coordinator struct {
 	signers    []*chain.Signer // one per worker; index = worker ID
 	cumulative []float64       // cumulative rewards per worker
 	bhSmoother BHSmoother
+	reg        *metrics.Registry
+	cm         coordMetrics
 }
 
 // NewCoordinator builds a FIFL coordinator over an engine. initialServers
@@ -108,6 +116,10 @@ func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []i
 		return nil, fmt.Errorf("core: got %d initial servers, engine expects %d", len(initialServers), engine.NumServers())
 	}
 	n := len(engine.Workers)
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = engine.Metrics()
+	}
 	c := &Coordinator{
 		Cfg:        cfg,
 		Engine:     engine,
@@ -117,6 +129,8 @@ func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []i
 		banned:     make(map[int]bool),
 		signers:    make([]*chain.Signer, n),
 		cumulative: make([]float64, n),
+		reg:        reg,
+		cm:         newCoordMetrics(reg),
 	}
 	for i := 0; i < n; i++ {
 		var seed [32]byte
@@ -133,6 +147,12 @@ func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []i
 
 // serverName renders a worker index as an executor identity.
 func serverName(i int) string { return fmt.Sprintf("device-%03d", i) }
+
+// Metrics returns the registry this coordinator instruments itself into —
+// the engine's registry unless CoordinatorConfig.Metrics overrode it. The
+// wire transport's server reuses it, so GET /v1/metrics covers the engine,
+// the mechanism and the transport in one scrape.
+func (c *Coordinator) Metrics() *metrics.Registry { return c.reg }
 
 // Servers returns the current server cluster (worker indices).
 func (c *Coordinator) Servers() []int { return append([]int(nil), c.servers...) }
@@ -198,7 +218,9 @@ func (c *Coordinator) RunRoundContext(ctx context.Context, t int) (*RoundReport,
 
 	// 2. Reputation update (§4.2). Non-arrivals — dropped, timed-out or
 	// crashed uploads — surface as uncertain events through the detection
-	// result, feeding the Su term of Eq. 8.
+	// result, feeding the Su term of Eq. 8. The pre-update snapshot feeds
+	// the reputation-drift histogram only.
+	prevReps := c.Rep.Reputations()
 	if err := c.Rep.Update(det.Events()); err != nil {
 		return nil, err
 	}
@@ -239,6 +261,8 @@ func (c *Coordinator) RunRoundContext(ctx context.Context, t int) (*RoundReport,
 			return nil, err
 		}
 	}
+
+	c.cm.observeRound(det, prevReps, reps, rewards, c.Ledger.Len())
 
 	report := &RoundReport{
 		Round:         t,

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"math"
+
+	"fifl/internal/metrics"
+)
+
+// repDeltaBuckets are the histogram bounds for per-worker reputation
+// movement per round. Reputations live in [0,1], so movement past 0.5 in
+// one round is already extreme.
+var repDeltaBuckets = []float64{1e-4, 1e-3, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}
+
+// coordMetrics holds the coordinator's pre-resolved instruments: detection
+// verdicts, reputation drift, reward totals and ledger growth. All values
+// recorded here are deterministic for a fixed seed; none are ever read
+// back by the mechanism (the package determinism rule).
+type coordMetrics struct {
+	accepted  *metrics.Counter
+	rejected  *metrics.Counter
+	uncertain *metrics.Counter
+
+	repDelta *metrics.Histogram
+	repSum   *metrics.Gauge
+
+	rewardsTotal *metrics.Gauge
+	ledgerBlocks *metrics.Gauge
+}
+
+// newCoordMetrics resolves the coordinator's instrument set.
+func newCoordMetrics(r *metrics.Registry) coordMetrics {
+	r.Help("fifl_coordinator_verdicts_total", "Detection verdicts per worker per round (accepted, rejected, uncertain).")
+	r.Help("fifl_coordinator_reputation_delta", "Absolute per-worker reputation movement per round.")
+	r.Help("fifl_coordinator_rewards_total", "Sum of all rewards distributed so far (can decrease if rewards go negative).")
+	return coordMetrics{
+		accepted:     r.Counter("fifl_coordinator_verdicts_total", "verdict", "accepted"),
+		rejected:     r.Counter("fifl_coordinator_verdicts_total", "verdict", "rejected"),
+		uncertain:    r.Counter("fifl_coordinator_verdicts_total", "verdict", "uncertain"),
+		repDelta:     r.Histogram("fifl_coordinator_reputation_delta", repDeltaBuckets),
+		repSum:       r.Gauge("fifl_coordinator_reputation_sum"),
+		rewardsTotal: r.Gauge("fifl_coordinator_rewards_total"),
+		ledgerBlocks: r.Gauge("fifl_coordinator_ledger_blocks"),
+	}
+}
+
+// observeRound records one round's assessment.
+func (cm *coordMetrics) observeRound(det *DetectionResult, prev, reps, rewards []float64, ledgerLen int) {
+	for i := range det.Accept {
+		switch {
+		case det.Uncertain[i]:
+			cm.uncertain.Inc()
+		case det.Accept[i]:
+			cm.accepted.Inc()
+		default:
+			cm.rejected.Inc()
+		}
+	}
+	sum := 0.0
+	for i, r := range reps {
+		cm.repDelta.Observe(math.Abs(r - prev[i]))
+		sum += r
+	}
+	cm.repSum.Set(sum)
+	for _, r := range rewards {
+		cm.rewardsTotal.Add(r)
+	}
+	cm.ledgerBlocks.Set(float64(ledgerLen))
+}

@@ -10,6 +10,7 @@ import (
 	"fifl/internal/dataset"
 	"fifl/internal/faults"
 	"fifl/internal/gradvec"
+	"fifl/internal/metrics"
 	"fifl/internal/nn"
 	"fifl/internal/rng"
 )
@@ -85,6 +86,8 @@ type Engine struct {
 	params []float64
 	src    *rng.Source
 	opt    options
+	reg    *metrics.Registry
+	em     engineMetrics
 }
 
 // NewEngine builds a federation. The global model is constructed from the
@@ -117,6 +120,10 @@ func NewEngine(cfg Config, build nn.Builder, workers []Worker, src *rng.Source, 
 		// vocabulary: one Bernoulli loss draw per upload attempt.
 		o.injector = faults.Bernoulli{P: cfg.DropRate}
 	}
+	reg := o.metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
 	g := build()
 	return &Engine{
 		Cfg:     cfg,
@@ -125,8 +132,16 @@ func NewEngine(cfg Config, build nn.Builder, workers []Worker, src *rng.Source, 
 		params:  g.ParamsVector(),
 		src:     src.Split("engine"),
 		opt:     o,
+		reg:     reg,
+		em:      newEngineMetrics(reg),
 	}, nil
 }
+
+// Metrics returns the registry this engine instruments itself into —
+// metrics.Default unless WithMetrics installed a private one. The
+// coordinator and the wire transport join the same registry so one
+// /v1/metrics scrape covers every layer.
+func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
 // Params returns the current global parameter vector (aliased; callers must
 // not mutate).
@@ -169,6 +184,7 @@ func (e *Engine) AggregateRound(rr *RoundResult, accept []bool) (gradvec.Vector,
 	if rr == nil {
 		return nil, errors.New("fl: AggregateRound on a nil round")
 	}
+	defer e.em.aggregateSec.ObserveSince(time.Now())
 	if accept != nil && len(accept) != len(rr.Grads) {
 		return nil, fmt.Errorf("fl: AggregateRound accept length %d, want %d", len(accept), len(rr.Grads))
 	}
@@ -214,6 +230,7 @@ func (e *Engine) ApplyGlobal(g gradvec.Vector) {
 	if g == nil {
 		return
 	}
+	defer e.em.commitSec.ObserveSince(time.Now())
 	for i := range e.params {
 		e.params[i] -= e.Cfg.GlobalLR * g[i]
 	}

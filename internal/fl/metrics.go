@@ -1,0 +1,60 @@
+package fl
+
+import (
+	"fifl/internal/faults"
+	"fifl/internal/metrics"
+)
+
+// engineMetrics holds the engine's pre-resolved instruments so the round
+// hot path never touches the registry's lock. Everything recorded here is
+// observability-only: counters of rounds, statuses and retries are
+// deterministic for a fixed seed; phase-duration histograms carry
+// wall-clock values and must never feed a decision.
+type engineMetrics struct {
+	rounds    *metrics.Counter
+	committed *metrics.Counter
+	degraded  *metrics.Counter
+	retries   *metrics.Counter
+	uploads   [faults.StatusCrashed + 1]*metrics.Counter
+
+	collectSec   *metrics.Histogram
+	aggregateSec *metrics.Histogram
+	commitSec    *metrics.Histogram
+}
+
+// newEngineMetrics resolves the engine's instrument set from a registry.
+func newEngineMetrics(r *metrics.Registry) engineMetrics {
+	r.Help("fifl_engine_rounds_total", "Federation rounds collected by the engine.")
+	r.Help("fifl_engine_uploads_total", "Worker uploads by final status (ok, retried, dropped, timed_out, crashed).")
+	r.Help("fifl_engine_upload_retries_total", "Upload retransmission attempts across all workers.")
+	r.Help("fifl_engine_round_phase_seconds", "Wall-clock duration of the collect/aggregate/commit round phases (observability-only).")
+	em := engineMetrics{
+		rounds:       r.Counter("fifl_engine_rounds_total"),
+		committed:    r.Counter("fifl_engine_rounds_committed_total"),
+		degraded:     r.Counter("fifl_engine_rounds_degraded_total"),
+		retries:      r.Counter("fifl_engine_upload_retries_total"),
+		collectSec:   r.Histogram("fifl_engine_round_phase_seconds", metrics.DefBuckets, "phase", "collect"),
+		aggregateSec: r.Histogram("fifl_engine_round_phase_seconds", metrics.DefBuckets, "phase", "aggregate"),
+		commitSec:    r.Histogram("fifl_engine_round_phase_seconds", metrics.DefBuckets, "phase", "commit"),
+	}
+	for s := faults.StatusOK; s <= faults.StatusCrashed; s++ {
+		em.uploads[s] = r.Counter("fifl_engine_uploads_total", "status", s.String())
+	}
+	return em
+}
+
+// observeRound records one collected round's outcome.
+func (em *engineMetrics) observeRound(rr *RoundResult) {
+	em.rounds.Inc()
+	if rr.Committed {
+		em.committed.Inc()
+	} else {
+		em.degraded.Inc()
+	}
+	for i, s := range rr.Status {
+		if int(s) < len(em.uploads) {
+			em.uploads[s].Inc()
+		}
+		em.retries.Add(int64(rr.Retries[i]))
+	}
+}

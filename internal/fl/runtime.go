@@ -7,6 +7,7 @@ import (
 
 	"fifl/internal/faults"
 	"fifl/internal/gradvec"
+	"fifl/internal/metrics"
 	"fifl/internal/parallel"
 )
 
@@ -19,6 +20,7 @@ type options struct {
 	backoff       time.Duration
 	injector      faults.Injector
 	maxConcurrent int
+	metrics       *metrics.Registry
 }
 
 // validate checks option values against the federation size.
@@ -84,6 +86,15 @@ func WithRetry(n int, backoff time.Duration) Option {
 // combine models with faults.Compose.
 func WithFaultInjector(inj faults.Injector) Option {
 	return func(o *options) { o.injector = inj }
+}
+
+// WithMetrics routes the engine's instrumentation into reg instead of the
+// process-wide metrics.Default — round phase durations, per-status upload
+// counts, retry counts, commit/degrade tallies. Metrics are strictly
+// observability-only: no value recorded here is ever read back by the
+// runtime, so enabling them cannot perturb a deterministic run.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(o *options) { o.metrics = reg }
 }
 
 // WithMaxConcurrent bounds how many workers train at once (a worker
@@ -179,6 +190,7 @@ func (e *Engine) CollectGradientsContext(ctx context.Context, round int) (*Round
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("fl: collect round %d: %w", round, err)
 	}
+	start := time.Now()
 	n := len(e.Workers)
 	rr := &RoundResult{
 		Round:   round,
@@ -233,5 +245,7 @@ func (e *Engine) CollectGradientsContext(ctx context.Context, round int) (*Round
 		}
 	}
 	rr.Committed = rr.Quorum <= 0 || rr.Arrived >= rr.Quorum
+	e.em.observeRound(rr)
+	e.em.collectSec.ObserveSince(start)
 	return rr, nil
 }

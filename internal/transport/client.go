@@ -8,16 +8,34 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"time"
 
 	"fifl/internal/chain"
 	"fifl/internal/fl"
+	"fifl/internal/metrics"
 	"fifl/internal/transport/codec"
 )
+
+// maxLedgerBytes is the default response budget for /v1/ledger downloads:
+// a full-run audit chain export dwarfs any single gradient frame, so the
+// ledger gets its own, much larger cap.
+const maxLedgerBytes = 1 << 30
+
+// maxRetryWait caps one retry backoff sleep, and is the fallback when the
+// exponential schedule overflows.
+const maxRetryWait = 30 * time.Second
+
+// maxBackoffShift bounds the exponent of the retry backoff schedule so a
+// large RetryAttempts cannot overflow RetryBackoff << (attempt-1).
+const maxBackoffShift = 16
 
 // ClientConfig configures a worker's connection to a coordinator.
 type ClientConfig struct {
 	// BaseURL is the coordinator's root, e.g. "http://127.0.0.1:7070".
+	// It must be an absolute http or https URL; DialWorker rejects
+	// anything else up front instead of letting a typo surface later as an
+	// opaque retry exhaustion.
 	BaseURL string
 	// Worker is the local participant: its ID names the federation slot,
 	// NumSamples is registered at hello, and LocalTrain runs each round.
@@ -29,13 +47,24 @@ type ClientConfig struct {
 	PollWait time.Duration
 	// RetryAttempts is how many times a failed HTTP request is retried
 	// before giving up (0 = 3); RetryBackoff is the base delay between
-	// attempts, doubling each retry (0 = 100ms).
+	// attempts, doubling each retry (0 = 100ms). The schedule is clamped:
+	// no single wait exceeds 30s regardless of the attempt count.
 	RetryAttempts int
 	RetryBackoff  time.Duration
+	// MaxResponseBytes caps one response body read (0 = 64 MiB, with
+	// /v1/ledger given a 1 GiB budget). A response past the cap fails with
+	// an explicit "exceeds the response limit" error — terminal, not
+	// retried — instead of a truncated read and a misleading CRC failure.
+	MaxResponseBytes int64
 	// Float32 requests the wire format's compression mode for model
 	// downloads and uses it for uploads: half the bytes, lossy — and it
 	// forfeits bit-identity with an in-process run.
 	Float32 bool
+	// Metrics selects the registry the client instruments itself into —
+	// request counts/latencies per endpoint, retry attempts, bytes moved,
+	// codec throughput (0 = the process-wide metrics.Default). Metrics are
+	// observability-only and never feed a decision.
+	Metrics *metrics.Registry
 }
 
 // Client is a worker's connection to a coordinator: it registers at hello,
@@ -44,6 +73,7 @@ type Client struct {
 	cfg       ClientConfig
 	http      *http.Client
 	lastRound int
+	cm        *clientMetrics
 }
 
 // DialWorker validates the configuration and registers the worker with the
@@ -53,8 +83,12 @@ func DialWorker(ctx context.Context, cfg ClientConfig) (*Client, error) {
 	if cfg.Worker == nil {
 		return nil, fmt.Errorf("transport: DialWorker requires a worker")
 	}
-	if _, err := url.Parse(cfg.BaseURL); err != nil || cfg.BaseURL == "" {
-		return nil, fmt.Errorf("transport: DialWorker requires a coordinator URL, got %q", cfg.BaseURL)
+	u, err := url.Parse(cfg.BaseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("transport: DialWorker requires an absolute coordinator URL (scheme://host[:port]), got %q", cfg.BaseURL)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("transport: DialWorker speaks http/https, got scheme %q in %q", u.Scheme, cfg.BaseURL)
 	}
 	if cfg.PollWait <= 0 {
 		cfg.PollWait = 5 * time.Second
@@ -65,7 +99,11 @@ func DialWorker(ctx context.Context, cfg ClientConfig) (*Client, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 100 * time.Millisecond
 	}
-	c := &Client{cfg: cfg, http: cfg.HTTPClient, lastRound: noRound}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.Default
+	}
+	c := &Client{cfg: cfg, http: cfg.HTTPClient, lastRound: noRound, cm: newClientMetrics(reg)}
 	if c.http == nil {
 		c.http = &http.Client{Timeout: cfg.PollWait + 30*time.Second}
 	}
@@ -98,7 +136,10 @@ func (c *Client) RunRound(ctx context.Context) (trained, done bool, err error) {
 	if body == nil { // empty poll window
 		return false, false, nil
 	}
+	decStart := time.Now()
 	m, err := codec.DecodeModel(body)
+	c.cm.decodeSec.ObserveSince(decStart)
+	c.cm.decodeBytes.Add(int64(len(body)))
 	if err != nil {
 		return false, false, fmt.Errorf("transport: model frame: %w", err)
 	}
@@ -106,6 +147,7 @@ func (c *Client) RunRound(ctx context.Context) (trained, done bool, err error) {
 		return false, true, nil
 	}
 	grad := c.cfg.Worker.LocalTrain(m.Round, m.Params)
+	encStart := time.Now()
 	frame, err := codec.EncodeUpload(codec.Upload{
 		Round:   m.Round,
 		Worker:  c.cfg.Worker.ID(),
@@ -115,6 +157,8 @@ func (c *Client) RunRound(ctx context.Context) (trained, done bool, err error) {
 	if err != nil {
 		return false, false, fmt.Errorf("transport: encoding upload for round %d: %w", m.Round, err)
 	}
+	c.cm.encodeSec.ObserveSince(encStart)
+	c.cm.encodeBytes.Add(int64(len(frame)))
 	if _, err := c.post(ctx, "/v1/round/submit", frame); err != nil {
 		return false, false, fmt.Errorf("transport: submitting round %d: %w", m.Round, err)
 	}
@@ -190,16 +234,65 @@ func (c *Client) post(ctx context.Context, path string, body []byte) ([]byte, er
 	return c.do(ctx, http.MethodPost, path, body)
 }
 
+// endpointOf strips the query from a request path, yielding the metric
+// label.
+func endpointOf(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// responseLimit returns the byte budget for one response body on the
+// given endpoint.
+func (c *Client) responseLimit(endpoint string) int64 {
+	if c.cfg.MaxResponseBytes > 0 {
+		return c.cfg.MaxResponseBytes
+	}
+	if endpoint == "/v1/ledger" {
+		return maxLedgerBytes
+	}
+	return maxUploadBytes
+}
+
+// retryWait returns the clamped exponential backoff before retry attempt
+// (attempt >= 1): base << (attempt-1), with the shift bounded and the
+// result capped at maxRetryWait so large attempt counts cannot overflow
+// into a negative or absurd sleep.
+func retryWait(base time.Duration, attempt int) time.Duration {
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	wait := base << shift
+	if wait <= 0 || wait > maxRetryWait {
+		return maxRetryWait
+	}
+	return wait
+}
+
 // do issues one HTTP request with exponential-backoff retries on transport
 // errors and 5xx responses. 4xx responses are terminal: the coordinator
-// rejected the request and a retransmission cannot fix it.
+// rejected the request and a retransmission cannot fix it. A response body
+// larger than the endpoint's budget is also terminal — the body is read
+// with a limit+1 over-read probe so truncation is detected explicitly
+// instead of surfacing as a downstream CRC failure.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]byte, error) {
+	endpoint := endpointOf(path)
+	limit := c.responseLimit(endpoint)
+	reqs, errsC, lat := c.cm.reqs[endpoint], c.cm.errs[endpoint], c.cm.lat[endpoint]
+	if reqs == nil {
+		reqs = c.cm.other
+	}
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.RetryAttempts; attempt++ {
 		if attempt > 0 {
-			wait := c.cfg.RetryBackoff << (attempt - 1)
+			c.cm.retries.Inc()
 			select {
-			case <-time.After(wait):
+			case <-time.After(retryWait(c.cfg.RetryBackoff, attempt)):
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			}
@@ -215,13 +308,22 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 		if body != nil {
 			req.Header.Set("Content-Type", "application/octet-stream")
 		}
+		start := time.Now()
 		resp, err := c.http.Do(req)
+		reqs.Inc()
 		if err != nil {
+			if errsC != nil {
+				errsC.Inc()
+			}
 			lastErr = err
 			continue
 		}
-		out, err := io.ReadAll(io.LimitReader(resp.Body, maxUploadBytes))
+		out, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 		resp.Body.Close()
+		if lat != nil {
+			lat.ObserveSince(start)
+		}
+		c.cm.bytesOut.Add(int64(len(body)))
 		switch {
 		case resp.StatusCode == http.StatusNoContent:
 			return nil, nil
@@ -230,11 +332,22 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) ([]by
 				lastErr = err
 				continue
 			}
+			if int64(len(out)) > limit {
+				// Terminal: a bigger response will not fit on retry either.
+				return nil, fmt.Errorf("%s %s: response exceeds the %d-byte limit", method, endpoint, limit)
+			}
+			c.cm.bytesIn.Add(int64(len(out)))
 			return out, nil
 		case resp.StatusCode >= 500:
+			if errsC != nil {
+				errsC.Inc()
+			}
 			lastErr = fmt.Errorf("%s %s: %s", method, path, resp.Status)
 			continue
 		default:
+			if errsC != nil {
+				errsC.Inc()
+			}
 			return nil, fmt.Errorf("%s %s: %s: %s", method, path, resp.Status, bytes.TrimSpace(out))
 		}
 	}

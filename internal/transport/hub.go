@@ -31,6 +31,7 @@ package transport
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -167,10 +168,12 @@ func (h *Hub) publish(round int, params []float64) {
 	}
 	h.round = round
 	h.params = append([]float64(nil), params...)
-	// Drop mailboxes of earlier rounds: their stubs have long resolved and
-	// stale submissions are rejected anyway.
+	// Drop mailboxes older than the previous round. The previous round's
+	// submissions are retained so a client that lost a 204 can retry its
+	// upload across the round boundary and still be recognized as an
+	// idempotent replay.
 	for r := range h.subs {
-		if r < round {
+		if r < round-1 {
 			delete(h.subs, r)
 		}
 	}
@@ -230,34 +233,43 @@ func (h *Hub) waitModel(ctx context.Context, after int, maxWait time.Duration) (
 }
 
 // submit records worker id's gradient for the given round and wakes the
-// stub waiting on it. Stale, duplicate, out-of-range and inconsistent
+// stub waiting on it. Stale, conflicting, out-of-range and inconsistent
 // submissions are rejected — a rejected upload simply never arrives, which
 // the engine's deadline resolves to StatusTimedOut.
-func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) error {
+//
+// Submit is idempotent: a re-submission byte-identical in (round, worker,
+// samples, grad) to one already recorded returns fresh == false and no
+// error, even after the round has advanced. This is what makes a client
+// retry after a lost 204 harmless — the engine already accepted the
+// original, so the replay must not fail the round (or count as traffic).
+func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) (fresh bool, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	select {
 	case <-h.closedCh:
-		return fmt.Errorf("transport: hub closed")
+		return false, fmt.Errorf("transport: hub closed")
 	default:
 	}
 	if id < 0 || id >= h.n {
-		return fmt.Errorf("transport: submission from worker %d, federation has %d workers", id, h.n)
+		return false, fmt.Errorf("transport: submission from worker %d, federation has %d workers", id, h.n)
 	}
 	if !h.helloed[id] {
-		return fmt.Errorf("transport: worker %d submitted before hello", id)
+		return false, fmt.Errorf("transport: worker %d submitted before hello", id)
+	}
+	if prev, dup := h.subs[round][id]; dup {
+		if prev.samples == samples && gradBitsEqual(prev.grad, grad) {
+			return false, nil // idempotent replay of an accepted upload
+		}
+		return false, fmt.Errorf("transport: conflicting duplicate submission from worker %d for round %d", id, round)
 	}
 	if round != h.round || h.round == noRound {
-		return fmt.Errorf("transport: submission for round %d, current round is %d", round, h.round)
+		return false, fmt.Errorf("transport: submission for round %d, current round is %d", round, h.round)
 	}
 	if samples != h.samples[id] {
-		return fmt.Errorf("transport: worker %d submitted %d samples, registered %d", id, samples, h.samples[id])
+		return false, fmt.Errorf("transport: worker %d submitted %d samples, registered %d", id, samples, h.samples[id])
 	}
 	if len(grad) != len(h.params) {
-		return fmt.Errorf("transport: worker %d submitted a %d-dim gradient, model has %d", id, len(grad), len(h.params))
-	}
-	if _, dup := h.subs[round][id]; dup {
-		return fmt.Errorf("transport: duplicate submission from worker %d for round %d", id, round)
+		return false, fmt.Errorf("transport: worker %d submitted a %d-dim gradient, model has %d", id, len(grad), len(h.params))
 	}
 	if h.subs[round] == nil {
 		h.subs[round] = make(map[int]submission)
@@ -268,7 +280,22 @@ func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) error {
 		close(ch)
 		delete(h.wait, key)
 	}
-	return nil
+	return true, nil
+}
+
+// gradBitsEqual reports bit-exact equality of two gradient vectors — the
+// identity test for idempotent replays (codec frames cannot carry NaN, so
+// bit comparison is exact and reflexive here).
+func gradBitsEqual(a, b gradvec.Vector) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // await blocks until worker id's submission for the round arrives and

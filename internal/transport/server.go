@@ -31,10 +31,12 @@ const defaultPollWait = 10 * time.Second
 //	GET  /v1/round/report  — per-round assessment (statuses, reputations, rewards)
 //	GET  /v1/ledger        — framed chain binary export
 //	GET  /v1/healthz       — JSON liveness and progress
+//	GET  /v1/metrics       — Prometheus text exposition of the shared registry
 type Server struct {
 	coord *core.Coordinator
 	hub   *Hub
 	mux   *http.ServeMux
+	sm    *serverMetrics
 
 	mu      sync.Mutex
 	reports map[int]*core.RoundReport
@@ -64,15 +66,17 @@ func NewServer(coord *core.Coordinator, hub *Hub) (*Server, error) {
 		coord:     coord,
 		hub:       hub,
 		mux:       http.NewServeMux(),
+		sm:        newServerMetrics(coord.Metrics(), hub.n),
 		reports:   make(map[int]*core.RoundReport),
 		upBytes:   make([]int64, hub.n),
 		downBytes: make([]int64, hub.n),
 	}
-	s.mux.HandleFunc("POST /v1/round/submit", s.handleSubmit)
-	s.mux.HandleFunc("GET /v1/model", s.handleModel)
-	s.mux.HandleFunc("GET /v1/round/report", s.handleReport)
-	s.mux.HandleFunc("GET /v1/ledger", s.handleLedger)
-	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	s.mux.HandleFunc("POST /v1/round/submit", s.sm.instrument("/v1/round/submit", s.handleSubmit))
+	s.mux.HandleFunc("GET /v1/model", s.sm.instrument("/v1/model", s.handleModel))
+	s.mux.HandleFunc("GET /v1/round/report", s.sm.instrument("/v1/round/report", s.handleReport))
+	s.mux.HandleFunc("GET /v1/ledger", s.sm.instrument("/v1/ledger", s.handleLedger))
+	s.mux.HandleFunc("GET /v1/healthz", s.sm.instrument("/v1/healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/metrics", s.sm.instrument("/v1/metrics", s.handleMetrics))
 	return s, nil
 }
 
@@ -131,6 +135,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "transport: submission exceeds the frame size limit", http.StatusRequestEntityTooLarge)
 		return
 	}
+	s.sm.bytesIn.Add(int64(len(body)))
 	typ, err := codec.Type(body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -149,18 +154,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	case codec.TypeUpload:
+		decStart := time.Now()
 		u, err := codec.DecodeUpload(body)
+		s.sm.observeDecode(decStart, len(body))
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		if err := s.hub.submit(u.Round, u.Worker, u.Samples, u.Grad); err != nil {
+		fresh, err := s.hub.submit(u.Round, u.Worker, u.Samples, u.Grad)
+		if err != nil {
 			http.Error(w, err.Error(), http.StatusConflict)
 			return
 		}
-		s.mu.Lock()
-		s.upBytes[u.Worker] += int64(len(body))
-		s.mu.Unlock()
+		// An idempotent replay (a client retry after a lost 204) is
+		// acknowledged but not re-counted: the per-worker wire accounting
+		// must stay bit-identical to a retry-free run.
+		if fresh {
+			s.mu.Lock()
+			s.upBytes[u.Worker] += int64(len(body))
+			s.mu.Unlock()
+			s.sm.uploadBytes[u.Worker].Add(int64(len(body)))
+		} else {
+			s.sm.replays.Inc()
+		}
 		w.WriteHeader(http.StatusNoContent)
 	default:
 		http.Error(w, fmt.Sprintf("transport: %s frames do not belong on /v1/round/submit", typ), http.StatusBadRequest)
@@ -187,21 +203,26 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if wait <= 0 || wait > defaultPollWait {
 		wait = defaultPollWait
 	}
+	s.sm.longpoll.Add(1)
 	round, params, done, ok := s.hub.waitModel(r.Context(), after, wait)
+	s.sm.longpoll.Add(-1)
 	if !ok {
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
+	encStart := time.Now()
 	frame, err := codec.EncodeModel(codec.Model{Round: round, Done: done, Params: params}, r.URL.Query().Get("enc") == "f32")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.sm.observeEncode(encStart, len(frame))
 	if !done {
 		if worker, err := queryInt(r, "worker", -1); err == nil && worker >= 0 && worker < s.hub.n {
 			s.mu.Lock()
 			s.downBytes[worker] += int64(len(frame))
 			s.mu.Unlock()
+			s.sm.modelBytes[worker].Add(int64(len(frame)))
 		}
 	}
 	writeFrame(w, frame)
@@ -221,6 +242,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("transport: no report for round %d yet", round), http.StatusNotFound)
 		return
 	}
+	encStart := time.Now()
 	frame, err := codec.EncodeReport(codec.Report{
 		Round:       rep.Round,
 		Committed:   rep.Committed,
@@ -232,6 +254,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.sm.observeEncode(encStart, len(frame))
 	writeFrame(w, frame)
 }
 
@@ -242,12 +265,22 @@ func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	encStart := time.Now()
 	frame, err := codec.EncodeLedger(buf.Bytes())
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
+	s.sm.observeEncode(encStart, len(frame))
 	writeFrame(w, frame)
+}
+
+// handleMetrics serves the shared registry — engine round phases,
+// coordinator assessments, transport traffic — in the Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.coord.Metrics().WritePrometheus(w)
 }
 
 // handleHealthz reports liveness and federation progress as JSON.

@@ -376,34 +376,59 @@ func TestHubSubmissionHygiene(t *testing.T) {
 	if err := hub.hello(0, 99); err == nil {
 		t.Fatal("re-hello with different samples accepted")
 	}
-	if err := hub.submit(0, 0, 10, make([]float64, 4)); err == nil {
+	if _, err := hub.submit(0, 0, 10, make([]float64, 4)); err == nil {
 		t.Fatal("submission before any published round accepted")
 	}
 	hub.publish(0, []float64{1, 2, 3, 4})
-	if err := hub.submit(0, 1, 10, make([]float64, 4)); err == nil {
+	if _, err := hub.submit(0, 1, 10, make([]float64, 4)); err == nil {
 		t.Fatal("submission before hello accepted")
 	}
-	if err := hub.submit(0, 0, 99, make([]float64, 4)); err == nil {
-		t.Fatal("submission with inconsistent samples accepted")
-	}
-	if err := hub.submit(0, 0, 10, make([]float64, 3)); err == nil {
-		t.Fatal("submission with wrong dimension accepted")
-	}
-	if err := hub.submit(0, 0, 10, make([]float64, 4)); err != nil {
+	if err := hub.hello(1, 10); err != nil {
 		t.Fatal(err)
 	}
-	if err := hub.submit(0, 0, 10, make([]float64, 4)); err == nil {
-		t.Fatal("duplicate submission accepted")
+	if _, err := hub.submit(0, 0, 99, make([]float64, 4)); err == nil {
+		t.Fatal("submission with inconsistent samples accepted")
+	}
+	if _, err := hub.submit(0, 0, 10, make([]float64, 3)); err == nil {
+		t.Fatal("submission with wrong dimension accepted")
+	}
+	fresh, err := hub.submit(0, 0, 10, make([]float64, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fresh {
+		t.Fatal("first submission not reported fresh")
+	}
+	fresh, err = hub.submit(0, 0, 10, make([]float64, 4))
+	if err != nil {
+		t.Fatalf("byte-identical duplicate rejected: %v", err)
+	}
+	if fresh {
+		t.Fatal("idempotent replay reported fresh")
+	}
+	if _, err := hub.submit(0, 0, 10, []float64{9, 9, 9, 9}); err == nil {
+		t.Fatal("conflicting duplicate submission accepted")
 	}
 	if g := hub.await(0, 0); len(g) != 4 {
 		t.Fatalf("await returned %v", g)
 	}
 	hub.publish(1, []float64{1, 2, 3, 4})
-	if err := hub.submit(0, 0, 10, make([]float64, 4)); err == nil {
+	// The previous round's mailbox survives one round boundary so a client
+	// that lost the 204 can still replay its accepted upload...
+	if fresh, err := hub.submit(0, 0, 10, make([]float64, 4)); err != nil || fresh {
+		t.Fatalf("cross-round idempotent replay: fresh=%v err=%v", fresh, err)
+	}
+	// ...but a genuinely new stale-round submission is still rejected.
+	if _, err := hub.submit(0, 1, 10, make([]float64, 4)); err == nil {
 		t.Fatal("stale-round submission accepted")
 	}
+	hub.publish(2, []float64{1, 2, 3, 4})
+	hub.publish(3, []float64{1, 2, 3, 4})
+	if _, err := hub.submit(0, 0, 10, make([]float64, 4)); err == nil {
+		t.Fatal("replay two rounds stale accepted (mailbox should be dropped)")
+	}
 	hub.Close()
-	if err := hub.submit(1, 0, 10, make([]float64, 4)); err == nil {
+	if _, err := hub.submit(3, 0, 10, make([]float64, 4)); err == nil {
 		t.Fatal("submission after close accepted")
 	}
 	if g := hub.await(1, 1); g != nil {

@@ -26,3 +26,28 @@ go test -race -timeout 20m $(go list ./... | grep -v internal/experiments)
 # Fuzz smoke: the wire codec must survive 5s of hostile frames without
 # panicking (-fuzz accepts exactly one package).
 go test -run='^$' -fuzz=FuzzDecodeUpload -fuzztime=5s ./internal/transport/codec
+
+# Observability smoke: a tiny simulated run must dump its metrics in the
+# Prometheus text format with the expected round count.
+BIN=$(mktemp -d)
+trap 'rm -rf "$BIN"' EXIT
+go build -o "$BIN/fifl-sim" ./cmd/fifl-sim
+go build -o "$BIN/fifl-node" ./cmd/fifl-node
+"$BIN/fifl-sim" -workers 3 -rounds 1 -samples 40 -metrics | grep -q '^fifl_engine_rounds_total 1$'
+
+# Coordinator smoke: /v1/metrics serves the exposition format and -pprof
+# serves the profiling mux on its own listener, without any worker joining.
+"$BIN/fifl-node" -role coordinator -workers 2 -rounds 1 -samples 40 \
+    -listen 127.0.0.1:7391 -pprof 127.0.0.1:7392 &
+NODE_PID=$!
+trap 'kill "$NODE_PID" 2>/dev/null; rm -rf "$BIN"' EXIT
+for _ in $(seq 1 50); do
+    if curl -fsS http://127.0.0.1:7391/v1/healthz >/dev/null 2>&1; then break; fi
+    sleep 0.2
+done
+# (plain grep, not -q: -q closes the pipe early and makes curl -f report
+# a spurious write error)
+curl -fsS http://127.0.0.1:7391/v1/healthz | grep '"status":"ok"' >/dev/null
+curl -fsS http://127.0.0.1:7391/v1/metrics | grep '^# TYPE fifl_http_requests_total counter$' >/dev/null
+curl -fsS http://127.0.0.1:7392/debug/pprof/cmdline >/dev/null
+kill "$NODE_PID"
