@@ -16,17 +16,20 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof/* on DefaultServeMux for -pprof
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"fifl/internal/core"
 	"fifl/internal/fl"
+	"fifl/internal/persist"
 	"fifl/internal/rng"
 	"fifl/internal/transport"
 )
@@ -47,12 +50,17 @@ func main() {
 		sy       = flag.Float64("sy", 0.02, "detection threshold S_y")
 		evalEach = flag.Int("eval", 1, "evaluate the global model every this many rounds (0 = never)")
 		linger   = flag.Duration("linger", 10*time.Second, "how long the coordinator keeps serving reports and the ledger after the last round")
+		ckptDir  = flag.String("checkpoint", "", "durable checkpoint directory; the coordinator snapshots after each committed round and resumes from an existing checkpoint on start")
+		ckptN    = flag.Int("checkpoint-every", 1, "checkpoint every this many rounds (with -checkpoint)")
+		haltAt   = flag.Int("halt-after", 0, "stop after this many rounds with the checkpoint written and block until killed (0 = off; for crash-recovery testing)")
 
 		// Worker flags.
 		coordURL = flag.String("coordinator", "http://127.0.0.1:7070", "coordinator base URL")
 		id       = flag.Int("id", 0, "this worker's federation slot")
 		f32      = flag.Bool("f32", false, "use the float32 compression mode (half the bytes, lossy)")
 		audit    = flag.Bool("audit", false, "download and verify the coordinator's audit ledger at the end")
+		retries  = flag.Int("retry", 0, "HTTP retry attempts before a request is abandoned (0 = default 3); raise this so a worker rides through a coordinator restart")
+		rbackoff = flag.Duration("retry-backoff", 0, "base delay between HTTP retries, doubling each attempt (0 = default 100ms)")
 
 		// Shared debug flags.
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
@@ -78,9 +86,16 @@ func main() {
 	var err error
 	switch *role {
 	case "coordinator":
-		err = runCoordinator(ctx, recipe, *listen, *rounds, *servers, *quorum, *wtmo, *sy, *evalEach, *linger)
+		err = runCoordinator(ctx, recipe, coordOpts{
+			Listen: *listen, Rounds: *rounds, Servers: *servers, Quorum: *quorum,
+			WorkerTimeout: *wtmo, Sy: *sy, EvalEach: *evalEach, Linger: *linger,
+			CheckpointDir: *ckptDir, CheckpointEvery: *ckptN, HaltAfter: *haltAt,
+		})
 	case "worker":
-		err = runWorker(ctx, recipe, *coordURL, *id, *f32, *audit)
+		err = runWorker(ctx, recipe, workerOpts{
+			CoordURL: *coordURL, ID: *id, Float32: *f32, Audit: *audit,
+			Retries: *retries, RetryBackoff: *rbackoff,
+		})
 	default:
 		fmt.Fprintln(os.Stderr, "fifl-node: -role must be coordinator or worker")
 		os.Exit(2)
@@ -91,7 +106,35 @@ func main() {
 	}
 }
 
-func runCoordinator(ctx context.Context, recipe transport.Recipe, listen string, rounds, servers, quorum int, wtmo time.Duration, sy float64, evalEach int, linger time.Duration) error {
+// coordOpts bundles the coordinator role's flags.
+type coordOpts struct {
+	Listen          string
+	Rounds          int
+	Servers         int
+	Quorum          int
+	WorkerTimeout   time.Duration
+	Sy              float64
+	EvalEach        int
+	Linger          time.Duration
+	CheckpointDir   string
+	CheckpointEvery int
+	HaltAfter       int
+}
+
+// workerOpts bundles the worker role's flags.
+type workerOpts struct {
+	CoordURL     string
+	ID           int
+	Float32      bool
+	Audit        bool
+	Retries      int
+	RetryBackoff time.Duration
+}
+
+func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) error {
+	if o.CheckpointEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be at least 1, got %d", o.CheckpointEvery)
+	}
 	build, err := recipe.Builder()
 	if err != nil {
 		return err
@@ -100,28 +143,64 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, listen string,
 	if err != nil {
 		return err
 	}
-	opts := []fl.Option{fl.WithWorkerTimeout(wtmo)}
-	if quorum > 0 {
-		opts = append(opts, fl.WithQuorum(quorum))
+	opts := []fl.Option{fl.WithWorkerTimeout(o.WorkerTimeout)}
+	if o.Quorum > 0 {
+		opts = append(opts, fl.WithQuorum(o.Quorum))
 	}
-	engine, err := fl.NewEngine(fl.Config{Servers: servers, GlobalLR: 0.05},
+	engine, err := fl.NewEngine(fl.Config{Servers: o.Servers, GlobalLR: 0.05},
 		build, hub.Workers(), rng.New(recipe.Seed).Split("netfed"), opts...)
 	if err != nil {
 		return err
 	}
-	initial := make([]int, servers)
-	for i := range initial {
-		initial[i] = i
-	}
-	coord, err := core.NewCoordinator(core.CoordinatorConfig{
-		Detection:      core.Detector{Threshold: sy},
+	cfg := core.CoordinatorConfig{
+		Detection:      core.Detector{Threshold: o.Sy},
 		Reputation:     core.DefaultReputationConfig(),
 		Contribution:   core.ContributionConfig{BaselineWorker: -1},
 		RewardPerRound: 1,
 		RecordToLedger: true,
-	}, engine, initial)
-	if err != nil {
-		return err
+	}
+
+	// With -checkpoint, an existing snapshot in the directory means this
+	// process is a restart: rebuild the coordinator from it and seed the hub
+	// so reconnecting workers long-poll straight into the resumed round.
+	// Without one this is a cold start.
+	var (
+		coord      *core.Coordinator
+		ckptPath   string
+		startRound int
+	)
+	if o.CheckpointDir != "" {
+		if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
+			return err
+		}
+		ckptPath = filepath.Join(o.CheckpointDir, "checkpoint.fifl")
+		snap, err := persist.ReadFile(ckptPath)
+		switch {
+		case err == nil:
+			coord, err = core.RestoreCoordinatorSnapshot(snap, cfg, engine)
+			if err != nil {
+				return fmt.Errorf("restoring %s: %w", ckptPath, err)
+			}
+			if err := hub.Restore(snap.NextRound-1, snap.Params, snap.Samples); err != nil {
+				return fmt.Errorf("restoring %s: %w", ckptPath, err)
+			}
+			startRound = snap.NextRound
+			fmt.Printf("coordinator: resumed from %s at round %d\n", ckptPath, startRound)
+		case errors.Is(err, os.ErrNotExist):
+			// Cold start; the first checkpoint appears after the first round.
+		default:
+			return fmt.Errorf("reading checkpoint %s: %w", ckptPath, err)
+		}
+	}
+	if coord == nil {
+		initial := make([]int, o.Servers)
+		for i := range initial {
+			initial[i] = i
+		}
+		coord, err = core.NewCoordinator(cfg, engine, initial)
+		if err != nil {
+			return err
+		}
 	}
 	srv, err := transport.NewServer(coord, hub)
 	if err != nil {
@@ -129,7 +208,7 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, listen string,
 	}
 	defer srv.Close()
 
-	httpSrv := &http.Server{Addr: listen, Handler: srv.Handler()}
+	httpSrv := &http.Server{Addr: o.Listen, Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	defer func() {
@@ -137,12 +216,12 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, listen string,
 		defer cancel()
 		_ = httpSrv.Shutdown(sctx)
 	}()
-	fmt.Printf("coordinator: listening on %s, waiting for %d workers to register\n", listen, recipe.Workers)
+	fmt.Printf("coordinator: listening on %s, waiting for %d workers to register\n", o.Listen, recipe.Workers)
 
 	if err := srv.WaitReady(ctx); err != nil {
 		select {
 		case serveErr := <-errc:
-			return fmt.Errorf("serving %s: %w", listen, serveErr)
+			return fmt.Errorf("serving %s: %w", o.Listen, serveErr)
 		default:
 			return fmt.Errorf("waiting for workers: %w", err)
 		}
@@ -153,7 +232,7 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, listen string,
 	if err != nil {
 		return err
 	}
-	for t := 0; t < rounds; t++ {
+	for t := startRound; t < o.Rounds; t++ {
 		rep, err := srv.RunRound(ctx, t)
 		if err != nil {
 			return fmt.Errorf("round %d: %w", t, err)
@@ -166,30 +245,53 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, listen string,
 		}
 		fmt.Printf("round %2d: %d/%d uploads arrived, committed=%v, reputations=%s\n",
 			t, arrived, recipe.Workers, rep.Committed, fmtF64s(rep.Reputations))
-		if evalEach > 0 && (t+1)%evalEach == 0 {
+		if o.EvalEach > 0 && (t+1)%o.EvalEach == 0 {
 			acc, loss := engine.Evaluate(test, 64)
 			fmt.Printf("round %2d: global accuracy %.3f, loss %.4f\n", t, acc, loss)
+		}
+		halting := o.HaltAfter > 0 && t+1 >= o.HaltAfter
+		if ckptPath != "" && ((t+1)%o.CheckpointEvery == 0 || halting) {
+			snap, err := coord.Snapshot()
+			if err != nil {
+				return fmt.Errorf("round %d: snapshot: %w", t, err)
+			}
+			if err := persist.WriteFile(ckptPath, snap); err != nil {
+				return fmt.Errorf("round %d: writing checkpoint: %w", t, err)
+			}
+			fmt.Printf("round %2d: checkpoint written to %s\n", t, ckptPath)
+		}
+		if halting {
+			// Crash-recovery testing hook: the checkpoint for this round is
+			// on disk and no further round starts, so a SIGKILL here and a
+			// restart from -checkpoint reproduce the uninterrupted run bit
+			// for bit (workers ride through on their retry budget).
+			fmt.Printf("coordinator: halt-after %d — blocking until killed\n", o.HaltAfter)
+			<-ctx.Done()
+			return nil
 		}
 	}
 	srv.MarkDone()
 	fmt.Printf("coordinator: done — ledger holds %d blocks; serving reports for %s\n",
-		coord.Ledger.Len(), linger)
+		coord.Ledger.Len(), o.Linger)
 	select {
-	case <-time.After(linger):
+	case <-time.After(o.Linger):
 	case <-ctx.Done():
 	}
 	return nil
 }
 
-func runWorker(ctx context.Context, recipe transport.Recipe, coordURL string, id int, f32, audit bool) error {
-	w, err := recipe.Worker(id)
+func runWorker(ctx context.Context, recipe transport.Recipe, o workerOpts) error {
+	w, err := recipe.Worker(o.ID)
 	if err != nil {
 		return err
 	}
+	id, coordURL, audit := o.ID, o.CoordURL, o.Audit
 	client, err := transport.DialWorker(ctx, transport.ClientConfig{
-		BaseURL: coordURL,
-		Worker:  w,
-		Float32: f32,
+		BaseURL:       coordURL,
+		Worker:        w,
+		Float32:       o.Float32,
+		RetryAttempts: o.Retries,
+		RetryBackoff:  o.RetryBackoff,
 	})
 	if err != nil {
 		return err

@@ -17,9 +17,11 @@ import (
 	"time"
 
 	"fifl/internal/chain"
+	"fifl/internal/core"
 	"fifl/internal/experiments"
 	"fifl/internal/fl"
 	"fifl/internal/metrics"
+	"fifl/internal/persist"
 	"fifl/internal/rng"
 	"fifl/internal/trace"
 )
@@ -45,6 +47,9 @@ func main() {
 		retries   = flag.Int("retries", 0, "retransmission attempts for lost uploads")
 		backoff   = flag.Duration("retry-backoff", 50*time.Millisecond, "base backoff between retransmissions")
 		dumpMet   = flag.Bool("metrics", false, "dump the run's metrics in Prometheus text format at the end")
+		ckptFile  = flag.String("checkpoint", "", "write a durable checkpoint to this file after each round (atomic replace)")
+		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every this many rounds (with -checkpoint)")
+		resume    = flag.String("resume", "", "resume from a checkpoint file written by a previous run with identical flags")
 	)
 	flag.Parse()
 
@@ -62,6 +67,10 @@ func main() {
 	}
 	if *retries < 0 || *backoff < 0 {
 		fmt.Fprintln(os.Stderr, "fifl-sim: -retries and -retry-backoff must be non-negative")
+		os.Exit(2)
+	}
+	if *ckptEvery < 1 {
+		fmt.Fprintf(os.Stderr, "fifl-sim: -checkpoint-every must be at least 1, got %d\n", *ckptEvery)
 		os.Exit(2)
 	}
 
@@ -106,13 +115,35 @@ func main() {
 		opts = append(opts, fl.WithRetry(*retries, *backoff))
 	}
 	fed := experiments.BuildFederation(sc, dk, kinds, rng.New(sc.Seed).Split("sim"), opts...)
-	coord := experiments.DefaultCoordinator(fed, *sy, true)
+
+	// -resume rebuilds the same federation from the same flags (seed, sizes,
+	// attacker mix must match the run that wrote the checkpoint — the restore
+	// cross-checks what it can and rejects mismatches) and fast-forwards it
+	// to the checkpointed state instead of starting from round 0.
+	var coord *core.Coordinator
+	startRound := 0
+	if *resume != "" {
+		snap, err := persist.ReadFile(*resume)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fifl-sim: reading %s: %v\n", *resume, err)
+			os.Exit(1)
+		}
+		coord, err = core.RestoreCoordinatorSnapshot(snap, experiments.DefaultCoordinatorConfig(*sy, true), fed.Engine)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fifl-sim: resuming from %s: %v\n", *resume, err)
+			os.Exit(1)
+		}
+		startRound = coord.NextRound()
+		fmt.Printf("resumed from %s at round %d\n", *resume, startRound)
+	} else {
+		coord = experiments.DefaultCoordinator(fed, *sy, true)
+	}
 
 	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
 		*workers, *servers, *task, *rounds, *nFlip, *ps, *nPoison, *pd)
 
 	recorder := trace.NewRecorder()
-	for t := 0; t < *rounds; t++ {
+	for t := startRound; t < *rounds; t++ {
 		rep, err := coord.RunRound(t)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fifl-sim: round %d: %v\n", t, err)
@@ -137,6 +168,17 @@ func main() {
 			line += fmt.Sprintf("  acc=%.3f loss=%.3f", acc, loss)
 		}
 		fmt.Println(line)
+		if *ckptFile != "" && (t+1)%*ckptEvery == 0 {
+			snap, err := coord.Snapshot()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: round %d: snapshot: %v\n", t, err)
+				os.Exit(1)
+			}
+			if err := persist.WriteFile(*ckptFile, snap); err != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: round %d: writing checkpoint: %v\n", t, err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if *traceFile != "" {

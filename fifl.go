@@ -41,6 +41,7 @@ package fifl
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"fifl/internal/core"
@@ -52,6 +53,7 @@ import (
 	"fifl/internal/metrics"
 	"fifl/internal/netsim"
 	"fifl/internal/nn"
+	"fifl/internal/persist"
 	"fifl/internal/rng"
 	"fifl/internal/robust"
 	"fifl/internal/trace"
@@ -315,6 +317,56 @@ func ServeCoordinator(coord *Coordinator, hub *TransportHub) (*CoordinatorServer
 // that drives its poll-train-submit loop.
 func DialWorker(ctx context.Context, cfg WorkerClientConfig) (*WorkerClient, error) {
 	return transport.DialWorker(ctx, cfg)
+}
+
+// Durability: checkpoint a federation between rounds and resume it after a
+// crash or restart. A snapshot captures everything the mechanism
+// accumulates across rounds — reputations with their SLM period counters,
+// cumulative rewards, the banned set, the server cluster, the b_h
+// smoother, the global model, the audit ledger and the deterministic
+// random-stream positions — so a resumed run continues bit for bit
+// identically to one that was never interrupted. Snapshots are CRC-framed
+// and written atomically (see internal/persist); restores verify the
+// embedded ledger's hash links and signatures and refuse checkpoints from
+// a different federation.
+type (
+	// CheckpointSnapshot is the decoded between-rounds state of a
+	// federation.
+	CheckpointSnapshot = persist.Snapshot
+)
+
+// Checkpoint writes the coordinator's complete inter-round state to w.
+// Call it only between rounds — after RunRound returns and before the next
+// one starts.
+func Checkpoint(c *Coordinator, w io.Writer) error { return c.Checkpoint(w) }
+
+// Resume reads a checkpoint and rebuilds a coordinator over a freshly
+// constructed engine. The engine must come from the same federation recipe
+// (seed, workers, model) as the checkpointed run and must not have
+// executed any rounds yet; continue with RunRound(coord.NextRound()).
+func Resume(r io.Reader, cfg CoordinatorConfig, engine *Engine) (*Coordinator, error) {
+	return core.RestoreCoordinator(r, cfg, engine)
+}
+
+// CheckpointToFile persists the coordinator's state to path atomically:
+// a crash at any instant leaves either the previous complete checkpoint or
+// the new one, never a torn file.
+func CheckpointToFile(path string, c *Coordinator) error {
+	s, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	return persist.WriteFile(path, s)
+}
+
+// ResumeFromFile loads a checkpoint file written by CheckpointToFile and
+// rebuilds a coordinator over a freshly constructed engine (see Resume).
+func ResumeFromFile(path string, cfg CoordinatorConfig, engine *Engine) (*Coordinator, error) {
+	s, err := persist.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return core.RestoreCoordinatorSnapshot(s, cfg, engine)
 }
 
 // Observability: every layer — engine round phases, coordinator assessment,

@@ -5,6 +5,8 @@
 package attack
 
 import (
+	"fmt"
+
 	"fifl/internal/dataset"
 	"fifl/internal/fl"
 	"fifl/internal/gradvec"
@@ -74,6 +76,19 @@ func (w *FreeRider) LocalTrain(round int, global []float64) gradvec.Vector {
 	g := gradvec.Zeros(len(global))
 	w.src.FillNormal(g, 0, w.scale)
 	return g
+}
+
+// RNGDraws reports the noise stream's position for checkpointing
+// (fl.ResumableWorker).
+func (w *FreeRider) RNGDraws() uint64 { return w.src.Draws() }
+
+// DiscardRNG fast-forwards the noise stream to a checkpointed position.
+func (w *FreeRider) DiscardRNG(n uint64) error {
+	if cur := w.src.Draws(); cur > n {
+		return fmt.Errorf("attack: free-rider %d RNG already at %d draws, cannot rewind to %d", w.id, cur, n)
+	}
+	w.src.Discard(n - w.src.Draws())
+	return nil
 }
 
 // Probabilistic wraps an honest worker and an attacker, misbehaving with

@@ -223,13 +223,23 @@ func (l *Ledger) Audit(kind RecordKind, iteration, worker int, recomputed, tol f
 	if len(recs) == 0 {
 		return "", fmt.Errorf("chain: no %s record for iteration %d worker %d", kind, iteration, worker)
 	}
-	// The latest record for the triple is authoritative.
+	// The latest record for the triple is authoritative. Non-finite values
+	// must be treated as mismatches explicitly: a NaN record (or a NaN
+	// recomputation or tolerance) makes both comparisons below false, which
+	// would let a corrupted entry pass the audit.
 	r := recs[len(recs)-1]
+	if isNonFinite(r.Value) || isNonFinite(recomputed) || isNonFinite(tol) {
+		return r.Executor, nil
+	}
 	if diff := r.Value - recomputed; diff > tol || diff < -tol {
 		return r.Executor, nil
 	}
 	return "", nil
 }
+
+// isNonFinite reports whether v cannot participate in a meaningful
+// tolerance comparison.
+func isNonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 
 // MarshalJSON exports the chain for external inspection.
 func (l *Ledger) MarshalJSON() ([]byte, error) {

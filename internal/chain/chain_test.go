@@ -2,6 +2,7 @@ package chain
 
 import (
 	"errors"
+	"math"
 	"testing"
 )
 
@@ -216,5 +217,38 @@ func mustAppend(t *testing.T, l *Ledger, s *Signer, r Record) {
 	t.Helper()
 	if _, err := l.Append(s, r); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestAuditNonFiniteIsMismatch(t *testing.T) {
+	cases := map[string]struct {
+		recorded, recomputed, tol float64
+	}{
+		"NaN record":     {math.NaN(), 0.5, 1e-9},
+		"+Inf record":    {math.Inf(1), 0.5, 1e-9},
+		"-Inf record":    {math.Inf(-1), 0.5, 1e-9},
+		"NaN recomputed": {0.5, math.NaN(), 1e-9},
+		"Inf recomputed": {0.5, math.Inf(1), 1e-9},
+		"NaN tolerance":  {0.5, 0.5, math.NaN()},
+		"both NaN":       {math.NaN(), math.NaN(), 1e-9},
+	}
+	for name, c := range cases {
+		s := signer("srv-nf", 7)
+		l := newTestLedger(t, s)
+		mustAppend(t, l, s, Record{Kind: KindReputation, Iteration: 0, WorkerID: 0, Value: c.recorded})
+		culprit, err := l.Audit(KindReputation, 0, 0, c.recomputed, c.tol)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if culprit != "srv-nf" {
+			t.Fatalf("%s: non-finite audit comparison passed (culprit %q)", name, culprit)
+		}
+	}
+	// Finite agreement still passes.
+	s := signer("srv-ok", 8)
+	l := newTestLedger(t, s)
+	mustAppend(t, l, s, Record{Kind: KindReputation, Iteration: 0, WorkerID: 0, Value: 0.5})
+	if culprit, err := l.Audit(KindReputation, 0, 0, 0.5, 1e-9); err != nil || culprit != "" {
+		t.Fatalf("finite match flagged: culprit %q, err %v", culprit, err)
 	}
 }

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"fifl/internal/chain"
+	"fifl/internal/fl"
+	"fifl/internal/persist"
+)
+
+// Checkpoint writes the coordinator's complete inter-round state to w as a
+// durable snapshot (see internal/persist for the format and its
+// guarantees). Call it only between rounds — after RunRound returns and
+// before the next one starts; mid-round state lives in worker goroutines
+// and cannot be captured consistently. A federation restored from the
+// snapshot with RestoreCoordinator continues bit-identically to one that
+// was never interrupted.
+func (c *Coordinator) Checkpoint(w io.Writer) error {
+	s, err := c.Snapshot()
+	if err != nil {
+		return err
+	}
+	return persist.Write(w, s)
+}
+
+// Snapshot captures the coordinator's inter-round state as a
+// persist.Snapshot. Checkpoint is the io.Writer shape of it; callers that
+// want atomic file persistence pass the snapshot to persist.WriteFile.
+func (c *Coordinator) Snapshot() (*persist.Snapshot, error) {
+	engine := c.Engine
+	n := len(engine.Workers)
+	pt, pn, pu := c.Rep.PeriodCounts()
+	s := &persist.Snapshot{
+		NextRound:   c.nextRound,
+		Params:      append([]float64(nil), engine.Params()...),
+		Reputations: c.Rep.Reputations(),
+		PosCounts:   intsToI64(pt),
+		NegCounts:   intsToI64(pn),
+		UncCounts:   intsToI64(pu),
+		Cumulative:  c.CumulativeRewards(),
+		Servers:     c.Servers(),
+		EngineDraws: engine.RNGDraws(),
+		WorkerDraws: make([]uint64, n),
+		Samples:     make([]int, n),
+	}
+	s.BHInitialized, s.BHValue = c.bhSmoother.State()
+	for i := 0; i < n; i++ {
+		if c.banned[i] {
+			s.Banned = append(s.Banned, i)
+		}
+	}
+	for i, w := range engine.Workers {
+		s.Samples[i] = w.NumSamples()
+		if rw, ok := w.(fl.ResumableWorker); ok {
+			s.WorkerDraws[i] = rw.RNGDraws()
+		}
+	}
+	var buf bytes.Buffer
+	if err := c.Ledger.WriteBinary(&buf); err != nil {
+		return nil, fmt.Errorf("core: exporting ledger for checkpoint: %w", err)
+	}
+	s.Ledger = buf.Bytes()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// RestoreCoordinator reads a checkpoint from r and rebuilds a coordinator
+// over a freshly constructed engine. The engine must have been rebuilt
+// from the same federation recipe (same seed, workers, model) as the run
+// that took the checkpoint and must not have executed any rounds yet; the
+// snapshot is cross-checked against it and mismatches are errors.
+func RestoreCoordinator(r io.Reader, cfg CoordinatorConfig, engine *fl.Engine) (*Coordinator, error) {
+	snap, err := persist.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return RestoreCoordinatorSnapshot(snap, cfg, engine)
+}
+
+// RestoreCoordinatorSnapshot rebuilds a coordinator from an already
+// decoded snapshot. On success the coordinator's reputations, SLM
+// counters, cumulative rewards, banned set, server cluster, b_h smoother,
+// ledger and round counter — plus the engine's parameters and every
+// resumable RNG stream — match the checkpointed run exactly, so
+// RunRound(NextRound()) continues it bit for bit.
+func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, engine *fl.Engine) (*Coordinator, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("core: restore from a nil snapshot")
+	}
+	if err := snap.Validate(); err != nil {
+		return nil, err
+	}
+	if engine == nil {
+		return nil, fmt.Errorf("core: restore requires an engine")
+	}
+	n := len(engine.Workers)
+	if len(snap.Reputations) != n {
+		return nil, fmt.Errorf("core: checkpoint covers %d workers, engine has %d", len(snap.Reputations), n)
+	}
+	if len(snap.Servers) != engine.NumServers() {
+		return nil, fmt.Errorf("core: checkpoint has %d servers, engine expects %d", len(snap.Servers), engine.NumServers())
+	}
+	if len(snap.Params) != len(engine.Params()) {
+		return nil, fmt.Errorf("core: checkpoint has %d model parameters, engine has %d — different model or task",
+			len(snap.Params), len(engine.Params()))
+	}
+	c, err := NewCoordinator(cfg, engine, snap.Servers)
+	if err != nil {
+		return nil, err
+	}
+	if err := engine.SetParams(snap.Params); err != nil {
+		return nil, err
+	}
+	for i, v := range snap.Reputations {
+		if err := c.Rep.SetReputation(i, v); err != nil {
+			return nil, err
+		}
+	}
+	if err := c.Rep.SetPeriodCounts(i64sToInts(snap.PosCounts), i64sToInts(snap.NegCounts), i64sToInts(snap.UncCounts)); err != nil {
+		return nil, err
+	}
+	copy(c.cumulative, snap.Cumulative)
+	for _, b := range snap.Banned {
+		c.banned[b] = true
+	}
+	if err := c.bhSmoother.SetState(snap.BHInitialized, snap.BHValue); err != nil {
+		return nil, err
+	}
+	c.nextRound = snap.NextRound
+
+	// Fast-forward the deterministic random streams to where the
+	// interrupted run left them. Workers that do not expose their stream
+	// (remote transport stubs) were recorded as position zero and resume
+	// through their own process's determinism instead.
+	if err := engine.DiscardRNG(snap.EngineDraws); err != nil {
+		return nil, err
+	}
+	for i, w := range engine.Workers {
+		rw, ok := w.(fl.ResumableWorker)
+		if !ok {
+			if snap.WorkerDraws[i] != 0 {
+				return nil, fmt.Errorf("core: checkpoint recorded RNG state for worker %d, but the rebuilt worker is not resumable", i)
+			}
+			continue
+		}
+		if err := rw.DiscardRNG(snap.WorkerDraws[i]); err != nil {
+			return nil, err
+		}
+	}
+
+	// Rebuild the audit ledger from its export and prove it intact and
+	// ours: verification checks every hash link and signature, and
+	// re-registering this federation's deterministic signer keys fails if
+	// the checkpoint was taken under different identities.
+	if len(snap.Ledger) > 0 {
+		led, err := chain.ReadBinary(bytes.NewReader(snap.Ledger))
+		if err != nil {
+			return nil, fmt.Errorf("core: restoring ledger: %w", err)
+		}
+		if err := led.Verify(); err != nil {
+			return nil, fmt.Errorf("core: restored ledger: %w", err)
+		}
+		for i, s := range c.signers {
+			if err := led.RegisterExecutor(serverName(i), s.Public()); err != nil {
+				return nil, fmt.Errorf("core: checkpoint is from a different federation: %w", err)
+			}
+		}
+		c.Ledger = led
+	}
+	return c, nil
+}
+
+func intsToI64(v []int) []int64 {
+	out := make([]int64, len(v))
+	for i, x := range v {
+		out[i] = int64(x)
+	}
+	return out
+}
+
+func i64sToInts(v []int64) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = int(x)
+	}
+	return out
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"fifl/internal/gradvec"
@@ -36,6 +37,22 @@ type ContributionConfig struct {
 type BHSmoother struct {
 	initialized bool
 	value       float64
+}
+
+// State exposes the smoother's internals for checkpointing.
+func (s *BHSmoother) State() (initialized bool, value float64) {
+	return s.initialized, s.value
+}
+
+// SetState restores the smoother from a checkpoint. A non-finite value
+// would contaminate every later Eq. 14 ratio, so it is rejected.
+func (s *BHSmoother) SetState(initialized bool, value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("core: BHSmoother.SetState with non-finite value %v", value)
+	}
+	s.initialized = initialized
+	s.value = value
+	return nil
 }
 
 // Update folds a round's raw threshold into the average and returns the

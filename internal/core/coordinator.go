@@ -98,6 +98,7 @@ type Coordinator struct {
 	signers    []*chain.Signer // one per worker; index = worker ID
 	cumulative []float64       // cumulative rewards per worker
 	bhSmoother BHSmoother
+	nextRound  int // first round not yet completed; advances after each RunRound
 	reg        *metrics.Registry
 	cm         coordMetrics
 }
@@ -280,8 +281,16 @@ func (c *Coordinator) RunRoundContext(ctx context.Context, t int) (*RoundReport,
 
 	// 7. Server re-election for the next iteration (§4.5).
 	c.servers = ReselectServers(reps, engine.NumServers(), c.banned)
+	if t+1 > c.nextRound {
+		c.nextRound = t + 1
+	}
 	return report, nil
 }
+
+// NextRound returns the first round this coordinator has not yet
+// completed; checkpoints record it so a resumed run continues where the
+// interrupted one stopped.
+func (c *Coordinator) NextRound() int { return c.nextRound }
 
 // degradedDetection is the assessment of a round that missed its quorum:
 // nobody can be judged, so every worker is uncertain — the same treatment

@@ -119,8 +119,49 @@ func (t *ReputationTracker) Reputations() []float64 {
 }
 
 // SetReputation overrides worker i's reputation; used by the audit path
-// when the task publisher restores a tampered value.
-func (t *ReputationTracker) SetReputation(i int, v float64) { t.r[i] = v }
+// when the task publisher restores a tampered value, and by checkpoint
+// restore. A non-finite value would silently poison every later Eq. 10
+// fold and Eq. 15 reward split, so it is rejected before any state
+// changes, as is an out-of-range worker index.
+func (t *ReputationTracker) SetReputation(i int, v float64) error {
+	if i < 0 || i >= len(t.r) {
+		return fmt.Errorf("core: SetReputation worker %d outside federation of %d", i, len(t.r))
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("core: SetReputation(%d) with non-finite value %v", i, v)
+	}
+	t.r[i] = v
+	return nil
+}
+
+// PeriodCounts returns copies of the SLM period counters (positive,
+// negative, uncertain event counts per worker, Eq. 8). Checkpoints
+// persist them so a resumed run reproduces the same SLM triples.
+func (t *ReputationTracker) PeriodCounts() (pt, pn, pu []int) {
+	return append([]int(nil), t.pt...),
+		append([]int(nil), t.pn...),
+		append([]int(nil), t.pu...)
+}
+
+// SetPeriodCounts restores the SLM period counters from a checkpoint. All
+// three slices must cover every worker and hold non-negative counts; the
+// tracker is unchanged on error.
+func (t *ReputationTracker) SetPeriodCounts(pt, pn, pu []int) error {
+	n := len(t.r)
+	if len(pt) != n || len(pn) != n || len(pu) != n {
+		return fmt.Errorf("core: SetPeriodCounts with %d/%d/%d counters for %d workers",
+			len(pt), len(pn), len(pu), n)
+	}
+	for i := 0; i < n; i++ {
+		if pt[i] < 0 || pn[i] < 0 || pu[i] < 0 {
+			return fmt.Errorf("core: SetPeriodCounts with negative counter for worker %d", i)
+		}
+	}
+	copy(t.pt, pt)
+	copy(t.pn, pn)
+	copy(t.pu, pu)
+	return nil
+}
 
 // SLM returns the subjective-logic triple for worker i over the events
 // counted so far: the trust score St, distrust score Sn, uncertainty mass

@@ -167,7 +167,9 @@ func TestUpdateLengthMismatchErrors(t *testing.T) {
 
 func TestSetReputation(t *testing.T) {
 	tr := NewReputationTracker(DefaultReputationConfig(), 3)
-	tr.SetReputation(1, 0.77)
+	if err := tr.SetReputation(1, 0.77); err != nil {
+		t.Fatalf("SetReputation: %v", err)
+	}
 	if tr.Reputation(1) != 0.77 {
 		t.Fatal("SetReputation failed")
 	}
@@ -175,5 +177,65 @@ func TestSetReputation(t *testing.T) {
 	reps[1] = 0
 	if tr.Reputation(1) != 0.77 {
 		t.Fatal("Reputations must return a copy")
+	}
+}
+
+func TestSetReputationRejectsInvalid(t *testing.T) {
+	tr := NewReputationTracker(DefaultReputationConfig(), 3)
+	for name, call := range map[string]func() error{
+		"NaN":           func() error { return tr.SetReputation(0, math.NaN()) },
+		"+Inf":          func() error { return tr.SetReputation(1, math.Inf(1)) },
+		"-Inf":          func() error { return tr.SetReputation(2, math.Inf(-1)) },
+		"negative idx":  func() error { return tr.SetReputation(-1, 0.5) },
+		"idx past size": func() error { return tr.SetReputation(3, 0.5) },
+	} {
+		if err := call(); err == nil {
+			t.Fatalf("%s: SetReputation accepted invalid input", name)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		if tr.Reputation(i) != 0 {
+			t.Fatalf("rejected SetReputation mutated worker %d", i)
+		}
+	}
+}
+
+func TestPeriodCountsRoundTrip(t *testing.T) {
+	tr := NewReputationTracker(DefaultReputationConfig(), 2)
+	events := [][]Event{
+		{EventPositive, EventUncertain},
+		{EventPositive, EventNegative},
+		{EventUncertain, EventNegative},
+	}
+	for _, ev := range events {
+		if err := tr.Update(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pt, pn, pu := tr.PeriodCounts()
+
+	restored := NewReputationTracker(DefaultReputationConfig(), 2)
+	if err := restored.SetPeriodCounts(pt, pn, pu); err != nil {
+		t.Fatalf("SetPeriodCounts: %v", err)
+	}
+	for i := 0; i < 2; i++ {
+		st1, sn1, su1, rep1 := tr.SLM(i)
+		st2, sn2, su2, rep2 := restored.SLM(i)
+		if st1 != st2 || sn1 != sn2 || su1 != su2 || rep1 != rep2 {
+			t.Fatalf("worker %d SLM mismatch after counter restore", i)
+		}
+	}
+
+	// The accessors must return copies, not aliases.
+	pt[0] = 99
+	if got, _, _ := tr.PeriodCounts(); got[0] == 99 {
+		t.Fatal("PeriodCounts returned an aliased slice")
+	}
+
+	if err := restored.SetPeriodCounts([]int{1}, pn, pu); err == nil {
+		t.Fatal("ragged SetPeriodCounts accepted")
+	}
+	if err := restored.SetPeriodCounts([]int{-1, 0}, pn, pu); err == nil {
+		t.Fatal("negative SetPeriodCounts accepted")
 	}
 }

@@ -176,14 +176,14 @@ func mustRound(c *core.Coordinator, t int) *core.RoundReport {
 	return rep
 }
 
-// DefaultCoordinator wraps a federation in a FIFL coordinator with the
-// standard configuration: cosine detection at the given threshold, default
-// reputation parameters, zero-gradient contribution baseline and a unit
-// reward budget per round. The initial server cluster is the first M honest
-// slots when known, else the first M workers — mirroring the paper's
-// accuracy-based initial election, which lands on honest devices.
-func DefaultCoordinator(f *Federation, sy float64, ledger bool) *core.Coordinator {
-	cfg := core.CoordinatorConfig{
+// DefaultCoordinatorConfig is the standard FIFL configuration used across
+// the experiment harnesses: cosine detection at the given threshold,
+// default reputation parameters, zero-gradient contribution baseline and a
+// unit reward budget per round. Resuming a run from a checkpoint must
+// rebuild the coordinator under the exact configuration that produced it,
+// so this lives separately from DefaultCoordinator.
+func DefaultCoordinatorConfig(sy float64, ledger bool) core.CoordinatorConfig {
+	return core.CoordinatorConfig{
 		Detection:  core.Detector{Threshold: sy},
 		Reputation: core.DefaultReputationConfig(),
 		// Clamped, denominator-smoothed contributions keep any single
@@ -192,6 +192,15 @@ func DefaultCoordinator(f *Federation, sy float64, ledger bool) *core.Coordinato
 		RewardPerRound: 1,
 		RecordToLedger: ledger,
 	}
+}
+
+// DefaultCoordinator wraps a federation in a FIFL coordinator with the
+// standard configuration (DefaultCoordinatorConfig). The initial server
+// cluster is the first M honest slots when known, else the first M workers
+// — mirroring the paper's accuracy-based initial election, which lands on
+// honest devices.
+func DefaultCoordinator(f *Federation, sy float64, ledger bool) *core.Coordinator {
+	cfg := DefaultCoordinatorConfig(sy, ledger)
 	m := f.Engine.NumServers()
 	servers := make([]int, 0, m)
 	used := make(map[int]bool)

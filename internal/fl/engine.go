@@ -175,6 +175,22 @@ func (e *Engine) Quorum() int { return e.opt.quorum }
 // round forever.
 func (e *Engine) WorkerTimeout() time.Duration { return e.opt.workerTimeout }
 
+// RNGDraws reports how many raw steps the engine's private random stream
+// (fault injection, retry jitter) has consumed. Together with the
+// federation seed it pins the stream position for checkpointing.
+func (e *Engine) RNGDraws() uint64 { return e.src.Draws() }
+
+// DiscardRNG fast-forwards the engine's random stream to the position a
+// checkpoint recorded. It refuses to rewind: the stream can only be
+// advanced on a freshly built engine.
+func (e *Engine) DiscardRNG(n uint64) error {
+	if cur := e.src.Draws(); cur > n {
+		return fmt.Errorf("fl: engine RNG already at %d draws, cannot rewind to %d", cur, n)
+	}
+	e.src.Discard(n - e.src.Draws())
+	return nil
+}
+
 // AggregateRound computes the global gradient G̃ = Σ_i (n_i·r_i / Σ_j
 // n_j·r_j)·G_i over the workers whose accept flag is true and whose upload
 // arrived. Passing a nil accept slice accepts everyone (plain FedAvg). It

@@ -7,6 +7,8 @@
 package fl
 
 import (
+	"fmt"
+
 	"fifl/internal/dataset"
 	"fifl/internal/gradvec"
 	"fifl/internal/nn"
@@ -25,6 +27,24 @@ type Worker interface {
 	// LocalTrain downloads the global parameters, runs K local iterations
 	// and returns the accumulated local gradient G_i.
 	LocalTrain(round int, global []float64) gradvec.Vector
+}
+
+// ResumableWorker is implemented by workers whose only cross-round state
+// is the position of a deterministic random stream (HonestWorker and the
+// attackers wrapping it). A checkpoint records RNGDraws for each such
+// worker; restore rebuilds the worker from the shared seed and
+// fast-forwards it with DiscardRNG, after which it continues the exact
+// minibatch sequence of the interrupted run. Workers without this
+// interface (e.g. remote transport stubs, whose real state lives in the
+// worker process) are recorded as position zero and resume through their
+// own process's determinism instead.
+type ResumableWorker interface {
+	Worker
+	// RNGDraws reports the worker's raw random-stream position.
+	RNGDraws() uint64
+	// DiscardRNG fast-forwards the stream to a recorded position; it must
+	// refuse to rewind.
+	DiscardRNG(n uint64) error
 }
 
 // LocalConfig controls worker-side training.
@@ -62,6 +82,19 @@ func (w *HonestWorker) ID() int { return w.id }
 
 // NumSamples returns the true local dataset size.
 func (w *HonestWorker) NumSamples() int { return w.Data.Len() }
+
+// RNGDraws reports the worker's raw random-stream position (the minibatch
+// sampler is its only draw site).
+func (w *HonestWorker) RNGDraws() uint64 { return w.src.Draws() }
+
+// DiscardRNG fast-forwards the worker's stream to a checkpointed position.
+func (w *HonestWorker) DiscardRNG(n uint64) error {
+	if cur := w.src.Draws(); cur > n {
+		return fmt.Errorf("fl: worker %d RNG already at %d draws, cannot rewind to %d", w.id, cur, n)
+	}
+	w.src.Discard(n - w.src.Draws())
+	return nil
+}
 
 // LocalTrain runs K local SGD steps from the global parameters and returns
 // the accumulated gradient.

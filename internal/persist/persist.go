@@ -1,0 +1,515 @@
+// Package persist implements durable checkpointing for a FIFL federation:
+// a deterministic, versioned, CRC-framed binary snapshot of the full
+// coordinator state, and atomic file persistence (write-temp → fsync →
+// rename) so a crash can never leave a half-written checkpoint behind.
+//
+// The snapshot captures everything the coordinator accumulates across
+// rounds — the global model parameters, the Eq. 10 decayed reputations and
+// the SLM period counters of Eq. 8–9, cumulative rewards, the banned
+// executor set, the current server cluster, the smoothed b_h threshold
+// state, the RNG stream positions of the engine and (resumable) workers,
+// and the audit ledger via chain.WriteBinary. Restoring it into a freshly
+// rebuilt federation continues the run bit for bit, the same equivalence
+// bar the wire transport holds against the in-process engine.
+//
+// Snapshots must only be taken between rounds (after a commit): mid-round
+// state lives in worker goroutines, hub mailboxes and the collection
+// fan-out, none of which can be captured consistently. The coordinator's
+// Checkpoint method enforces this by construction — it serializes only the
+// committed inter-round state.
+//
+// The encoding mirrors the wire codec's hardening: little-endian
+// throughout, every length prefix validated against the remaining input
+// before allocation, non-finite floats rejected on both encode and decode,
+// and a trailing CRC32 (IEEE) over the whole snapshot checked before any
+// field is parsed. Decode never panics — FuzzReadCheckpoint holds that
+// guarantee under hostile bytes.
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+)
+
+// Magic opens every checkpoint and carries the format version; an
+// incompatible change to the layout below must bump the trailing digit.
+const Magic = "FIFLCKP1"
+
+// MaxSnapshotBytes bounds one checkpoint read. The dominant terms are the
+// model parameters and the ledger export; 1 GiB accommodates the largest
+// federation this repo trains with two orders of magnitude of slack while
+// keeping a corrupted length field from buffering unbounded input.
+const MaxSnapshotBytes = 1 << 30
+
+// crcSize trails every snapshot.
+const crcSize = 4
+
+// maxVecElems caps a single declared vector length. Each element occupies
+// at least one byte on the wire, so any honest prefix is also bounded by
+// the remaining input; this cap just gives a crisp error before the
+// per-field remaining-bytes check.
+const maxVecElems = MaxSnapshotBytes / 8
+
+// Snapshot is the complete inter-round coordinator state. It is pure
+// data — the core package converts to and from live objects.
+type Snapshot struct {
+	// NextRound is the first round the resumed run should execute: one
+	// past the last committed round (0 for a checkpoint of a coordinator
+	// that has not run any round yet).
+	NextRound int
+	// Params is the global model parameter vector θ_t.
+	Params []float64
+	// Reputations holds the decayed Eq. 10 reputations R_i(t).
+	Reputations []float64
+	// PosCounts, NegCounts, UncCounts are the SLM period counters of
+	// Eq. 8–9 (positive, negative, uncertain events per worker).
+	PosCounts, NegCounts, UncCounts []int64
+	// Cumulative is each worker's running reward total.
+	Cumulative []float64
+	// Banned lists the worker indices excluded by the audit, ascending.
+	Banned []int
+	// Servers is the current server cluster (worker indices) that will
+	// execute the next round.
+	Servers []int
+	// BHInitialized/BHValue carry the exponential moving average of the
+	// b_h contribution threshold (EXPERIMENTS finding 3).
+	BHInitialized bool
+	BHValue       float64
+	// EngineDraws is the engine's fault/retry RNG stream position.
+	EngineDraws uint64
+	// WorkerDraws is each worker's training RNG stream position (0 for
+	// workers that do not expose one, e.g. remote transport stubs whose
+	// real state lives in the worker process).
+	WorkerDraws []uint64
+	// Samples is each worker's registered dataset size; a restarted
+	// transport hub is reseeded from it so reconnecting workers are
+	// already known. Zero marks a worker that never registered.
+	Samples []int
+	// Ledger is the audit chain's deterministic binary export
+	// (chain.WriteBinary), empty when the run kept no ledger.
+	Ledger []byte
+}
+
+// Validate checks the snapshot's internal consistency: one entry per
+// worker in every per-worker field, finite floats, in-range indices.
+// Encode and Decode both call it, so a snapshot that round-trips is
+// structurally sound; semantic checks against a live federation (worker
+// count, model dimension, ledger keys) belong to the restoring layer.
+func (s *Snapshot) Validate() error {
+	if s.NextRound < 0 {
+		return fmt.Errorf("persist: negative next round %d", s.NextRound)
+	}
+	n := len(s.Reputations)
+	for _, f := range []struct {
+		name string
+		l    int
+	}{
+		{"positive counts", len(s.PosCounts)},
+		{"negative counts", len(s.NegCounts)},
+		{"uncertain counts", len(s.UncCounts)},
+		{"cumulative rewards", len(s.Cumulative)},
+		{"worker draws", len(s.WorkerDraws)},
+		{"samples", len(s.Samples)},
+	} {
+		if f.l != n {
+			return fmt.Errorf("persist: %s for %d workers, reputations for %d", f.name, f.l, n)
+		}
+	}
+	for name, vec := range map[string][]float64{
+		"params":      s.Params,
+		"reputations": s.Reputations,
+		"cumulative":  s.Cumulative,
+	} {
+		for i, v := range vec {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("persist: %s[%d] is non-finite (%v)", name, i, v)
+			}
+		}
+	}
+	if math.IsNaN(s.BHValue) || math.IsInf(s.BHValue, 0) {
+		return fmt.Errorf("persist: b_h state is non-finite (%v)", s.BHValue)
+	}
+	for i, c := range append(append(append([]int64(nil), s.PosCounts...), s.NegCounts...), s.UncCounts...) {
+		if c < 0 {
+			return fmt.Errorf("persist: negative SLM counter at position %d", i)
+		}
+	}
+	for _, b := range s.Banned {
+		if b < 0 || b >= n {
+			return fmt.Errorf("persist: banned index %d outside federation of %d", b, n)
+		}
+	}
+	for _, sv := range s.Servers {
+		if sv < 0 || sv >= n {
+			return fmt.Errorf("persist: server index %d outside federation of %d", sv, n)
+		}
+	}
+	for i, smp := range s.Samples {
+		if smp < 0 {
+			return fmt.Errorf("persist: negative sample count %d for worker %d", smp, i)
+		}
+	}
+	return nil
+}
+
+// Encode serializes the snapshot: magic, fields in declaration order, a
+// trailing CRC32 over everything before it. The same snapshot always
+// produces the same bytes.
+func Encode(s *Snapshot) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := make([]byte, 0, 64+8*(len(s.Params)+4*len(s.Reputations))+len(s.Ledger))
+	b = append(b, Magic...)
+	b = putU64(b, uint64(s.NextRound))
+	b = putF64s(b, s.Params)
+	b = putF64s(b, s.Reputations)
+	b = putI64s(b, s.PosCounts)
+	b = putI64s(b, s.NegCounts)
+	b = putI64s(b, s.UncCounts)
+	b = putF64s(b, s.Cumulative)
+	b = putInts(b, s.Banned)
+	b = putInts(b, s.Servers)
+	if s.BHInitialized {
+		b = append(b, 1)
+	} else {
+		b = append(b, 0)
+	}
+	b = putU64(b, math.Float64bits(s.BHValue))
+	b = putU64(b, s.EngineDraws)
+	b = putU64s(b, s.WorkerDraws)
+	b = putInts(b, s.Samples)
+	if int64(len(s.Ledger)) > math.MaxUint32 {
+		return nil, fmt.Errorf("persist: ledger export of %d bytes exceeds the format range", len(s.Ledger))
+	}
+	b = putU32(b, uint32(len(s.Ledger)))
+	b = append(b, s.Ledger...)
+	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
+}
+
+// Decode reconstructs a snapshot from its encoding. It is hardened for
+// hostile input: the CRC is verified before any field is parsed, every
+// length prefix is checked against the remaining bytes before allocation,
+// non-finite floats are rejected, and no input can make it panic.
+func Decode(b []byte) (*Snapshot, error) {
+	if len(b) < len(Magic)+crcSize {
+		return nil, fmt.Errorf("persist: %d bytes is shorter than any checkpoint", len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("persist: bad checkpoint header %q", b[:len(Magic)])
+	}
+	body := b[:len(b)-crcSize]
+	got := binary.LittleEndian.Uint32(b[len(b)-crcSize:])
+	if want := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("persist: checkpoint CRC mismatch (stored %#x, computed %#x)", got, want)
+	}
+	r := &reader{b: body, off: len(Magic)}
+	s := &Snapshot{}
+	nextRound, err := r.u64("next round")
+	if err != nil {
+		return nil, err
+	}
+	if nextRound > math.MaxInt32 {
+		return nil, fmt.Errorf("persist: next round %d outside the supported range", nextRound)
+	}
+	s.NextRound = int(nextRound)
+	if s.Params, err = r.f64s("params"); err != nil {
+		return nil, err
+	}
+	if s.Reputations, err = r.f64s("reputations"); err != nil {
+		return nil, err
+	}
+	if s.PosCounts, err = r.i64s("positive counts"); err != nil {
+		return nil, err
+	}
+	if s.NegCounts, err = r.i64s("negative counts"); err != nil {
+		return nil, err
+	}
+	if s.UncCounts, err = r.i64s("uncertain counts"); err != nil {
+		return nil, err
+	}
+	if s.Cumulative, err = r.f64s("cumulative rewards"); err != nil {
+		return nil, err
+	}
+	if s.Banned, err = r.ints("banned set"); err != nil {
+		return nil, err
+	}
+	if s.Servers, err = r.ints("server cluster"); err != nil {
+		return nil, err
+	}
+	bhInit, err := r.byte("b_h flag")
+	if err != nil {
+		return nil, err
+	}
+	if bhInit > 1 {
+		return nil, fmt.Errorf("persist: b_h flag byte %d is not a bool", bhInit)
+	}
+	s.BHInitialized = bhInit == 1
+	bhBits, err := r.u64("b_h value")
+	if err != nil {
+		return nil, err
+	}
+	s.BHValue = math.Float64frombits(bhBits)
+	if s.EngineDraws, err = r.u64("engine draws"); err != nil {
+		return nil, err
+	}
+	if s.WorkerDraws, err = r.u64s("worker draws"); err != nil {
+		return nil, err
+	}
+	if s.Samples, err = r.ints("samples"); err != nil {
+		return nil, err
+	}
+	ledgerLen, err := r.u32("ledger length")
+	if err != nil {
+		return nil, err
+	}
+	ledger, err := r.bytes(int(ledgerLen), "ledger export")
+	if err != nil {
+		return nil, err
+	}
+	s.Ledger = append([]byte(nil), ledger...)
+	if r.remaining() != 0 {
+		return nil, fmt.Errorf("persist: %d trailing bytes after checkpoint body", r.remaining())
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Write encodes the snapshot to w.
+func Write(w io.Writer, s *Snapshot) error {
+	b, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("persist: writing checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Read decodes one snapshot from r, reading at most MaxSnapshotBytes.
+func Read(r io.Reader) (*Snapshot, error) {
+	b, err := io.ReadAll(io.LimitReader(r, MaxSnapshotBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading checkpoint: %w", err)
+	}
+	if len(b) > MaxSnapshotBytes {
+		return nil, fmt.Errorf("persist: checkpoint exceeds the %d-byte limit", int64(MaxSnapshotBytes))
+	}
+	return Decode(b)
+}
+
+// WriteFile atomically replaces path with the snapshot: the bytes are
+// written to a temporary file in the same directory, fsynced, renamed over
+// path, and the directory fsynced — so a crash at any instant leaves
+// either the previous complete checkpoint or the new one, never a torn
+// file. The CRC catches the residual case of a corrupted sector.
+func WriteFile(path string, s *Snapshot) error {
+	b, err := Encode(s)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: creating temp checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: writing temp checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: syncing temp checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: closing temp checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: installing checkpoint: %w", err)
+	}
+	// Persist the rename itself; not all platforms support fsync on a
+	// directory handle, so a failure here is not fatal to the data.
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// ReadFile loads and decodes a checkpoint file.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: opening checkpoint: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// reader consumes a CRC-verified checkpoint body with bounds checking.
+type reader struct {
+	b   []byte
+	off int
+}
+
+func (r *reader) remaining() int { return len(r.b) - r.off }
+
+func (r *reader) bytes(n int, field string) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("persist: %s declares %d bytes, only %d remain", field, n, r.remaining())
+	}
+	out := r.b[r.off : r.off+n]
+	r.off += n
+	return out, nil
+}
+
+func (r *reader) byte(field string) (byte, error) {
+	b, err := r.bytes(1, field)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u32(field string) (uint32, error) {
+	b, err := r.bytes(4, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *reader) u64(field string) (uint64, error) {
+	b, err := r.bytes(8, field)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// vecLen reads and bounds-checks a vector length prefix for elemSize-byte
+// elements.
+func (r *reader) vecLen(elemSize int, field string) (int, error) {
+	count, err := r.u32(field)
+	if err != nil {
+		return 0, err
+	}
+	if int64(count) > maxVecElems {
+		return 0, fmt.Errorf("persist: %s declares %d elements, cap is %d", field, count, int64(maxVecElems))
+	}
+	if int64(count)*int64(elemSize) > int64(r.remaining()) {
+		return 0, fmt.Errorf("persist: %s declares %d elements, only %d bytes remain", field, count, r.remaining())
+	}
+	return int(count), nil
+}
+
+func (r *reader) f64s(field string) ([]float64, error) {
+	n, err := r.vecLen(8, field)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	for i := range out {
+		v, err := r.u64(field)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = math.Float64frombits(v)
+	}
+	return out, nil
+}
+
+func (r *reader) i64s(field string) ([]int64, error) {
+	n, err := r.vecLen(8, field)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, n)
+	for i := range out {
+		v, err := r.u64(field)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = int64(v)
+	}
+	return out, nil
+}
+
+func (r *reader) u64s(field string) ([]uint64, error) {
+	n, err := r.vecLen(8, field)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]uint64, n)
+	for i := range out {
+		v, err := r.u64(field)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func (r *reader) ints(field string) ([]int, error) {
+	n, err := r.vecLen(8, field)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, n)
+	for i := range out {
+		v, err := r.u64(field)
+		if err != nil {
+			return nil, err
+		}
+		if v > math.MaxInt32 {
+			return nil, fmt.Errorf("persist: %s element %d (%d) outside the supported range", field, i, v)
+		}
+		out[i] = int(v)
+	}
+	return out, nil
+}
+
+func putU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func putU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func putF64s(b []byte, v []float64) []byte {
+	b = putU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = putU64(b, math.Float64bits(x))
+	}
+	return b
+}
+
+func putI64s(b []byte, v []int64) []byte {
+	b = putU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = putU64(b, uint64(x))
+	}
+	return b
+}
+
+func putU64s(b []byte, v []uint64) []byte {
+	b = putU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = putU64(b, x)
+	}
+	return b
+}
+
+func putInts(b []byte, v []int) []byte {
+	b = putU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = putU64(b, uint64(x))
+	}
+	return b
+}

@@ -21,11 +21,37 @@ import (
 type Source struct {
 	seed uint64
 	rnd  *rand.Rand
+	cnt  *countingSource
 }
+
+// countingSource wraps the underlying math/rand source and counts raw
+// state advances. Every public method of rand.Rand funnels into Int63 or
+// Uint64 on its source, and both advance the generator state by exactly
+// one step, so the count is a complete description of the stream position:
+// rebuilding a Source from the same seed and discarding the same number of
+// steps reproduces the stream bit for bit. That is what lets a checkpoint
+// persist "where the randomness got to" as a single integer.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Uint64() uint64 {
+	c.n++
+	return c.src.Uint64()
+}
+
+func (c *countingSource) Seed(seed int64) { c.src.Seed(seed) }
 
 // New returns a Source rooted at the given seed.
 func New(seed uint64) *Source {
-	return &Source{seed: seed, rnd: rand.New(rand.NewSource(int64(mix(seed))))}
+	cnt := &countingSource{src: rand.NewSource(int64(mix(seed))).(rand.Source64)}
+	return &Source{seed: seed, rnd: rand.New(cnt), cnt: cnt}
 }
 
 // mix is the SplitMix64 finalizer; it decorrelates nearby seeds.
@@ -54,6 +80,20 @@ func (s *Source) SplitN(name string, n int) *Source {
 
 // Seed reports the seed this source was rooted at.
 func (s *Source) Seed() uint64 { return s.seed }
+
+// Draws reports how many raw generator steps this source has consumed.
+// Together with the seed it pins the stream position exactly: a fresh
+// Source on the same seed with Draws() steps discarded continues the
+// stream bit for bit. Checkpoints persist this to resume simulations.
+func (s *Source) Draws() uint64 { return s.cnt.n }
+
+// Discard advances the source by n raw generator steps without producing
+// values — the fast-forward half of the Draws/Discard resume contract.
+func (s *Source) Discard(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		s.cnt.Uint64()
+	}
+}
 
 // Float64 returns a uniform value in [0,1).
 func (s *Source) Float64() float64 { return s.rnd.Float64() }

@@ -179,3 +179,55 @@ func TestPermIsPermutation(t *testing.T) {
 		seen[v] = true
 	}
 }
+
+// TestDrawsDiscardResume: a fresh source fast-forwarded with Discard to a
+// recorded Draws position must continue the stream bit for bit — the
+// contract checkpoints rely on to resume worker and engine randomness.
+func TestDrawsDiscardResume(t *testing.T) {
+	if err := quick.Check(func(seed uint64, burn uint8) bool {
+		a := New(seed)
+		// Burn a mixed diet of draw kinds so the count covers every
+		// wrapper path (multi-step consumers included).
+		for i := 0; i < int(burn); i++ {
+			switch i % 5 {
+			case 0:
+				a.Float64()
+			case 1:
+				a.NormFloat64()
+			case 2:
+				a.Intn(17)
+			case 3:
+				a.Perm(5)
+			case 4:
+				a.Bernoulli(0.3)
+			}
+		}
+		pos := a.Draws()
+		b := New(seed)
+		b.Discard(pos)
+		if b.Draws() != pos {
+			return false
+		}
+		for i := 0; i < 50; i++ {
+			if a.Float64() != b.Float64() || a.Intn(1000) != b.Intn(1000) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrawsStartsAtZero: construction consumes no randomness, so a fresh
+// source reports position zero (restores discard an absolute count).
+func TestDrawsStartsAtZero(t *testing.T) {
+	if New(42).Draws() != 0 {
+		t.Fatal("fresh source reports nonzero draws")
+	}
+	s := New(42)
+	s.Discard(0)
+	if s.Draws() != 0 {
+		t.Fatal("Discard(0) advanced the stream")
+	}
+}

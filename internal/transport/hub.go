@@ -112,6 +112,61 @@ func (h *Hub) Close() {
 	}
 }
 
+// Restore seeds a fresh hub with checkpointed state so a restarted
+// coordinator picks up a federation mid-flight: workers the checkpoint
+// knew (samples > 0) are pre-registered — their hellos become idempotent
+// re-registrations and WaitReady does not block on them — and, when round
+// is non-negative, (round, params) becomes the current broadcast, so
+// reconnecting workers long-polling after an earlier round receive the
+// restored model and ride straight into the resumed round. It must be
+// called before any live traffic (hello/publish); a hub that has already
+// published refuses to rewrite history.
+func (h *Hub) Restore(round int, params []float64, samples []int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	select {
+	case <-h.closedCh:
+		return fmt.Errorf("transport: Restore on a closed hub")
+	default:
+	}
+	if h.done || h.round != noRound {
+		return fmt.Errorf("transport: Restore on a hub that already published round %d", h.round)
+	}
+	if round < noRound {
+		return fmt.Errorf("transport: Restore with negative round %d", round)
+	}
+	if len(samples) != h.n {
+		return fmt.Errorf("transport: Restore with %d sample counts for %d workers", len(samples), h.n)
+	}
+	for id, s := range samples {
+		if s < 0 {
+			return fmt.Errorf("transport: Restore with negative sample count for worker %d", id)
+		}
+		if s > 0 && h.helloed[id] && h.samples[id] != s {
+			return fmt.Errorf("transport: worker %d already registered with %d samples, checkpoint says %d",
+				id, h.samples[id], s)
+		}
+	}
+	wasLeft := h.readyLeft
+	for id, s := range samples {
+		if s > 0 && !h.helloed[id] {
+			h.helloed[id] = true
+			h.samples[id] = s
+			h.readyLeft--
+		}
+	}
+	if wasLeft > 0 && h.readyLeft == 0 {
+		close(h.readyCh)
+	}
+	if round >= 0 {
+		h.round = round
+		h.params = append([]float64(nil), params...)
+		close(h.modelCh)
+		h.modelCh = make(chan struct{})
+	}
+	return nil
+}
+
 // hello registers worker id with its dataset size. Re-registration with
 // the same size is idempotent (a restarted worker saying hello again).
 func (h *Hub) hello(id, samples int) error {
@@ -225,7 +280,12 @@ func (h *Hub) waitModel(ctx context.Context, after int, maxWait time.Duration) (
 		case <-deadline.C:
 			return 0, nil, false, false
 		case <-h.closedCh:
-			return h.round, nil, true, true
+			// Re-acquire the lock for the round read: a publish can be
+			// mutating h.round concurrently with the close.
+			h.mu.Lock()
+			r := h.round
+			h.mu.Unlock()
+			return r, nil, true, true
 		case <-ctx.Done():
 			return 0, nil, false, false
 		}
@@ -262,7 +322,14 @@ func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) (fresh bool, e
 		}
 		return false, fmt.Errorf("transport: conflicting duplicate submission from worker %d for round %d", id, round)
 	}
-	if round != h.round || h.round == noRound {
+	// The current round is always accepted; one round ahead is the
+	// reconnection window: a worker that trained against the broadcast of
+	// round r+1 just before the coordinator crashed can deliver its upload
+	// to the restarted coordinator before the engine re-publishes that
+	// round — the re-broadcast is deterministic, so the gradient is the one
+	// the round will want. Before any broadcast at all (noRound) nothing is
+	// accepted.
+	if h.round == noRound || (round != h.round && round != h.round+1) {
 		return false, fmt.Errorf("transport: submission for round %d, current round is %d", round, h.round)
 	}
 	if samples != h.samples[id] {

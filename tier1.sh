@@ -24,8 +24,10 @@ go test ./internal/experiments/
 go test -race -timeout 20m $(go list ./... | grep -v internal/experiments)
 
 # Fuzz smoke: the wire codec must survive 5s of hostile frames without
-# panicking (-fuzz accepts exactly one package).
+# panicking (-fuzz accepts exactly one package), and the checkpoint codec
+# must reject truncated/bit-flipped snapshots without panicking.
 go test -run='^$' -fuzz=FuzzDecodeUpload -fuzztime=5s ./internal/transport/codec
+go test -run='^$' -fuzz=FuzzReadCheckpoint -fuzztime=5s ./internal/persist
 
 # Observability smoke: a tiny simulated run must dump its metrics in the
 # Prometheus text format with the expected round count.
@@ -51,3 +53,68 @@ curl -fsS http://127.0.0.1:7391/v1/healthz | grep '"status":"ok"' >/dev/null
 curl -fsS http://127.0.0.1:7391/v1/metrics | grep '^# TYPE fifl_http_requests_total counter$' >/dev/null
 curl -fsS http://127.0.0.1:7392/debug/pprof/cmdline >/dev/null
 kill "$NODE_PID"
+KR_CPID= KR_W0= KR_W1= KR_W2=
+# shellcheck disable=SC2064
+trap 'kill $KR_CPID $KR_W0 $KR_W1 $KR_W2 2>/dev/null || true; rm -rf "$BIN"' EXIT
+
+# Kill-and-resume smoke: a networked 6-round federation whose coordinator
+# is SIGKILLed after round 3's checkpoint and restarted from it must end
+# with an audit ledger byte-identical to an uninterrupted run's. The
+# workers stay up and ride through the outage on their retry budget
+# (bit-identity requires the worker processes to survive — DESIGN.md
+# §4.13).
+KR_PORT=7393
+KR_COMMON="-workers 3 -samples 60 -seed 11"
+kr_coordinator() {
+    # $1 = extra coordinator flags, $2 = log file
+    # shellcheck disable=SC2086
+    "$BIN/fifl-node" -role coordinator $KR_COMMON -rounds 6 -eval 0 \
+        -listen 127.0.0.1:$KR_PORT -linger 60s $1 > "$2" 2>&1 &
+    KR_CPID=$!
+    for _ in $(seq 1 100); do
+        if curl -fsS http://127.0.0.1:$KR_PORT/v1/healthz >/dev/null 2>&1; then break; fi
+        sleep 0.2
+    done
+}
+kr_workers() {
+    # shellcheck disable=SC2086
+    "$BIN/fifl-node" -role worker $KR_COMMON -id 0 -retry 60 -retry-backoff 250ms \
+        -coordinator http://127.0.0.1:$KR_PORT > "$BIN/kr-w0.log" 2>&1 &
+    KR_W0=$!
+    # shellcheck disable=SC2086
+    "$BIN/fifl-node" -role worker $KR_COMMON -id 1 -retry 60 -retry-backoff 250ms \
+        -coordinator http://127.0.0.1:$KR_PORT > "$BIN/kr-w1.log" 2>&1 &
+    KR_W1=$!
+    # shellcheck disable=SC2086
+    "$BIN/fifl-node" -role worker $KR_COMMON -id 2 -retry 60 -retry-backoff 250ms \
+        -coordinator http://127.0.0.1:$KR_PORT > "$BIN/kr-w2.log" 2>&1 &
+    KR_W2=$!
+}
+
+# Arm 1: uninterrupted reference run.
+kr_coordinator "" "$BIN/kr-coord-ref.log"
+kr_workers
+wait "$KR_W0" "$KR_W1" "$KR_W2"
+curl -fsS http://127.0.0.1:$KR_PORT/v1/ledger > "$BIN/kr-ledger-ref.bin"
+kill "$KR_CPID" 2>/dev/null || true
+wait "$KR_CPID" 2>/dev/null || true
+
+# Arm 2: checkpoint each round, halt (blocked, checkpoint on disk) after
+# round 3, SIGKILL, restart from the checkpoint, finish rounds 3..5.
+kr_coordinator "-checkpoint $BIN/kr-ck -checkpoint-every 1 -halt-after 3" "$BIN/kr-coord-kill.log"
+kr_workers
+for _ in $(seq 1 200); do
+    if grep -q 'blocking until killed' "$BIN/kr-coord-kill.log"; then break; fi
+    sleep 0.2
+done
+grep -q 'blocking until killed' "$BIN/kr-coord-kill.log"
+kill -9 "$KR_CPID"
+wait "$KR_CPID" 2>/dev/null || true
+kr_coordinator "-checkpoint $BIN/kr-ck -checkpoint-every 1" "$BIN/kr-coord-resume.log"
+wait "$KR_W0" "$KR_W1" "$KR_W2"
+curl -fsS http://127.0.0.1:$KR_PORT/v1/ledger > "$BIN/kr-ledger-resumed.bin"
+kill "$KR_CPID" 2>/dev/null || true
+wait "$KR_CPID" 2>/dev/null || true
+
+grep -q 'resumed from' "$BIN/kr-coord-resume.log"
+cmp "$BIN/kr-ledger-ref.bin" "$BIN/kr-ledger-resumed.bin"
