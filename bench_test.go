@@ -13,6 +13,7 @@ package fifl
 
 import (
 	"context"
+	"fmt"
 	"net/http/httptest"
 	"sync"
 	"testing"
@@ -149,6 +150,113 @@ func BenchmarkAblationCollusion(b *testing.B) { runExperiment(b, "abl-collusion"
 // BenchmarkAblationDynamics runs the multi-iteration §5.2 market with
 // workers re-choosing federations under attack.
 func BenchmarkAblationDynamics(b *testing.B) { runExperiment(b, "abl-dynamics") }
+
+// benchFixedWorker returns a pre-computed gradient without training, so
+// the round benchmarks measure the coordinator machinery (collection,
+// detection, aggregation, contribution, reward, ledger) rather than SGD.
+type benchFixedWorker struct {
+	id   int
+	grad Gradient
+}
+
+func (w *benchFixedWorker) ID() int         { return w.id }
+func (w *benchFixedWorker) NumSamples() int { return 100 }
+func (w *benchFixedWorker) LocalTrain(round int, global []float64) Gradient {
+	return w.grad
+}
+
+// benchCoordinator assembles an n-worker federation with fixed-gradient
+// workers over a small MLP, with a private metrics registry so parallel
+// benchmark arms never share counters.
+func benchCoordinator(b *testing.B, n int) *Coordinator {
+	b.Helper()
+	build := NewMLP(11, 24, []int{8}, 4)
+	dim := build().NumParams()
+	workers := make([]Worker, n)
+	for i := range workers {
+		g := make(Gradient, dim)
+		for j := range g {
+			g[j] = 0.01 * float64((i*31+j*7)%13-6)
+		}
+		workers[i] = &benchFixedWorker{id: i, grad: g}
+	}
+	engine, err := NewEngine(EngineConfig{Servers: 2, GlobalLR: 0.05}, build, workers,
+		NewRNG(uint64(n)), WithMetrics(NewMetricsRegistry()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Detection:      Detector{Threshold: 0.02},
+		Reputation:     DefaultReputationConfig(),
+		Contribution:   ContributionConfig{BaselineWorker: -1, Clamp: 10, SmoothBH: 0.2},
+		RewardPerRound: 1,
+		RecordToLedger: true,
+	}, engine, []int{0, 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return coord
+}
+
+// BenchmarkRunRound compares the staged pipeline (RunRoundContext) with
+// the frozen pre-refactor monolith (RunRoundLegacyContext) at federation
+// sizes 8, 64 and 256. The two arms are bit-identical in output (see the
+// differential test in internal/core); this benchmark quantifies the
+// allocation and latency gap the arena-backed detection buys.
+func BenchmarkRunRound(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		for _, arm := range []struct {
+			name string
+			run  func(*Coordinator, int) error
+		}{
+			{"pipeline", func(c *Coordinator, t int) error {
+				_, err := c.RunRoundContext(context.Background(), t)
+				return err
+			}},
+			{"legacy", func(c *Coordinator, t int) error {
+				_, err := c.RunRoundLegacyContext(context.Background(), t)
+				return err
+			}},
+		} {
+			b.Run(fmt.Sprintf("%s/n=%d", arm.name, n), func(b *testing.B) {
+				coord := benchCoordinator(b, n)
+				if err := arm.run(coord, 0); err != nil { // warm arena + ledger
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := arm.run(coord, i+1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSliceGradients measures the legacy per-server slice-table
+// build that the pipeline's flat-benchmark detection no longer performs
+// per round — the n Split allocations BenchmarkRunRound's gap comes from.
+func BenchmarkSliceGradients(b *testing.B) {
+	for _, n := range []int{8, 64, 256} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			coord := benchCoordinator(b, n)
+			engine := coord.Engine
+			rr, err := engine.CollectGradientsContext(context.Background(), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if tab := engine.SliceGradients(rr); len(tab) != n {
+					b.Fatalf("slice table has %d rows", len(tab))
+				}
+			}
+		})
+	}
+}
 
 // benchGrad is a gradient-sized payload for the codec benchmarks (the
 // dimension of the transport recipe's default MLP).

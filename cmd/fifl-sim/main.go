@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -50,6 +51,7 @@ func main() {
 		ckptFile  = flag.String("checkpoint", "", "write a durable checkpoint to this file after each round (atomic replace)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every this many rounds (with -checkpoint)")
 		resume    = flag.String("resume", "", "resume from a checkpoint file written by a previous run with identical flags")
+		mechName  = flag.String("mechanism", "fifl", "reward mechanism: fifl, equal, individual, union or shapley (baselines pay by sample count and ignore detection)")
 	)
 	flag.Parse()
 
@@ -67,6 +69,11 @@ func main() {
 	}
 	if *retries < 0 || *backoff < 0 {
 		fmt.Fprintln(os.Stderr, "fifl-sim: -retries and -retry-backoff must be non-negative")
+		os.Exit(2)
+	}
+	mech, err := core.MechanismByName(*mechName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
 		os.Exit(2)
 	}
 	if *ckptEvery < 1 {
@@ -128,7 +135,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fifl-sim: reading %s: %v\n", *resume, err)
 			os.Exit(1)
 		}
-		coord, err = core.RestoreCoordinatorSnapshot(snap, experiments.DefaultCoordinatorConfig(*sy, true), fed.Engine)
+		coord, err = core.RestoreCoordinatorSnapshot(snap, experiments.DefaultCoordinatorConfig(*sy, true), fed.Engine, core.WithMechanism(mech))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fifl-sim: resuming from %s: %v\n", *resume, err)
 			os.Exit(1)
@@ -136,15 +143,15 @@ func main() {
 		startRound = coord.NextRound()
 		fmt.Printf("resumed from %s at round %d\n", *resume, startRound)
 	} else {
-		coord = experiments.DefaultCoordinator(fed, *sy, true)
+		coord = experiments.DefaultCoordinator(fed, *sy, true, core.WithMechanism(mech))
 	}
 
-	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
-		*workers, *servers, *task, *rounds, *nFlip, *ps, *nPoison, *pd)
+	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d mechanism=%s (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
+		*workers, *servers, *task, *rounds, coord.Mechanism().Name(), *nFlip, *ps, *nPoison, *pd)
 
 	recorder := trace.NewRecorder()
 	for t := startRound; t < *rounds; t++ {
-		rep, err := coord.RunRound(t)
+		rep, err := coord.RunRoundContext(context.Background(), t)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fifl-sim: round %d: %v\n", t, err)
 			os.Exit(1)

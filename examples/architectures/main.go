@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,7 +58,7 @@ func main() {
 
 		caught, certain := 0, 0
 		for t := 0; t < cfg.TrainRounds; t++ {
-			rep, err := coord.RunRound(t)
+			rep, err := coord.RunRoundContext(context.Background(), t)
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -40,7 +41,7 @@ func main() {
 	coord := experiments.DefaultCoordinator(fedB, 0.05, false)
 	caught := 0
 	for t := 0; t < sc.TrainRounds; t++ {
-		report, err := coord.RunRound(t)
+		report, err := coord.RunRoundContext(context.Background(), t)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,7 +33,7 @@ func main() {
 	coord := experiments.DefaultCoordinator(fed, 0.02, true) // ledger on
 
 	for t := 0; t < sc.TrainRounds; t++ {
-		if _, err := coord.RunRound(t); err != nil {
+		if _, err := coord.RunRoundContext(context.Background(), t); err != nil {
 			log.Fatal(err)
 		}
 	}

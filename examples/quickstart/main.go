@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -55,7 +56,7 @@ func main() {
 	}
 
 	for t := 0; t < rounds; t++ {
-		report, err := coord.RunRound(t)
+		report, err := coord.RunRoundContext(context.Background(), t)
 		if err != nil {
 			log.Fatal(err)
 		}

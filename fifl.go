@@ -29,7 +29,8 @@
 //		Contribution:   fifl.ContributionConfig{BaselineWorker: -1, Clamp: 10, SmoothBH: 0.2},
 //		RewardPerRound: 1,
 //	}, engine, []int{0, 1})
-//	// handle err, then: report, err := coord.RunRound(0)
+//	// handle err, then:
+//	report, err := coord.RunRoundContext(ctx, 0)
 //
 // Every constructor and round entry point returns errors instead of
 // panicking; rounds accept a context through RunRoundContext and
@@ -195,14 +196,42 @@ type (
 	Scorer = core.Scorer
 	// LossDeltaScorer is the exact Eq. 5 detector.
 	LossDeltaScorer = core.LossDeltaScorer
+	// CoordinatorOption customizes a coordinator beyond its config.
+	CoordinatorOption = core.CoordinatorOption
+	// RewardMechanism is the Reward stage's strategy interface; FIFL's
+	// Eq. 15 scheme and the four §5 baselines implement it.
+	RewardMechanism = core.RewardMechanism
+	// RoundStageTrace describes one pipeline stage execution.
+	RoundStageTrace = core.StageTrace
 )
 
 // DefaultReputationConfig mirrors the paper's reputation setup.
 func DefaultReputationConfig() ReputationConfig { return core.DefaultReputationConfig() }
 
-// NewCoordinator wraps an engine in the FIFL mechanism.
-func NewCoordinator(cfg CoordinatorConfig, engine *Engine, initialServers []int) (*Coordinator, error) {
-	return core.NewCoordinator(cfg, engine, initialServers)
+// NewCoordinator wraps an engine in the FIFL mechanism. Options swap the
+// Reward stage's mechanism (WithMechanism) or install a pipeline stage
+// trace hook (WithStageTrace).
+func NewCoordinator(cfg CoordinatorConfig, engine *Engine, initialServers []int, opts ...CoordinatorOption) (*Coordinator, error) {
+	return core.NewCoordinator(cfg, engine, initialServers, opts...)
+}
+
+// WithMechanism replaces FIFL's incentive module with another reward
+// mechanism for the Reward stage — typically a baseline resolved with
+// MechanismByName — while detection, reputation, aggregation, the ledger
+// and server reselection run unchanged.
+func WithMechanism(m RewardMechanism) CoordinatorOption { return core.WithMechanism(m) }
+
+// WithStageTrace installs an observability hook invoked after every round
+// pipeline stage (Collect, Detect, Reputation, Aggregate, Contribution,
+// Reward, Record, Reselect).
+func WithStageTrace(h func(RoundStageTrace)) CoordinatorOption {
+	return core.WithStageTrace(h)
+}
+
+// MechanismByName resolves "fifl", "equal", "individual", "union" or
+// "shapley" (case-insensitive) to a RewardMechanism.
+func MechanismByName(name string) (RewardMechanism, error) {
+	return core.MechanismByName(name)
 }
 
 // SelectInitialServers elects the initial server cluster from verification
@@ -336,16 +365,17 @@ type (
 )
 
 // Checkpoint writes the coordinator's complete inter-round state to w.
-// Call it only between rounds — after RunRound returns and before the next
-// one starts.
+// Call it only between rounds — after RunRoundContext returns and before
+// the next one starts.
 func Checkpoint(c *Coordinator, w io.Writer) error { return c.Checkpoint(w) }
 
 // Resume reads a checkpoint and rebuilds a coordinator over a freshly
 // constructed engine. The engine must come from the same federation recipe
 // (seed, workers, model) as the checkpointed run and must not have
-// executed any rounds yet; continue with RunRound(coord.NextRound()).
-func Resume(r io.Reader, cfg CoordinatorConfig, engine *Engine) (*Coordinator, error) {
-	return core.RestoreCoordinator(r, cfg, engine)
+// executed any rounds yet; continue by running round coord.NextRound().
+// Options (e.g. WithMechanism) must match the interrupted run's.
+func Resume(r io.Reader, cfg CoordinatorConfig, engine *Engine, opts ...CoordinatorOption) (*Coordinator, error) {
+	return core.RestoreCoordinator(r, cfg, engine, opts...)
 }
 
 // CheckpointToFile persists the coordinator's state to path atomically:
@@ -361,12 +391,12 @@ func CheckpointToFile(path string, c *Coordinator) error {
 
 // ResumeFromFile loads a checkpoint file written by CheckpointToFile and
 // rebuilds a coordinator over a freshly constructed engine (see Resume).
-func ResumeFromFile(path string, cfg CoordinatorConfig, engine *Engine) (*Coordinator, error) {
+func ResumeFromFile(path string, cfg CoordinatorConfig, engine *Engine, opts ...CoordinatorOption) (*Coordinator, error) {
 	s, err := persist.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return core.RestoreCoordinatorSnapshot(s, cfg, engine)
+	return core.RestoreCoordinatorSnapshot(s, cfg, engine, opts...)
 }
 
 // Observability: every layer — engine round phases, coordinator assessment,

@@ -53,7 +53,7 @@ func TestPublicAPIEndToEnd(t *testing.T) {
 	_, lossBefore := engine.Evaluate(test, 128)
 	attackerRejections := 0
 	for round := 0; round < rounds; round++ {
-		report, err := coord.RunRound(round)
+		report, err := coord.RunRoundContext(context.Background(), round)
 		if err != nil {
 			t.Fatal(err)
 		}

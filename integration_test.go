@@ -2,6 +2,7 @@ package fifl
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -36,7 +37,10 @@ func buildSmallFederation(t *testing.T, seed uint64) (*Engine, *Dataset, []Worke
 // honest direction better than the plain mean.
 func TestRobustAggregatorsThroughFacade(t *testing.T) {
 	engine, _, _ := buildSmallFederation(t, 101)
-	rr := engine.CollectGradients(0)
+	rr, err := engine.CollectGradientsContext(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Honest reference: mean of the four honest gradients.
 	honest := make(Gradient, len(engine.Params()))
@@ -77,7 +81,7 @@ func TestTraceThroughFacade(t *testing.T) {
 	rec := NewTraceRecorder()
 	const rounds = 6
 	for round := 0; round < rounds; round++ {
-		rep, err := coord.RunRound(round)
+		rep, err := coord.RunRoundContext(context.Background(), round)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -159,7 +163,7 @@ func TestDeterministicEndToEnd(t *testing.T) {
 			t.Fatal(err)
 		}
 		for round := 0; round < 5; round++ {
-			if _, err := coord.RunRound(round); err != nil {
+			if _, err := coord.RunRoundContext(context.Background(), round); err != nil {
 				t.Fatal(err)
 			}
 		}

@@ -12,7 +12,7 @@ import (
 
 // Checkpoint writes the coordinator's complete inter-round state to w as a
 // durable snapshot (see internal/persist for the format and its
-// guarantees). Call it only between rounds — after RunRound returns and
+// guarantees). Call it only between rounds — after RunRoundContext returns and
 // before the next one starts; mid-round state lives in worker goroutines
 // and cannot be captured consistently. A federation restored from the
 // snapshot with RestoreCoordinator continues bit-identically to one that
@@ -34,7 +34,7 @@ func (c *Coordinator) Snapshot() (*persist.Snapshot, error) {
 	pt, pn, pu := c.Rep.PeriodCounts()
 	s := &persist.Snapshot{
 		NextRound:   c.nextRound,
-		Params:      append([]float64(nil), engine.Params()...),
+		Params:      engine.Params(),
 		Reputations: c.Rep.Reputations(),
 		PosCounts:   intsToI64(pt),
 		NegCounts:   intsToI64(pn),
@@ -73,12 +73,12 @@ func (c *Coordinator) Snapshot() (*persist.Snapshot, error) {
 // from the same federation recipe (same seed, workers, model) as the run
 // that took the checkpoint and must not have executed any rounds yet; the
 // snapshot is cross-checked against it and mismatches are errors.
-func RestoreCoordinator(r io.Reader, cfg CoordinatorConfig, engine *fl.Engine) (*Coordinator, error) {
+func RestoreCoordinator(r io.Reader, cfg CoordinatorConfig, engine *fl.Engine, opts ...CoordinatorOption) (*Coordinator, error) {
 	snap, err := persist.Read(r)
 	if err != nil {
 		return nil, err
 	}
-	return RestoreCoordinatorSnapshot(snap, cfg, engine)
+	return RestoreCoordinatorSnapshot(snap, cfg, engine, opts...)
 }
 
 // RestoreCoordinatorSnapshot rebuilds a coordinator from an already
@@ -86,8 +86,9 @@ func RestoreCoordinator(r io.Reader, cfg CoordinatorConfig, engine *fl.Engine) (
 // counters, cumulative rewards, banned set, server cluster, b_h smoother,
 // ledger and round counter — plus the engine's parameters and every
 // resumable RNG stream — match the checkpointed run exactly, so
-// RunRound(NextRound()) continues it bit for bit.
-func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, engine *fl.Engine) (*Coordinator, error) {
+// running round NextRound() continues it bit for bit. Options (e.g.
+// WithMechanism) must match the interrupted run's.
+func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, engine *fl.Engine, opts ...CoordinatorOption) (*Coordinator, error) {
 	if snap == nil {
 		return nil, fmt.Errorf("core: restore from a nil snapshot")
 	}
@@ -108,7 +109,7 @@ func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, e
 		return nil, fmt.Errorf("core: checkpoint has %d model parameters, engine has %d — different model or task",
 			len(snap.Params), len(engine.Params()))
 	}
-	c, err := NewCoordinator(cfg, engine, snap.Servers)
+	c, err := NewCoordinator(cfg, engine, snap.Servers, opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"fifl/internal/gradvec"
+	"fifl/internal/parallel"
 )
 
 // ContributionConfig controls the contribution module (§4.3).
@@ -129,12 +130,17 @@ func ComputeContributions(cfg ContributionConfig, global gradvec.Vector, grads [
 	if global == nil {
 		return out
 	}
-	for i, g := range grads {
+	// The distances are independent per worker, so fan out across cores;
+	// each iteration writes only its own index and evaluates ‖G̃ − G_i‖²
+	// in the same serial operation order, so the result is bit-identical
+	// to the sequential loop.
+	parallel.For(n, func(i int) {
+		g := grads[i]
 		if g == nil || g.HasNaN() {
-			continue
+			return
 		}
 		out.Dist[i] = global.SqDist(g)
-	}
+	})
 	// Threshold selection.
 	if cfg.BaselineWorker >= 0 && cfg.BaselineWorker < n && !math.IsNaN(out.Dist[cfg.BaselineWorker]) {
 		out.BH = out.Dist[cfg.BaselineWorker]

@@ -83,10 +83,11 @@ type RoundReport struct {
 	Committed bool
 }
 
-// Coordinator runs the complete FIFL mechanism on top of an fl.Engine:
-// detect → update reputation → aggregate accepted gradients → assess
-// contributions → distribute rewards → log to the ledger → re-elect
-// servers.
+// Coordinator runs the complete FIFL mechanism on top of an fl.Engine,
+// as a pipeline of named stages: Collect → Detect → Reputation →
+// Aggregate → Contribution → Reward → Record → Reselect. All durable
+// state mutation lives in the final commit stages, so a failing round
+// leaves the coordinator untouched.
 type Coordinator struct {
 	Cfg    CoordinatorConfig
 	Engine *fl.Engine
@@ -98,15 +99,43 @@ type Coordinator struct {
 	signers    []*chain.Signer // one per worker; index = worker ID
 	cumulative []float64       // cumulative rewards per worker
 	bhSmoother BHSmoother
-	nextRound  int // first round not yet completed; advances after each RunRound
+	nextRound  int // first round not yet completed; advances after each round
 	reg        *metrics.Registry
 	cm         coordMetrics
+	mech       RewardMechanism
+	trace      TraceHook
+	pipeline   *Pipeline
+}
+
+// CoordinatorOption customizes a coordinator beyond its config struct.
+type CoordinatorOption func(*Coordinator)
+
+// WithMechanism replaces FIFL's incentive module (Eq. 15) with another
+// RewardMechanism for the Reward stage — typically one of the §5
+// baselines via SampleIncentive or MechanismByName. Every other stage
+// (detection, reputation, aggregation, ledger, reselection) runs
+// unchanged, so baselines are compared on identical rounds.
+func WithMechanism(m RewardMechanism) CoordinatorOption {
+	return func(c *Coordinator) {
+		if m != nil {
+			c.mech = m
+		}
+	}
+}
+
+// WithStageTrace installs a hook observing every pipeline stage execution
+// (name, round, error, wall-clock duration). Observability-only: the hook
+// must not mutate the round.
+func WithStageTrace(h TraceHook) CoordinatorOption {
+	return func(c *Coordinator) { c.trace = h }
 }
 
 // NewCoordinator builds a FIFL coordinator over an engine. initialServers
 // must contain exactly engine.NumServers() worker indices (use
-// SelectInitialServers for the paper's accuracy-based election).
-func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []int) (*Coordinator, error) {
+// SelectInitialServers for the paper's accuracy-based election). Options
+// select a non-default reward mechanism (WithMechanism) and stage
+// tracing (WithStageTrace).
+func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []int, opts ...CoordinatorOption) (*Coordinator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -132,7 +161,14 @@ func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []i
 		cumulative: make([]float64, n),
 		reg:        reg,
 		cm:         newCoordMetrics(reg),
+		mech:       FIFLIncentive{},
 	}
+	for _, op := range opts {
+		if op != nil {
+			op(c)
+		}
+	}
+	c.pipeline = newRoundPipeline(reg, c.trace)
 	for i := 0; i < n; i++ {
 		var seed [32]byte
 		seed[0] = byte(i)
@@ -145,6 +181,14 @@ func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []i
 	}
 	return c, nil
 }
+
+// Mechanism returns the reward mechanism the Reward stage runs —
+// FIFLIncentive unless WithMechanism overrode it.
+func (c *Coordinator) Mechanism() RewardMechanism { return c.mech }
+
+// Pipeline exposes the coordinator's round pipeline (stage names, for
+// introspection and tests).
+func (c *Coordinator) Pipeline() *Pipeline { return c.pipeline }
 
 // serverName renders a worker index as an executor identity.
 func serverName(i int) string { return fmt.Sprintf("device-%03d", i) }
@@ -172,17 +216,11 @@ func (c *Coordinator) Banned(i int) bool { return c.banned[i] }
 // server writing forged records.
 func (c *Coordinator) Signer(i int) *chain.Signer { return c.signers[i] }
 
-// RunRound executes one complete FIFL iteration and returns its report.
-// It is CollectGradientsContext's sibling: RunRoundContext with a
-// background context.
-func (c *Coordinator) RunRound(t int) (*RoundReport, error) {
-	return c.RunRoundContext(context.Background(), t)
-}
-
-// RunRoundContext executes one complete FIFL iteration: collect uploads
-// under the engine's fault-tolerant runtime, detect attacks, update
-// reputations, aggregate, assess contributions, distribute rewards, log to
-// the ledger and re-elect servers.
+// RunRoundContext executes one complete FIFL iteration through the stage
+// pipeline: collect uploads under the engine's fault-tolerant runtime,
+// detect attacks, stage the reputation update, aggregate, assess
+// contributions, split rewards through the configured mechanism, commit
+// everything with the ledger records, and re-elect servers.
 //
 // A round that misses the engine's quorum degrades gracefully instead of
 // failing: the model stays put, every worker records an uncertain event
@@ -190,101 +228,28 @@ func (c *Coordinator) RunRound(t int) (*RoundReport, error) {
 // transmission failures), contributions and rewards are zero, and the
 // report carries Committed == false. Errors are reserved for context
 // cancellation, internal shape mismatches and ledger write failures —
-// simulated faults are data, not errors.
+// simulated faults are data, not errors. Because every stage before the
+// Record commit is free of durable side effects, a round that errors
+// there leaves reputations, the model, cumulative rewards and the ledger
+// exactly as it found them.
 func (c *Coordinator) RunRoundContext(ctx context.Context, t int) (*RoundReport, error) {
-	engine := c.Engine
-	rr, err := engine.CollectGradientsContext(ctx, t)
-	if err != nil {
+	rc := &RoundContext{Ctx: ctx, Round: t}
+	if err := c.pipeline.Run(c, rc); err != nil {
 		return nil, err
 	}
-
-	// 1. Attack detection (§4.1): by default the slice-wise cosine screen
-	// against the server cluster's own gradients; with a custom Scorer,
-	// its scores thresholded at S_y. A round below quorum skips detection
-	// — too few uploads arrived to judge anyone — and marks every worker
-	// uncertain.
-	var det *DetectionResult
-	switch {
-	case !rr.Committed:
-		det = degradedDetection(len(rr.Grads))
-	case c.Cfg.Scorer != nil:
-		det = detectWithScorer(c.Cfg.Scorer, c.Cfg.Detection.Threshold, engine.Params(), rr)
-	default:
-		slices := engine.SliceGradients(rr)
-		det, err = c.Cfg.Detection.Detect(rr, slices, c.servers, engine.NumServers())
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	// 2. Reputation update (§4.2). Non-arrivals — dropped, timed-out or
-	// crashed uploads — surface as uncertain events through the detection
-	// result, feeding the Su term of Eq. 8. The pre-update snapshot feeds
-	// the reputation-drift histogram only.
-	prevReps := c.Rep.Reputations()
-	if err := c.Rep.Update(det.Events()); err != nil {
-		return nil, err
-	}
-	reps := c.Rep.Reputations()
-
-	// 3. Filtered aggregation: G̃ = Σ n_i·r_i·G_i / Σ n_j·r_j (§4.1) and
-	// global update (Eq. 3). AggregateRound returns nil for an uncommitted
-	// round, so the model does not move on a sliver of the federation.
-	global, err := engine.AggregateRound(rr, det.Accept)
-	if err != nil {
-		return nil, err
-	}
-	engine.ApplyGlobal(global)
-
-	// 4. Contribution assessment against the filtered global gradient
-	// (§4.3). All arrivals are assessed — including rejected attackers, so
-	// their negative contributions convert into punishments. With a nil
-	// global (degraded round) every contribution is zero.
-	contrib := ComputeContributions(c.Cfg.Contribution, global, rr.Grads)
-	if s := c.Cfg.Contribution.SmoothBH; s > 0 && contrib.BH > 0 {
-		RescaleWithBH(contrib, c.bhSmoother.Update(contrib.BH, s), c.Cfg.Contribution.Clamp)
-	}
-
-	// 5. Incentive (§4.4).
-	shares, err := RewardShares(reps, contrib.C)
-	if err != nil {
-		return nil, err
-	}
-	rewards := Rewards(shares, c.Cfg.RewardPerRound)
-	for i, r := range rewards {
-		c.cumulative[i] += r
-	}
-
-	// 6. Ledger records, signed by the servers that executed the round
-	// (round-robin across the cluster).
-	if c.Cfg.RecordToLedger {
-		if err := c.logRound(t, rr, det, contrib, reps, shares); err != nil {
-			return nil, err
-		}
-	}
-
-	c.cm.observeRound(det, prevReps, reps, rewards, c.Ledger.Len())
-
-	report := &RoundReport{
+	return &RoundReport{
 		Round:         t,
-		Detection:     det,
-		Contributions: contrib,
-		Reputations:   reps,
-		Shares:        shares,
-		Rewards:       rewards,
-		Servers:       c.Servers(),
-		Global:        global,
-		Statuses:      append([]faults.UploadStatus(nil), rr.Status...),
-		Retries:       append([]int(nil), rr.Retries...),
-		Committed:     rr.Committed,
-	}
-
-	// 7. Server re-election for the next iteration (§4.5).
-	c.servers = ReselectServers(reps, engine.NumServers(), c.banned)
-	if t+1 > c.nextRound {
-		c.nextRound = t + 1
-	}
-	return report, nil
+		Detection:     rc.Detection,
+		Contributions: rc.Contributions,
+		Reputations:   rc.Reputations,
+		Shares:        rc.Shares,
+		Rewards:       rc.Rewards,
+		Servers:       rc.Servers,
+		Global:        rc.Global,
+		Statuses:      append([]faults.UploadStatus(nil), rc.RR.Status...),
+		Retries:       append([]int(nil), rc.RR.Retries...),
+		Committed:     rc.RR.Committed,
+	}, nil
 }
 
 // NextRound returns the first round this coordinator has not yet

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"fifl/internal/attack"
@@ -49,7 +50,7 @@ func buildTestCoordinator(t *testing.T, nHonest, nFlip int, ledger bool) (*Coord
 // test immediately.
 func runRound(t *testing.T, c *Coordinator, round int) *RoundReport {
 	t.Helper()
-	rep, err := c.RunRound(round)
+	rep, err := c.RunRoundContext(context.Background(), round)
 	if err != nil {
 		t.Fatal(err)
 	}

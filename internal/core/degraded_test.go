@@ -63,7 +63,7 @@ func TestQuorumFailureRoundDegradesGracefully(t *testing.T) {
 	coord := buildQuorumCoordinator(t, n, 3, blackout{From: 1, Until: 2}, true)
 	engine := coord.Engine
 
-	if _, err := coord.RunRound(0); err != nil {
+	if _, err := coord.RunRoundContext(context.Background(), 0); err != nil {
 		t.Fatal(err)
 	}
 	repsBefore := coord.Rep.Reputations()
@@ -75,7 +75,7 @@ func TestQuorumFailureRoundDegradesGracefully(t *testing.T) {
 	}
 
 	// Round 1: the blackout loses every upload; 0 arrivals < quorum 3.
-	rep, err := coord.RunRound(1)
+	rep, err := coord.RunRoundContext(context.Background(), 1)
 	if err != nil {
 		t.Fatalf("degraded round must not error: %v", err)
 	}
@@ -111,7 +111,7 @@ func TestQuorumFailureRoundDegradesGracefully(t *testing.T) {
 	}
 
 	// Round 2: the blackout lifts; training resumes and commits.
-	rep, err = coord.RunRound(2)
+	rep, err = coord.RunRoundContext(context.Background(), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +232,7 @@ func TestRunRoundContextCancellation(t *testing.T) {
 // upload's fate.
 func TestTraceRecordsCarryStatus(t *testing.T) {
 	coord := buildQuorumCoordinator(t, 3, 0, blackout{From: 0, Until: 1}, false)
-	rep, err := coord.RunRound(0)
+	rep, err := coord.RunRoundContext(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"fifl/internal/fl"
 	"fifl/internal/gradvec"
+	"fifl/internal/parallel"
 )
 
 // Detector screens local gradients for Byzantine updates. The paper scores
@@ -138,6 +139,102 @@ func (d *Detector) Detect(rr *fl.RoundResult, slices [][]gradvec.Vector, servers
 		res.Accept[i] = res.Scores[i] >= d.Threshold
 	}
 	return res, nil
+}
+
+// DetectRound is the pipeline's arena-aware form of Detect: it screens
+// the round directly against the flat gradient layout, reading each
+// benchmark region as a SliceBounds view of the owning server's gradient
+// row instead of materializing the full n×m slice table that
+// fl.Engine.SliceGradients allocates. Scores, decision rule and hardening
+// (no self-validation, bounded per-region verdicts) are identical to
+// Detect — the differential test holds the two paths bit-equal — but the
+// per-worker scoring fans out across CPU cores, writing each worker's
+// score to its own index so the reduction is deterministic.
+func (d *Detector) DetectRound(rr *fl.RoundResult, servers []int, m int) (*DetectionResult, error) {
+	if len(servers) != m {
+		return nil, fmt.Errorf("core: DetectRound got %d servers for %d slices", len(servers), m)
+	}
+	n := len(rr.Grads)
+	res := &DetectionResult{
+		Scores:    make([]float64, n),
+		Accept:    make([]bool, n),
+		Uncertain: make([]bool, n),
+	}
+	for i := range res.Scores {
+		res.Scores[i] = math.NaN()
+		res.Uncertain[i] = rr.Dropped(i)
+	}
+	benchOwner := make([]int, m)
+	res.Benchmark = flatBenchmark(rr, servers, m, benchOwner)
+	if res.Benchmark == nil {
+		// No server upload survived: detection is impossible this round.
+		// Accept arrivals so training proceeds, matching Detect.
+		for i := range res.Accept {
+			res.Accept[i] = !res.Uncertain[i] && !rr.Grads[i].HasNaN()
+		}
+		return res, nil
+	}
+	total := len(res.Benchmark)
+	threshold := d.Threshold
+	parallel.For(n, func(i int) {
+		g := rr.Grads[i]
+		if g == nil {
+			return
+		}
+		if len(g) != total || g.HasNaN() {
+			// Malformed or NaN-poisoned upload: reject outright. (Detect
+			// only handles the NaN case; a wrong-length gradient would
+			// panic there, so rejecting is strictly more defined.)
+			res.Scores[i] = math.Inf(-1)
+			return
+		}
+		sum := 0.0
+		regions := 0
+		for j := 0; j < m; j++ {
+			if benchOwner[j] == i {
+				continue
+			}
+			lo, hi := gradvec.SliceBounds(total, m, j)
+			sum += res.Benchmark[lo:hi].CosSim(g[lo:hi])
+			regions++
+		}
+		if regions == 0 {
+			res.Scores[i] = 0
+		} else {
+			res.Scores[i] = sum / float64(regions)
+		}
+		res.Accept[i] = res.Scores[i] >= threshold
+	})
+	return res, nil
+}
+
+// flatBenchmark assembles the composite benchmark without a slice table:
+// region j is the SliceBounds view of server j's gradient (fallback
+// substitution as in compositeBenchmark), recombined into one contiguous
+// vector. owners[j] records which worker's slice fills region j.
+func flatBenchmark(rr *fl.RoundResult, servers []int, m int, owners []int) gradvec.Vector {
+	fallback := -1
+	for _, s := range servers {
+		if !rr.Dropped(s) && !rr.Grads[s].HasNaN() {
+			fallback = s
+			break
+		}
+	}
+	if fallback == -1 {
+		return nil
+	}
+	total := len(rr.Grads[fallback])
+	parts := make([]gradvec.Vector, m)
+	for j := 0; j < m; j++ {
+		s := servers[j]
+		if rr.Dropped(s) || len(rr.Grads[s]) != total || rr.Grads[s].HasNaN() {
+			s = fallback
+		}
+		lo, hi := gradvec.SliceBounds(total, m, j)
+		parts[j] = rr.Grads[s][lo:hi]
+		owners[j] = s
+	}
+	return gradvec.Recombine(parts)
 }
 
 // compositeBenchmark assembles the benchmark vector: region j comes from

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"context"
+
+	"fifl/internal/faults"
+)
+
+// RunRoundLegacyContext is the pre-pipeline monolithic round
+// implementation, frozen as the differential-testing oracle for the
+// staged Pipeline that now backs RunRoundContext. It shares every leaf
+// function with the pipeline (Detect, ReputationTracker.Update,
+// AggregateRound, ComputeContributions, RewardShares, logRound) but keeps
+// the original orchestration: slice materialization through
+// fl.Engine.SliceGradients, serial per-worker loops, and in-place state
+// mutation as each step completes. TestPipelineMatchesLegacy requires the
+// two paths to produce bit-identical reports, reputations, rewards and
+// ledger bytes across seeds and fault schedules; BenchmarkRunRound uses
+// this path as the allocation baseline. Do not modify this function when
+// evolving the pipeline — it is the fixed point the refactor is measured
+// against. It always pays rewards with FIFL's Eq. 15 scheme, ignoring any
+// WithMechanism override.
+func (c *Coordinator) RunRoundLegacyContext(ctx context.Context, t int) (*RoundReport, error) {
+	engine := c.Engine
+	rr, err := engine.CollectGradientsContext(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+
+	// 1. Attack detection (§4.1): by default the slice-wise cosine screen
+	// against the server cluster's own gradients; with a custom Scorer,
+	// its scores thresholded at S_y. A round below quorum skips detection
+	// — too few uploads arrived to judge anyone — and marks every worker
+	// uncertain.
+	var det *DetectionResult
+	switch {
+	case !rr.Committed:
+		det = degradedDetection(len(rr.Grads))
+	case c.Cfg.Scorer != nil:
+		det = detectWithScorer(c.Cfg.Scorer, c.Cfg.Detection.Threshold, engine.Params(), rr)
+	default:
+		slices := engine.SliceGradients(rr)
+		det, err = c.Cfg.Detection.Detect(rr, slices, c.servers, engine.NumServers())
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// 2. Reputation update (§4.2). Non-arrivals — dropped, timed-out or
+	// crashed uploads — surface as uncertain events through the detection
+	// result, feeding the Su term of Eq. 8.
+	prevReps := c.Rep.Reputations()
+	if err := c.Rep.Update(det.Events()); err != nil {
+		return nil, err
+	}
+	reps := c.Rep.Reputations()
+
+	// 3. Filtered aggregation: G̃ = Σ n_i·r_i·G_i / Σ n_j·r_j (§4.1) and
+	// global update (Eq. 3).
+	global, err := engine.AggregateRound(rr, det.Accept)
+	if err != nil {
+		return nil, err
+	}
+	engine.ApplyGlobal(global)
+
+	// 4. Contribution assessment against the filtered global gradient
+	// (§4.3).
+	contrib := ComputeContributions(c.Cfg.Contribution, global, rr.Grads)
+	if s := c.Cfg.Contribution.SmoothBH; s > 0 && contrib.BH > 0 {
+		RescaleWithBH(contrib, c.bhSmoother.Update(contrib.BH, s), c.Cfg.Contribution.Clamp)
+	}
+
+	// 5. Incentive (§4.4).
+	shares, err := RewardShares(reps, contrib.C)
+	if err != nil {
+		return nil, err
+	}
+	rewards := Rewards(shares, c.Cfg.RewardPerRound)
+	for i, r := range rewards {
+		c.cumulative[i] += r
+	}
+
+	// 6. Ledger records, signed by the servers that executed the round.
+	if c.Cfg.RecordToLedger {
+		if err := c.logRound(t, rr, det, contrib, reps, shares); err != nil {
+			return nil, err
+		}
+	}
+
+	c.cm.observeRound(det, prevReps, reps, rewards, c.Ledger.Len())
+
+	report := &RoundReport{
+		Round:         t,
+		Detection:     det,
+		Contributions: contrib,
+		Reputations:   reps,
+		Shares:        shares,
+		Rewards:       rewards,
+		Servers:       c.Servers(),
+		Global:        global,
+		Statuses:      append([]faults.UploadStatus(nil), rr.Status...),
+		Retries:       append([]int(nil), rr.Retries...),
+		Committed:     rr.Committed,
+	}
+
+	// 7. Server re-election for the next iteration (§4.5).
+	c.servers = ReselectServers(reps, engine.NumServers(), c.banned)
+	if t+1 > c.nextRound {
+		c.nextRound = t + 1
+	}
+	return report, nil
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"fifl/internal/incentive"
+)
+
+// RewardMechanism decides how one round's reward budget is split. It is
+// the Reward stage's strategy interface: FIFL's reputation-weighted
+// scheme (Eq. 15) and the four §5 baselines all implement it, so any of
+// them can run through the full coordinator path — detection, ledger,
+// checkpointing and the wire transport included — and be compared on
+// identical rounds.
+//
+// Shares reads the staged RoundContext (detection verdicts, staged
+// reputations, contributions, upload fates) and returns one share per
+// worker. Shares of accepted workers conventionally sum to at most 1;
+// negative shares are fines. Returning an error aborts the round before
+// any state is committed.
+type RewardMechanism interface {
+	// Name identifies the mechanism in reports, flags and logs.
+	Name() string
+	// Shares computes the per-worker reward split for one round.
+	Shares(rc *RoundContext) ([]float64, error)
+}
+
+// FIFLIncentive is the paper's own incentive module (§4.4, Eq. 15):
+// positive contributions earn reputation-scaled rewards, negative
+// contributions draw reputation-independent fines. It is the default
+// mechanism of NewCoordinator.
+type FIFLIncentive struct{}
+
+// Name implements RewardMechanism.
+func (FIFLIncentive) Name() string { return "fifl" }
+
+// Shares implements RewardMechanism by applying Eq. 15 to the staged
+// reputations and contributions.
+func (FIFLIncentive) Shares(rc *RoundContext) ([]float64, error) {
+	return RewardShares(rc.Reputations, rc.Contributions.C)
+}
+
+// SampleIncentive adapts a sample-count baseline (incentive.Equal,
+// Individual, Union or Shapley) to the RewardMechanism stage interface.
+// Weights are computed from every worker's reported sample count — the
+// baselines have no notion of attack detection, which is exactly the
+// contrast §5 draws — but workers whose upload never arrived are paid
+// nothing: a scheme that paid absentees would make the wire-transport
+// comparison meaningless. The surviving weights are renormalized, and a
+// round that missed its quorum pays nobody.
+type SampleIncentive struct {
+	M incentive.Mechanism
+}
+
+// Name implements RewardMechanism.
+func (s SampleIncentive) Name() string { return strings.ToLower(s.M.Name()) }
+
+// Shares implements RewardMechanism.
+func (s SampleIncentive) Shares(rc *RoundContext) ([]float64, error) {
+	n := len(rc.RR.Grads)
+	out := make([]float64, n)
+	if !rc.RR.Committed {
+		return out, nil
+	}
+	w := s.M.Weights(rc.RR.Samples)
+	if len(w) != n {
+		return nil, fmt.Errorf("core: mechanism %s returned %d weights for %d workers", s.M.Name(), len(w), n)
+	}
+	total := 0.0
+	for i := range w {
+		if rc.RR.Dropped(i) {
+			w[i] = 0
+		}
+		total += w[i]
+	}
+	if total == 0 {
+		return out, nil
+	}
+	for i, v := range w {
+		out[i] = v / total
+	}
+	return out, nil
+}
+
+// MechanismNames lists the names MechanismByName accepts, FIFL first.
+func MechanismNames() []string {
+	return []string{"fifl", "equal", "individual", "union", "shapley"}
+}
+
+// MechanismByName resolves a mechanism flag value ("fifl", "equal",
+// "individual", "union", "shapley"; case-insensitive) to a
+// RewardMechanism, for CLI and facade use.
+func MechanismByName(name string) (RewardMechanism, error) {
+	switch strings.ToLower(name) {
+	case "", "fifl":
+		return FIFLIncentive{}, nil
+	case "equal":
+		return SampleIncentive{M: incentive.Equal{}}, nil
+	case "individual":
+		return SampleIncentive{M: incentive.Individual{}}, nil
+	case "union":
+		return SampleIncentive{M: incentive.Union{}}, nil
+	case "shapley":
+		return SampleIncentive{M: incentive.Shapley{}}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown reward mechanism %q (want one of %s)",
+			name, strings.Join(MechanismNames(), ", "))
+	}
+}

@@ -80,6 +80,20 @@ func NewReputationTracker(cfg ReputationConfig, n int) *ReputationTracker {
 // N returns the number of tracked workers.
 func (t *ReputationTracker) N() int { return len(t.r) }
 
+// Clone returns an independent deep copy of the tracker. The round
+// pipeline stages its reputation update on a clone and swaps it in only
+// at commit, so a stage error anywhere in the round leaves the live
+// tracker untouched.
+func (t *ReputationTracker) Clone() *ReputationTracker {
+	return &ReputationTracker{
+		cfg: t.cfg,
+		r:   append([]float64(nil), t.r...),
+		pt:  append([]int(nil), t.pt...),
+		pn:  append([]int(nil), t.pn...),
+		pu:  append([]int(nil), t.pu...),
+	}
+}
+
 // Update folds one round of events into the reputations:
 // R_i(t+1) = (1−γ)·R_i(t) + γ·r_i(t+1). Uncertain events leave the decayed
 // reputation unchanged (no evidence either way) but are counted for the

@@ -50,12 +50,12 @@ func RunAblComm(sc Scale) *Result {
 
 	// Live validation: the channel-based exchange equals the engine's
 	// direct aggregation on real gradients.
-	rr := f.Engine.CollectGradients(0)
+	rr := mustCollect(f.Engine, 0)
 	weights := make([]float64, n)
 	for i := range weights {
 		weights[i] = float64(rr.Samples[i])
 	}
-	direct := f.Engine.Aggregate(rr, nil)
+	direct := mustAggregate(f.Engine, rr, nil)
 	wire, traffic := netsim.Exchange(rr.Grads, weights, sc.Servers)
 	maxDiff := 0.0
 	for i := range direct {

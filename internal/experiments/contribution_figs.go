@@ -51,8 +51,8 @@ func RunAblContribution(sc Scale) *Result {
 	var corr stats.Running
 	rounds := 0
 	for t := 0; t < sub.TrainRounds; t++ {
-		rr := f.Engine.CollectGradients(t)
-		global := f.Engine.Aggregate(rr, nil)
+		rr := mustCollect(f.Engine, t)
+		global := mustAggregate(f.Engine, rr, nil)
 		contrib := core.ComputeContributions(cfg, global, rr.Grads)
 		looScores := loo.Scores(f.Engine.Params(), rr.Grads, nil)
 		f.Engine.ApplyGlobal(global)

@@ -47,7 +47,7 @@ func RunAblDefense(sc Scale) *Result {
 		arms = append(arms, arm{name: agg.Name(), run: func() (xs, accs []float64) {
 			f := BuildFederation(sc, TaskDigitsMLP, mkKinds(), rng.New(sc.Seed).Split("abl-defense"))
 			for t := 0; t < sc.TrainRounds; t++ {
-				rr := f.Engine.CollectGradients(t)
+				rr := mustCollect(f.Engine, t)
 				f.Engine.ApplyGlobal(agg.Aggregate(rr.Grads))
 				if t%sc.EvalEvery == 0 || t == sc.TrainRounds-1 {
 					acc, _ := f.Engine.Evaluate(f.Test, 256)

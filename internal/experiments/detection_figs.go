@@ -51,7 +51,7 @@ func detectionTrial(sc Scale, ps float64, nAttackers int, seed string) ([][]floa
 	valSrc := rng.New(sc.Seed).Split(seed + "-val")
 	var allScores [][]float64
 	for t := 0; t < sc.TrainRounds; t++ {
-		rr := f.Engine.CollectGradients(t)
+		rr := mustCollect(f.Engine, t)
 		val := f.Test.SampleN(valSrc, 48)
 		scorer.ValX, scorer.ValLabels = val.X, val.Labels
 		raw := scorer.Scores(f.Engine.Params(), rr.Grads)
@@ -61,7 +61,7 @@ func detectionTrial(sc Scale, ps float64, nAttackers int, seed string) ([][]floa
 		// Keep training on the honest gradients so the scores are
 		// measured along a healthy trajectory; the detector under test is
 		// observed passively.
-		f.Engine.ApplyGlobal(f.Engine.Aggregate(rr, oracle))
+		f.Engine.ApplyGlobal(mustAggregate(f.Engine, rr, oracle))
 	}
 	return allScores, isAtk
 }

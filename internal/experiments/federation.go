@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+
 	"fifl/internal/attack"
 	"fifl/internal/core"
 	"fifl/internal/dataset"
 	"fifl/internal/fl"
+	"fifl/internal/gradvec"
 	"fifl/internal/nn"
 	"fifl/internal/rng"
 )
@@ -169,11 +172,32 @@ func warmup(engine *fl.Engine, train *dataset.Dataset, sc Scale, src *rng.Source
 // executors, so an error here is a programming mistake, not a recoverable
 // condition worth threading through every figure generator.
 func mustRound(c *core.Coordinator, t int) *core.RoundReport {
-	rep, err := c.RunRound(t)
+	rep, err := c.RunRoundContext(context.Background(), t)
 	if err != nil {
 		panic("experiments: " + err.Error())
 	}
 	return rep
+}
+
+// mustCollect runs one collection through the context-first runtime with a
+// background context; like mustRound, an error here is a programming
+// mistake.
+func mustCollect(e *fl.Engine, t int) *fl.RoundResult {
+	rr, err := e.CollectGradientsContext(context.Background(), t)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return rr
+}
+
+// mustAggregate aggregates one collected round, panicking on the only
+// error source (an accept mask that does not match the round).
+func mustAggregate(e *fl.Engine, rr *fl.RoundResult, accept []bool) gradvec.Vector {
+	g, err := e.AggregateRound(rr, accept)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return g
 }
 
 // DefaultCoordinatorConfig is the standard FIFL configuration used across
@@ -198,8 +222,9 @@ func DefaultCoordinatorConfig(sy float64, ledger bool) core.CoordinatorConfig {
 // standard configuration (DefaultCoordinatorConfig). The initial server
 // cluster is the first M honest slots when known, else the first M workers
 // — mirroring the paper's accuracy-based initial election, which lands on
-// honest devices.
-func DefaultCoordinator(f *Federation, sy float64, ledger bool) *core.Coordinator {
+// honest devices. Extra options (e.g. core.WithMechanism for a §5
+// baseline) pass through to the coordinator.
+func DefaultCoordinator(f *Federation, sy float64, ledger bool, opts ...core.CoordinatorOption) *core.Coordinator {
 	cfg := DefaultCoordinatorConfig(sy, ledger)
 	m := f.Engine.NumServers()
 	servers := make([]int, 0, m)
@@ -216,7 +241,7 @@ func DefaultCoordinator(f *Federation, sy float64, ledger bool) *core.Coordinato
 			used[i] = true
 		}
 	}
-	coord, err := core.NewCoordinator(cfg, f.Engine, servers)
+	coord, err := core.NewCoordinator(cfg, f.Engine, servers, opts...)
 	if err != nil {
 		panic(err)
 	}

@@ -124,8 +124,8 @@ func RunFig12(sc Scale) *Result {
 	traces := make([][]float64, len(tagged))
 	var xs []float64
 	for t := 0; t < sc.TrainRounds; t++ {
-		rr := f.Engine.CollectGradients(t)
-		global := f.Engine.Aggregate(rr, nil)
+		rr := mustCollect(f.Engine, t)
+		global := mustAggregate(f.Engine, rr, nil)
 		contrib := core.ComputeContributions(cfg, global, rr.Grads)
 		f.Engine.ApplyGlobal(global)
 		xs = append(xs, float64(t))

@@ -53,8 +53,13 @@ func (c Config) Validate() error {
 // arrived), the reported sample counts, and the fate of every upload in
 // the shared failure vocabulary of internal/faults.
 type RoundResult struct {
-	Round   int
-	Grads   []gradvec.Vector // indexed by worker position; nil = no arrival
+	Round int
+	// Grads holds the collected local gradients, indexed by worker
+	// position; nil = no arrival. Non-nil entries are row views into an
+	// engine-owned gradient arena (gradvec.Matrix) that the NEXT
+	// CollectGradientsContext call on the same engine reuses — callers
+	// that keep a gradient past the round must Clone it.
+	Grads   []gradvec.Vector
 	Samples []int
 	// Status classifies each worker's upload: OK, Retried, Dropped,
 	// TimedOut or Crashed. Grads[i] is non-nil iff Status[i].Arrived().
@@ -84,6 +89,7 @@ type Engine struct {
 
 	global *nn.Sequential
 	params []float64
+	arena  *gradvec.Matrix // per-round gradient storage, reused across rounds
 	src    *rng.Source
 	opt    options
 	reg    *metrics.Registry
@@ -143,9 +149,16 @@ func NewEngine(cfg Config, build nn.Builder, workers []Worker, src *rng.Source, 
 // /v1/metrics scrape covers every layer.
 func (e *Engine) Metrics() *metrics.Registry { return e.reg }
 
-// Params returns the current global parameter vector (aliased; callers must
-// not mutate).
-func (e *Engine) Params() []float64 { return e.params }
+// Params returns a copy of the current global parameter vector, like
+// Servers and CumulativeRewards on the coordinator: mutating the result
+// cannot move the global model. Engine-internal hot paths that want the
+// live vector use ParamsRef.
+func (e *Engine) Params() []float64 { return append([]float64(nil), e.params...) }
+
+// ParamsRef returns the live global parameter vector without copying. It
+// is the zero-copy path for engine-internal reads; callers must treat the
+// slice as read-only — writes through it corrupt the global model.
+func (e *Engine) ParamsRef() []float64 { return e.params }
 
 // SetParams overwrites the global parameters (e.g. with a warm-started
 // model) and refreshes the evaluation replica. It returns an error if the
@@ -228,18 +241,6 @@ func (e *Engine) AggregateRound(rr *RoundResult, accept []bool) (gradvec.Vector,
 	return out, nil
 }
 
-// Aggregate is the legacy single-value shape of AggregateRound.
-//
-// Deprecated: use AggregateRound, which reports mask mismatches as errors
-// instead of silently returning nil.
-func (e *Engine) Aggregate(rr *RoundResult, accept []bool) gradvec.Vector {
-	g, err := e.AggregateRound(rr, accept)
-	if err != nil {
-		return nil
-	}
-	return g
-}
-
 // ApplyGlobal performs θ_{t+1} = θ_t − η·G̃ and refreshes the evaluation
 // replica. A nil gradient (everyone rejected) leaves the model unchanged.
 func (e *Engine) ApplyGlobal(g gradvec.Vector) {
@@ -258,8 +259,11 @@ func (e *Engine) ApplyGlobal(g gradvec.Vector) {
 // the "without detection" arm of Figure 10). Rounds that miss their quorum
 // leave the model unchanged.
 func (e *Engine) Step(round int) *RoundResult {
-	rr := e.CollectGradients(round)
-	e.ApplyGlobal(e.Aggregate(rr, nil))
+	// With a background context cancellation cannot fire, and a nil accept
+	// mask cannot mismatch, so both errors are statically nil.
+	rr, _ := e.CollectGradientsContext(context.Background(), round)
+	g, _ := e.AggregateRound(rr, nil)
+	e.ApplyGlobal(g)
 	return rr
 }
 
@@ -280,15 +284,4 @@ func (e *Engine) SliceGradients(rr *RoundResult) [][]gradvec.Vector {
 		out[i] = gradvec.Split(g, e.Cfg.Servers)
 	}
 	return out
-}
-
-// CollectGradients is the legacy context-free collection entry point.
-//
-// Deprecated: use CollectGradientsContext, which supports cancellation and
-// reports it as an error.
-func (e *Engine) CollectGradients(round int) *RoundResult {
-	// With a background context the only error source — cancellation —
-	// cannot fire, so the error is statically nil.
-	rr, _ := e.CollectGradientsContext(context.Background(), round)
-	return rr
 }

@@ -1,6 +1,7 @@
 package fl
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -10,6 +11,26 @@ import (
 	"fifl/internal/nn"
 	"fifl/internal/rng"
 )
+
+// collect runs one context-first collection, failing the test on error.
+func collect(t *testing.T, e *Engine, round int) *RoundResult {
+	t.Helper()
+	rr, err := e.CollectGradientsContext(context.Background(), round)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rr
+}
+
+// aggregate aggregates one collected round, failing the test on error.
+func aggregate(t *testing.T, e *Engine, rr *RoundResult, accept []bool) gradvec.Vector {
+	t.Helper()
+	g, err := e.AggregateRound(rr, accept)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
 
 func testSetup(t *testing.T, n int, drop float64) (*Engine, *dataset.Dataset) {
 	t.Helper()
@@ -32,7 +53,7 @@ func testSetup(t *testing.T, n int, drop float64) (*Engine, *dataset.Dataset) {
 
 func TestCollectGradientsShapes(t *testing.T) {
 	e, _ := testSetup(t, 4, 0)
-	rr := e.CollectGradients(0)
+	rr := collect(t, e, 0)
 	if len(rr.Grads) != 4 || len(rr.Samples) != 4 {
 		t.Fatalf("result sizes %d/%d", len(rr.Grads), len(rr.Samples))
 	}
@@ -54,7 +75,7 @@ func TestDropRate(t *testing.T) {
 	dropped := 0
 	total := 0
 	for round := 0; round < 20; round++ {
-		rr := e.CollectGradients(round)
+		rr := collect(t, e, round)
 		for i := range rr.Grads {
 			total++
 			if rr.Dropped(i) {
@@ -87,9 +108,9 @@ func TestAggregateWeights(t *testing.T) {
 
 func TestAggregateRespectsAcceptMask(t *testing.T) {
 	e, _ := testSetup(t, 3, 0)
-	rr := e.CollectGradients(0)
-	all := e.Aggregate(rr, nil)
-	masked := e.Aggregate(rr, []bool{true, false, true})
+	rr := collect(t, e, 0)
+	all := aggregate(t, e, rr, nil)
+	masked := aggregate(t, e, rr, []bool{true, false, true})
 	if all == nil || masked == nil {
 		t.Fatal("aggregation returned nil")
 	}
@@ -118,8 +139,8 @@ func TestAggregateRespectsAcceptMask(t *testing.T) {
 
 func TestAggregateAllRejectedNil(t *testing.T) {
 	e, _ := testSetup(t, 2, 0)
-	rr := e.CollectGradients(0)
-	if e.Aggregate(rr, []bool{false, false}) != nil {
+	rr := collect(t, e, 0)
+	if aggregate(t, e, rr, []bool{false, false}) != nil {
 		t.Fatal("aggregate of nothing should be nil")
 	}
 }
@@ -127,8 +148,8 @@ func TestAggregateAllRejectedNil(t *testing.T) {
 func TestApplyGlobalMovesParams(t *testing.T) {
 	e, _ := testSetup(t, 2, 0)
 	before := append([]float64(nil), e.Params()...)
-	rr := e.CollectGradients(0)
-	e.ApplyGlobal(e.Aggregate(rr, nil))
+	rr := collect(t, e, 0)
+	e.ApplyGlobal(aggregate(t, e, rr, nil))
 	after := e.Params()
 	changed := false
 	for i := range before {
@@ -164,7 +185,7 @@ func TestTrainingReducesLoss(t *testing.T) {
 
 func TestSliceGradients(t *testing.T) {
 	e, _ := testSetup(t, 3, 0)
-	rr := e.CollectGradients(0)
+	rr := collect(t, e, 0)
 	slices := e.SliceGradients(rr)
 	if len(slices) != 3 {
 		t.Fatalf("slice count %d", len(slices))
@@ -280,14 +301,53 @@ func TestSetParamsLengthMismatchErrors(t *testing.T) {
 	}
 }
 
+func TestParamsReturnsACopy(t *testing.T) {
+	// Params is handed to user code (custom Scorers, experiment
+	// harnesses); mutating the result must not move the global model.
+	e, _ := testSetup(t, 2, 0)
+	p := e.Params()
+	before := append([]float64(nil), e.ParamsRef()...)
+	for i := range p {
+		p[i] = 1e9
+	}
+	after := e.ParamsRef()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatal("mutating a Params() result moved the global model")
+		}
+	}
+	// ParamsRef is the documented zero-copy alias for internal paths.
+	ref := e.ParamsRef()
+	if &ref[0] != &after[0] {
+		t.Fatal("ParamsRef must alias the live parameter vector")
+	}
+	if &p[0] == &ref[0] {
+		t.Fatal("Params must not alias the live parameter vector")
+	}
+}
+
+func TestCollectedGradientsLiveInReusedArena(t *testing.T) {
+	e, _ := testSetup(t, 3, 0)
+	rr0 := collect(t, e, 0)
+	first := make([]gradvec.Vector, len(rr0.Grads))
+	copy(first, rr0.Grads)
+	// Rows must be disjoint views of one arena: same stride apart, and a
+	// write to one row must not show in another.
+	if &first[0][0] == &first[1][0] {
+		t.Fatal("workers share a gradient row")
+	}
+	rr1 := collect(t, e, 1)
+	for i := range rr1.Grads {
+		if &rr1.Grads[i][0] != &first[i][0] {
+			t.Fatalf("worker %d: round 1 gradient not in the reused arena row", i)
+		}
+	}
+}
+
 func TestAggregateRoundMaskMismatchErrors(t *testing.T) {
 	e, _ := testSetup(t, 3, 0)
-	rr := e.CollectGradients(0)
+	rr := collect(t, e, 0)
 	if _, err := e.AggregateRound(rr, []bool{true}); err == nil {
 		t.Fatal("AggregateRound with a short accept mask must error")
-	}
-	// The deprecated wrapper degrades to nil rather than panicking.
-	if g := e.Aggregate(rr, []bool{true}); g != nil {
-		t.Fatal("deprecated Aggregate must return nil on a bad mask")
 	}
 }

@@ -184,6 +184,13 @@ func (e *Engine) retrySchedule(round, worker int) workerPlan {
 // keep running in the background (their result is discarded on arrival),
 // so coordinating worker groups retain liveness.
 //
+// Collected gradients land in an engine-owned flat arena (one n×d
+// gradvec.Matrix reused round over round): RoundResult.Grads[i] is a row
+// view, not a private allocation, so downstream consumers slice the
+// backing buffer zero-copy and steady-state rounds allocate no gradient
+// storage. The arena makes the result's gradients valid only until the
+// next collection on this engine — Clone to retain.
+//
 // The returned error is non-nil only when ctx is cancelled; simulated
 // failures are data, not errors.
 func (e *Engine) CollectGradientsContext(ctx context.Context, round int) (*RoundResult, error) {
@@ -192,6 +199,11 @@ func (e *Engine) CollectGradientsContext(ctx context.Context, round int) (*Round
 	}
 	start := time.Now()
 	n := len(e.Workers)
+	d := len(e.params)
+	if e.arena == nil || e.arena.Rows() != n || e.arena.Dim() != d {
+		e.arena = gradvec.NewMatrix(n, d)
+	}
+	arena := e.arena
 	rr := &RoundResult{
 		Round:   round,
 		Grads:   make([]gradvec.Vector, n),
@@ -206,6 +218,21 @@ func (e *Engine) CollectGradientsContext(ctx context.Context, round int) (*Round
 	// ApplyGlobal writes e.params.
 	params := append([]float64(nil), e.params...)
 
+	// store files worker i's arrived gradient into its arena row. Rows are
+	// disjoint, so concurrent stores need no synchronization. A worker
+	// that returns a wrong-length gradient bypasses the arena and keeps
+	// its own vector — downstream shape checks report it, exactly as
+	// before the arena existed. Abandoned stragglers never reach store:
+	// their result dies on the buffered channel, so a goroutine finishing
+	// after the deadline cannot scribble on a row the next round reuses.
+	store := func(i int, g gradvec.Vector) {
+		if len(g) == d {
+			rr.Grads[i] = arena.SetRow(i, g)
+		} else {
+			rr.Grads[i] = g
+		}
+	}
+
 	parallel.ForLimit(n, e.opt.maxConcurrent, func(i int) {
 		rr.Samples[i] = e.Workers[i].NumSamples()
 		rr.Status[i] = plan[i].status
@@ -214,7 +241,7 @@ func (e *Engine) CollectGradientsContext(ctx context.Context, round int) (*Round
 			return
 		}
 		if e.opt.workerTimeout <= 0 {
-			rr.Grads[i] = e.Workers[i].LocalTrain(round, params)
+			store(i, e.Workers[i].LocalTrain(round, params))
 			return
 		}
 		// Deadline-bounded training: the worker runs on its own goroutine
@@ -229,7 +256,7 @@ func (e *Engine) CollectGradientsContext(ctx context.Context, round int) (*Round
 		defer timer.Stop()
 		select {
 		case g := <-done:
-			rr.Grads[i] = g
+			store(i, g)
 		case <-timer.C:
 			rr.Status[i] = faults.StatusTimedOut
 		case <-ctx.Done():

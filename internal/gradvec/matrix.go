@@ -1,0 +1,102 @@
+package gradvec
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Matrix is a flat gradient arena: one contiguous rows×dim backing buffer
+// with per-row Vector views. The federated round hot path stores every
+// worker's gradient as one row, so a round costs a single backing
+// allocation (amortized to zero when the Matrix is reused or pooled)
+// instead of one allocation per worker, and the polycentric server slices
+// of §3.2 become zero-copy views into the backing buffer via SliceView —
+// no [][]Vector materialization, no data movement.
+//
+// A Matrix does not track which rows are populated; the round runtime
+// carries that in RoundResult.Grads (nil = no arrival). Rows of workers
+// whose upload never arrived retain whatever the previous round left
+// there and must not be read.
+type Matrix struct {
+	data Vector
+	rows int
+	dim  int
+}
+
+// NewMatrix allocates a fresh rows×dim arena. Both dimensions must be
+// non-negative; a zero dimension yields a valid, empty-rowed arena.
+func NewMatrix(rows, dim int) *Matrix {
+	if rows < 0 || dim < 0 {
+		panic(fmt.Sprintf("gradvec: NewMatrix(%d, %d) negative dimension", rows, dim))
+	}
+	return &Matrix{data: make(Vector, rows*dim), rows: rows, dim: dim}
+}
+
+// matrixPool recycles backing buffers across GetMatrix/Release cycles.
+// Buffers of any capacity live in one pool; Get falls back to a fresh
+// allocation when the recycled buffer is too small for the requested
+// shape.
+var matrixPool = sync.Pool{}
+
+// GetMatrix returns a rows×dim arena drawing its backing buffer from the
+// package pool when a large enough one is available. The contents are NOT
+// zeroed — callers populate rows before reading them. Pair with Release.
+func GetMatrix(rows, dim int) *Matrix {
+	if rows < 0 || dim < 0 {
+		panic(fmt.Sprintf("gradvec: GetMatrix(%d, %d) negative dimension", rows, dim))
+	}
+	need := rows * dim
+	if v, ok := matrixPool.Get().(*Vector); ok && cap(*v) >= need {
+		m := &Matrix{data: (*v)[:need], rows: rows, dim: dim}
+		return m
+	}
+	return NewMatrix(rows, dim)
+}
+
+// Release returns the arena's backing buffer to the package pool. The
+// caller must not touch the Matrix — or any Row/SliceView taken from it —
+// after Release.
+func (m *Matrix) Release() {
+	if m == nil || m.data == nil {
+		return
+	}
+	v := m.data[:0]
+	m.data = nil
+	m.rows, m.dim = 0, 0
+	matrixPool.Put(&v)
+}
+
+// Rows returns the number of rows (workers) in the arena.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Dim returns the row length d.
+func (m *Matrix) Dim() int { return m.dim }
+
+// Row returns row i as a Vector view into the backing buffer. Writing
+// through the view writes the arena.
+func (m *Matrix) Row(i int) Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("gradvec: Matrix.Row(%d) out of range [0,%d)", i, m.rows))
+	}
+	return m.data[i*m.dim : (i+1)*m.dim : (i+1)*m.dim]
+}
+
+// SetRow copies v into row i and returns the row view. The vector length
+// must equal Dim.
+func (m *Matrix) SetRow(i int, v Vector) Vector {
+	if len(v) != m.dim {
+		panic(fmt.Sprintf("gradvec: Matrix.SetRow(%d) length %d, want %d", i, len(v), m.dim))
+	}
+	row := m.Row(i)
+	copy(row, v)
+	return row
+}
+
+// SliceView returns the zero-copy view of row i's server slice j when the
+// row is split into parts contiguous near-equal slices — Split(G_i)[j] of
+// the polycentric architecture without building the slice set.
+func (m *Matrix) SliceView(i, parts, j int) Vector {
+	lo, hi := SliceBounds(m.dim, parts, j)
+	row := m.Row(i)
+	return row[lo:hi]
+}

@@ -1,0 +1,110 @@
+package gradvec
+
+import (
+	"testing"
+)
+
+func TestMatrixRowViewsShareBacking(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Dim() != 4 {
+		t.Fatalf("shape = %d×%d, want 3×4", m.Rows(), m.Dim())
+	}
+	row := m.Row(1)
+	row[2] = 7
+	if got := m.Row(1)[2]; got != 7 {
+		t.Fatalf("write through row view lost: got %v", got)
+	}
+	// Rows are disjoint.
+	if m.Row(0)[2] != 0 || m.Row(2)[2] != 0 {
+		t.Fatal("row views overlap")
+	}
+	// Row views have clamped capacity: appending must not bleed into the
+	// next row.
+	r0 := m.Row(0)
+	r0 = append(r0, 99)
+	_ = r0
+	if m.Row(1)[0] != 0 {
+		t.Fatal("append to a row view overwrote the next row")
+	}
+}
+
+func TestMatrixSetRowCopies(t *testing.T) {
+	m := NewMatrix(2, 3)
+	src := Vector{1, 2, 3}
+	row := m.SetRow(0, src)
+	src[0] = 42
+	if row[0] != 1 {
+		t.Fatalf("SetRow aliased its input: row[0] = %v", row[0])
+	}
+	if m.Row(0)[1] != 2 || m.Row(0)[2] != 3 {
+		t.Fatalf("SetRow copy incomplete: %v", m.Row(0))
+	}
+}
+
+func TestMatrixSliceViewMatchesSplit(t *testing.T) {
+	const n, d, parts = 4, 11, 3
+	m := NewMatrix(n, d)
+	for i := 0; i < n; i++ {
+		row := m.Row(i)
+		for k := range row {
+			row[k] = float64(i*100 + k)
+		}
+	}
+	for i := 0; i < n; i++ {
+		split := Split(m.Row(i), parts)
+		for j := 0; j < parts; j++ {
+			view := m.SliceView(i, parts, j)
+			if len(view) != len(split[j]) {
+				t.Fatalf("worker %d slice %d: view length %d, Split length %d", i, j, len(view), len(split[j]))
+			}
+			for k := range view {
+				if view[k] != split[j][k] {
+					t.Fatalf("worker %d slice %d element %d: view %v, Split %v", i, j, k, view[k], split[j][k])
+				}
+			}
+			// Zero-copy: writing the view must write the row.
+			view[0] += 0.5
+			lo, _ := SliceBounds(d, parts, j)
+			if m.Row(i)[lo] != split[j][0] {
+				t.Fatal("SliceView is not a view into the backing buffer")
+			}
+			view[0] -= 0.5
+		}
+	}
+}
+
+func TestMatrixPoolReuse(t *testing.T) {
+	m := GetMatrix(8, 16)
+	m.Row(3)[5] = 1
+	m.Release()
+	// After release the next Get of an equal-or-smaller shape should be
+	// able to reuse the buffer. sync.Pool gives no hard guarantee, so only
+	// the shape contract is asserted; reuse itself is covered by the
+	// allocation regression tests in fl and core.
+	m2 := GetMatrix(4, 8)
+	if m2.Rows() != 4 || m2.Dim() != 8 {
+		t.Fatalf("pooled matrix shape = %d×%d, want 4×8", m2.Rows(), m2.Dim())
+	}
+	// Pooled contents are unspecified; rows must still be writable.
+	m2.SetRow(0, Zeros(8))
+	m2.Release()
+}
+
+func TestMatrixBoundsPanics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	for name, fn := range map[string]func(){
+		"row-negative":  func() { m.Row(-1) },
+		"row-past-end":  func() { m.Row(2) },
+		"setrow-length": func() { m.SetRow(0, Vector{1}) },
+		"new-negative":  func() { NewMatrix(-1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"context"
+	"math"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"fifl/internal/core"
+	"fifl/internal/faults"
+	"fifl/internal/fl"
+	"fifl/internal/rng"
+)
+
+// TestLoopbackBaselineMechanisms runs each §5 baseline incentive
+// (Equal, Individual, Union, Shapley) through a full 3-worker loopback
+// HTTP federation: same wire protocol, same coordinator pipeline, only
+// the Reward stage swapped. Every arm must complete its rounds with all
+// workers OK, pay sample-proportional (detection-blind) rewards, and
+// leave a ledger that passes a wire-side audit.
+func TestLoopbackBaselineMechanisms(t *testing.T) {
+	const (
+		nWorkers = 3
+		nRounds  = 2
+	)
+	for _, name := range []string{"equal", "individual", "union", "shapley"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			mech, err := core.MechanismByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			recipe := Recipe{Seed: 21, Workers: nWorkers, SamplesPerWorker: 40}
+			build, err := recipe.Builder()
+			if err != nil {
+				t.Fatal(err)
+			}
+			hub, err := NewHub(nWorkers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			engine, err := fl.NewEngine(fl.Config{Servers: 2, GlobalLR: 0.05}, build, hub.Workers(),
+				rng.New(recipe.Seed).Split("basefed"),
+				fl.WithQuorum(nWorkers),
+				fl.WithWorkerTimeout(5*time.Second))
+			if err != nil {
+				t.Fatal(err)
+			}
+			coord, err := core.NewCoordinator(coordConfig(), engine, []int{0, 1}, core.WithMechanism(mech))
+			if err != nil {
+				t.Fatal(err)
+			}
+			srv, err := NewServer(coord, hub)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ts := httptest.NewServer(srv.Handler())
+			defer ts.Close()
+			defer srv.Close()
+
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			var wg sync.WaitGroup
+			trained := make([]int, nWorkers)
+			clientErr := make([]error, nWorkers)
+			clients := make([]*Client, nWorkers)
+			for i := 0; i < nWorkers; i++ {
+				w, err := recipe.Worker(i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				clients[i], err = DialWorker(ctx, ClientConfig{
+					BaseURL:  ts.URL,
+					Worker:   w,
+					PollWait: 500 * time.Millisecond,
+				})
+				if err != nil {
+					t.Fatalf("dialing worker %d: %v", i, err)
+				}
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					trained[i], clientErr[i] = clients[i].Run(ctx)
+				}(i)
+			}
+			if err := srv.WaitReady(ctx); err != nil {
+				t.Fatal(err)
+			}
+
+			reports := make([]*core.RoundReport, nRounds)
+			for r := 0; r < nRounds; r++ {
+				if reports[r], err = srv.RunRound(ctx, r); err != nil {
+					t.Fatalf("%s round %d: %v", name, r, err)
+				}
+			}
+			srv.MarkDone()
+			wg.Wait()
+			for i, err := range clientErr {
+				if err != nil {
+					t.Fatalf("client %d: %v", i, err)
+				}
+			}
+			for i, n := range trained {
+				if n != nRounds {
+					t.Fatalf("worker %d trained %d rounds, want %d", i, n, nRounds)
+				}
+			}
+
+			// Every baseline pays the full budget by sample count: equal
+			// local datasets mean equal thirds, for every round and every
+			// worker, regardless of what detection concluded.
+			for r, rep := range reports {
+				if !rep.Committed {
+					t.Fatalf("round %d did not commit", r)
+				}
+				for i := 0; i < nWorkers; i++ {
+					if rep.Statuses[i] != faults.StatusOK {
+						t.Fatalf("round %d worker %d status %v", r, i, rep.Statuses[i])
+					}
+					if math.Abs(rep.Rewards[i]-1.0/nWorkers) > 1e-9 {
+						t.Fatalf("%s round %d worker %d reward %v, want %v",
+							name, r, i, rep.Rewards[i], 1.0/nWorkers)
+					}
+				}
+			}
+
+			// The swap must not touch the audit trail: the ledger holds the
+			// full five-record assessment (upload, detection, reputation,
+			// contribution, reward) per worker per round and survives a
+			// wire-side audit.
+			wantBlocks := nRounds * nWorkers * 5
+			if coord.Ledger.Len() != wantBlocks {
+				t.Fatalf("ledger has %d blocks, want %d", coord.Ledger.Len(), wantBlocks)
+			}
+			blocks, err := clients[0].VerifyLedger(ctx)
+			if err != nil {
+				t.Fatalf("wire-side ledger audit: %v", err)
+			}
+			if blocks != wantBlocks {
+				t.Fatalf("wire-side audit saw %d blocks, want %d", blocks, wantBlocks)
+			}
+		})
+	}
+}

@@ -67,7 +67,7 @@ func TestLoopbackFederationMatchesInProcess(t *testing.T) {
 	}
 	refReports := make([]*core.RoundReport, nRounds)
 	for i := 0; i < nRounds; i++ {
-		if refReports[i], err = refCoord.RunRound(i); err != nil {
+		if refReports[i], err = refCoord.RunRoundContext(context.Background(), i); err != nil {
 			t.Fatal(err)
 		}
 	}

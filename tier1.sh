@@ -23,6 +23,16 @@ go build ./...
 go test ./internal/experiments/
 go test -race -timeout 20m $(go list ./... | grep -v internal/experiments)
 
+# Differential gate: the staged round pipeline must stay bit-identical
+# to the frozen legacy monolith (reports, reputations, rewards, ledger
+# bytes) across seeds and a quorum-degraded round, under the race
+# detector so the parallel Detect/Contribution fan-out is raced too.
+go test -race -run TestPipelineMatchesLegacy ./internal/core
+
+# Benchmark smoke: one pipeline-vs-legacy round at each federation size
+# must complete (full numbers live in BENCH_pipeline.json).
+go test -run '^$' -bench=RunRound -benchtime=1x .
+
 # Fuzz smoke: the wire codec must survive 5s of hostile frames without
 # panicking (-fuzz accepts exactly one package), and the checkpoint codec
 # must reject truncated/bit-flipped snapshots without panicking.
