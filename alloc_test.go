@@ -1,0 +1,40 @@
+package fifl
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRoundSteadyStateAllocs pins the round hot path's allocation budget.
+// After warm-up, everything a round allocates should escape the round on
+// purpose: the ledger blocks it appends (one retained signature per
+// record, 5 records per worker) and the caller-owned RoundReport with its
+// detection result. All internal scratch — the gradient arena, the
+// RoundResult, the fault plan, the parameter snapshot, the ledger's
+// signing buffer — is engine- or coordinator-owned and reused round over
+// round. The budget has headroom for allocator noise but sits far below
+// what any reintroduced per-round buffer would cost; if this fails after
+// a change, profile BenchmarkRunRound with -memprofile before raising it.
+func TestRoundSteadyStateAllocs(t *testing.T) {
+	const (
+		n      = 8
+		budget = 130 // measured ~96 allocs/round at n=8
+	)
+	coord := benchCoordinator(t, n)
+	ctx := context.Background()
+	round := 0
+	runOne := func() {
+		if _, err := coord.RunRoundContext(ctx, round); err != nil {
+			t.Fatal(err)
+		}
+		round++
+	}
+	// Warm up the engine-owned scratch (arena, round result, plan,
+	// snapshot) and the ledger's signing buffer.
+	for round < 3 {
+		runOne()
+	}
+	if avg := testing.AllocsPerRun(20, runOne); avg > budget {
+		t.Fatalf("round hot path allocates %.0f objects per round at n=%d, budget %d — a per-round buffer is back; see BenchmarkRunRound -memprofile", avg, n, budget)
+	}
+}

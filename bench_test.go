@@ -168,7 +168,7 @@ func (w *benchFixedWorker) LocalTrain(round int, global []float64) Gradient {
 // benchCoordinator assembles an n-worker federation with fixed-gradient
 // workers over a small MLP, with a private metrics registry so parallel
 // benchmark arms never share counters.
-func benchCoordinator(b *testing.B, n int) *Coordinator {
+func benchCoordinator(b testing.TB, n int) *Coordinator {
 	b.Helper()
 	build := NewMLP(11, 24, []int{8}, 4)
 	dim := build().NumParams()
@@ -200,11 +200,14 @@ func benchCoordinator(b *testing.B, n int) *Coordinator {
 
 // BenchmarkRunRound compares the staged pipeline (RunRoundContext) with
 // the frozen pre-refactor monolith (RunRoundLegacyContext) at federation
-// sizes 8, 64 and 256. The two arms are bit-identical in output (see the
-// differential test in internal/core); this benchmark quantifies the
-// allocation and latency gap the arena-backed detection buys.
+// sizes 8, 64 and 256, and extends the pipeline arm up the n-sweep (1024,
+// 4096) where the legacy monolith's quadratic slice-table rebuild is too
+// slow to be worth timing. The two arms are bit-identical in output (see
+// the differential test in internal/core); this benchmark quantifies the
+// allocation and latency gap the arena-backed detection buys, and the
+// extended sweep shows the scaling trajectory BENCH_pipeline.json tracks.
 func BenchmarkRunRound(b *testing.B) {
-	for _, n := range []int{8, 64, 256} {
+	for _, n := range []int{8, 64, 256, 1024, 4096} {
 		for _, arm := range []struct {
 			name string
 			run  func(*Coordinator, int) error
@@ -218,6 +221,9 @@ func BenchmarkRunRound(b *testing.B) {
 				return err
 			}},
 		} {
+			if arm.name == "legacy" && n > 256 {
+				continue
+			}
 			b.Run(fmt.Sprintf("%s/n=%d", arm.name, n), func(b *testing.B) {
 				coord := benchCoordinator(b, n)
 				if err := arm.run(coord, 0); err != nil { // warm arena + ledger
@@ -268,16 +274,22 @@ func benchGrad() []float64 {
 	return g
 }
 
-// BenchmarkCodecEncode measures upload-frame encoding throughput in both
-// wire encodings.
+// codecBenchModes are the wire layouts the codec benchmarks sweep.
+var codecBenchModes = []codec.Compression{
+	codec.CompressionNone,
+	codec.CompressionF32,
+	codec.CompressionTopK,
+	codec.CompressionInt8,
+	codec.CompressionInt16,
+}
+
+// BenchmarkCodecEncode measures upload-frame encoding throughput in every
+// wire encoding.
 func BenchmarkCodecEncode(b *testing.B) {
 	u := codec.Upload{Round: 3, Worker: 1, Samples: 200, Grad: benchGrad()}
-	for _, mode := range []struct {
-		name string
-		f32  bool
-	}{{"float64", false}, {"float32", true}} {
-		b.Run(mode.name, func(b *testing.B) {
-			frame, err := codec.EncodeUpload(u, mode.f32)
+	for _, mode := range codecBenchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			frame, err := codec.EncodeUpload(u, mode)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -285,7 +297,7 @@ func BenchmarkCodecEncode(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := codec.EncodeUpload(u, mode.f32); err != nil {
+				if _, err := codec.EncodeUpload(u, mode); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -294,15 +306,12 @@ func BenchmarkCodecEncode(b *testing.B) {
 }
 
 // BenchmarkCodecDecode measures upload-frame decoding (CRC check, length
-// validation, finiteness screening) in both wire encodings.
+// validation, finiteness screening) in every wire encoding.
 func BenchmarkCodecDecode(b *testing.B) {
 	u := codec.Upload{Round: 3, Worker: 1, Samples: 200, Grad: benchGrad()}
-	for _, mode := range []struct {
-		name string
-		f32  bool
-	}{{"float64", false}, {"float32", true}} {
-		b.Run(mode.name, func(b *testing.B) {
-			frame, err := codec.EncodeUpload(u, mode.f32)
+	for _, mode := range codecBenchModes {
+		b.Run(mode.String(), func(b *testing.B) {
+			frame, err := codec.EncodeUpload(u, mode)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -32,6 +32,7 @@ import (
 	"fifl/internal/persist"
 	"fifl/internal/rng"
 	"fifl/internal/transport"
+	"fifl/internal/transport/codec"
 )
 
 func main() {
@@ -57,7 +58,9 @@ func main() {
 		// Worker flags.
 		coordURL = flag.String("coordinator", "http://127.0.0.1:7070", "coordinator base URL")
 		id       = flag.Int("id", 0, "this worker's federation slot")
-		f32      = flag.Bool("f32", false, "use the float32 compression mode (half the bytes, lossy)")
+		comp     = flag.String("compression", "none", "wire compression for gradient uploads and model downloads: none, f32, topk, int8 or int16")
+		auditN   = flag.Int("audit-every", 0, "carry every this many rounds on dense lossless frames regardless of -compression, keeping audit rounds bit-identical (0 = never)")
+		f32      = flag.Bool("f32", false, "deprecated alias for -compression f32")
 		audit    = flag.Bool("audit", false, "download and verify the coordinator's audit ledger at the end")
 		retries  = flag.Int("retry", 0, "HTTP retry attempts before a request is abandoned (0 = default 3); raise this so a worker rides through a coordinator restart")
 		rbackoff = flag.Duration("retry-backoff", 0, "base delay between HTTP retries, doubling each attempt (0 = default 100ms)")
@@ -93,7 +96,8 @@ func main() {
 		})
 	case "worker":
 		err = runWorker(ctx, recipe, workerOpts{
-			CoordURL: *coordURL, ID: *id, Float32: *f32, Audit: *audit,
+			CoordURL: *coordURL, ID: *id, Compression: *comp, AuditEvery: *auditN,
+			Float32: *f32, Audit: *audit,
 			Retries: *retries, RetryBackoff: *rbackoff,
 		})
 	default:
@@ -125,7 +129,9 @@ type coordOpts struct {
 type workerOpts struct {
 	CoordURL     string
 	ID           int
-	Float32      bool
+	Compression  string
+	AuditEvery   int
+	Float32      bool // deprecated alias for Compression "f32"
 	Audit        bool
 	Retries      int
 	RetryBackoff time.Duration
@@ -285,18 +291,26 @@ func runWorker(ctx context.Context, recipe transport.Recipe, o workerOpts) error
 	if err != nil {
 		return err
 	}
+	mode, err := codec.ParseCompression(o.Compression)
+	if err != nil {
+		return err
+	}
+	if mode == codec.CompressionNone && o.Float32 {
+		mode = codec.CompressionF32 // honor the deprecated -f32 spelling
+	}
 	id, coordURL, audit := o.ID, o.CoordURL, o.Audit
 	client, err := transport.DialWorker(ctx, transport.ClientConfig{
 		BaseURL:       coordURL,
 		Worker:        w,
-		Float32:       o.Float32,
+		Compression:   mode,
+		AuditEvery:    o.AuditEvery,
 		RetryAttempts: o.Retries,
 		RetryBackoff:  o.RetryBackoff,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("worker %d: registered with %s (%d local samples)\n", id, coordURL, w.NumSamples())
+	fmt.Printf("worker %d: registered with %s (%d local samples, compression %s)\n", id, coordURL, w.NumSamples(), mode)
 	trained, err := client.Run(ctx)
 	if err != nil {
 		return err

@@ -25,6 +25,7 @@ import (
 	"fifl/internal/persist"
 	"fifl/internal/rng"
 	"fifl/internal/trace"
+	"fifl/internal/transport/codec"
 )
 
 func main() {
@@ -51,7 +52,8 @@ func main() {
 		ckptFile  = flag.String("checkpoint", "", "write a durable checkpoint to this file after each round (atomic replace)")
 		ckptEvery = flag.Int("checkpoint-every", 1, "checkpoint every this many rounds (with -checkpoint)")
 		resume    = flag.String("resume", "", "resume from a checkpoint file written by a previous run with identical flags")
-		mechName  = flag.String("mechanism", "fifl", "reward mechanism: fifl, equal, individual, union or shapley (baselines pay by sample count and ignore detection)")
+		mechName  = flag.String("mechanism", "fifl", "reward mechanism: "+strings.Join(core.MechanismNames(), ", ")+" (baselines pay by sample count and ignore detection; shapley-mc is the sampled estimator for large N)")
+		compress  = flag.String("compression", "none", "simulated wire compression for gradient uploads and model downloads: none, f32, topk, int8 or int16")
 	)
 	flag.Parse()
 
@@ -72,6 +74,15 @@ func main() {
 		os.Exit(2)
 	}
 	mech, err := core.MechanismByName(*mechName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
+		os.Exit(2)
+	}
+	if err := core.ValidateMechanismScale(mech, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
+		os.Exit(2)
+	}
+	cmode, err := codec.ParseCompression(*compress)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
 		os.Exit(2)
@@ -114,6 +125,7 @@ func main() {
 	}
 
 	sc.DropRate = *drop
+	sc.Compression = cmode
 	var opts []fl.Option
 	if *quorum > 0 {
 		opts = append(opts, fl.WithQuorum(*quorum))
@@ -146,8 +158,8 @@ func main() {
 		coord = experiments.DefaultCoordinator(fed, *sy, true, core.WithMechanism(mech))
 	}
 
-	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d mechanism=%s (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
-		*workers, *servers, *task, *rounds, coord.Mechanism().Name(), *nFlip, *ps, *nPoison, *pd)
+	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d mechanism=%s compression=%s (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
+		*workers, *servers, *task, *rounds, coord.Mechanism().Name(), cmode, *nFlip, *ps, *nPoison, *pd)
 
 	recorder := trace.NewRecorder()
 	for t := startRound; t < *rounds; t++ {

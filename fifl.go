@@ -59,6 +59,7 @@ import (
 	"fifl/internal/robust"
 	"fifl/internal/trace"
 	"fifl/internal/transport"
+	"fifl/internal/transport/codec"
 )
 
 // RNG re-exports the deterministic splittable random source every
@@ -198,8 +199,16 @@ type (
 	LossDeltaScorer = core.LossDeltaScorer
 	// CoordinatorOption customizes a coordinator beyond its config.
 	CoordinatorOption = core.CoordinatorOption
-	// RewardMechanism is the Reward stage's strategy interface; FIFL's
-	// Eq. 15 scheme and the four §5 baselines implement it.
+	// Mechanism is the reward-splitting strategy interface of the Reward
+	// stage: FIFL's Eq. 15 scheme, the four §5 baselines and the sampled
+	// Monte-Carlo Shapley estimator all implement it. Resolve one by
+	// registry name with MechanismByName and install it with
+	// WithMechanism; every mechanism runs through the full coordinator
+	// path — detection, ledger, checkpointing, wire transport included.
+	Mechanism = core.RewardMechanism
+	// RewardMechanism is the old name of Mechanism.
+	//
+	// Deprecated: use Mechanism.
 	RewardMechanism = core.RewardMechanism
 	// RoundStageTrace describes one pipeline stage execution.
 	RoundStageTrace = core.StageTrace
@@ -228,10 +237,35 @@ func WithStageTrace(h func(RoundStageTrace)) CoordinatorOption {
 	return core.WithStageTrace(h)
 }
 
-// MechanismByName resolves "fifl", "equal", "individual", "union" or
-// "shapley" (case-insensitive) to a RewardMechanism.
-func MechanismByName(name string) (RewardMechanism, error) {
+// MechanismByName resolves a registry name — see MechanismNames, today
+// "fifl", "equal", "individual", "union", "shapley" and "shapley-mc"
+// (case-insensitive) — to a freshly built Mechanism. The error for an
+// unknown name lists every valid one. "shapley" is the exact
+// exponential-time enumeration; "shapley-mc" is the seeded Monte-Carlo /
+// truncated-permutation estimator that stays tractable at production
+// federation sizes.
+func MechanismByName(name string) (Mechanism, error) {
 	return core.MechanismByName(name)
+}
+
+// MechanismNames lists every name MechanismByName accepts, FIFL first.
+func MechanismNames() []string { return core.MechanismNames() }
+
+// NewMonteCarloShapleyMechanism builds the sampled Shapley estimator with
+// explicit knobs: seed roots its private deterministic random stream (0 =
+// the package default), rounds is the permutation sample budget (0 =
+// 2000), and tolerance is the truncation threshold (<= 0 disables
+// truncation). MechanismByName("shapley-mc") is the default-tuned
+// spelling of this.
+func NewMonteCarloShapleyMechanism(seed uint64, rounds int, tolerance float64) Mechanism {
+	return core.NewMonteCarloMechanism(seed, rounds, tolerance)
+}
+
+// ValidateMechanismScale refuses mechanism/federation-size combinations
+// that cannot finish in reasonable time (exact Shapley past
+// core.MaxExactShapleyN workers), pointing at the tractable alternative.
+func ValidateMechanismScale(m Mechanism, workers int) error {
+	return core.ValidateMechanismScale(m, workers)
 }
 
 // SelectInitialServers elects the initial server cluster from verification
@@ -240,13 +274,24 @@ func SelectInitialServers(accuracies []float64, m int) []int {
 	return core.SelectInitialServers(accuracies, m, nil)
 }
 
-// Baseline incentive mechanisms (Eq. 18–22).
+// Baseline incentive mechanisms (Eq. 18–22). The registry API above —
+// MechanismByName("equal" | "individual" | "union" | "shapley" |
+// "shapley-mc") plus WithMechanism — supersedes this weight-only view:
+// registry mechanisms run through the full coordinator path (detection,
+// ledger, checkpointing) instead of producing bare shares. These aliases
+// remain for callers that only want the arithmetic.
 type (
 	// IncentiveMechanism derives reward weights from sample counts.
+	//
+	// Deprecated: use MechanismByName, which returns a full Mechanism.
 	IncentiveMechanism = incentive.Mechanism
 )
 
 // Baseline mechanism values.
+//
+// Deprecated: resolve the same strategies with MechanismByName("equal"),
+// ("individual"), ("union") or ("shapley") and install them with
+// WithMechanism.
 var (
 	// EqualIncentive pays everyone the same.
 	EqualIncentive IncentiveMechanism = incentive.Equal{}
@@ -259,6 +304,9 @@ var (
 )
 
 // IncentiveShares normalizes a mechanism's weights into reward shares.
+//
+// Deprecated: use MechanismByName and read shares from the coordinator's
+// round reports, which apply the same normalization.
 func IncentiveShares(m IncentiveMechanism, samples []int) []float64 {
 	return incentive.Shares(m, samples)
 }
@@ -342,9 +390,50 @@ func ServeCoordinator(coord *Coordinator, hub *TransportHub) (*CoordinatorServer
 	return transport.NewServer(coord, hub)
 }
 
+// Compression selects a gradient-frame wire encoding, negotiated
+// per-worker at dial time: dense float64 (none), lossy float32 (f32),
+// top-k sparsification (topk) or linear quantization (int8 / int16).
+// Lossy modes change training arithmetic; pair them with WithAuditEvery
+// to carry periodic rounds bit-exactly for the audit trail.
+type Compression = codec.Compression
+
+// The wire compression modes, in decreasing fidelity order.
+const (
+	CompressionNone  = codec.CompressionNone
+	CompressionF32   = codec.CompressionF32
+	CompressionTopK  = codec.CompressionTopK
+	CompressionInt8  = codec.CompressionInt8
+	CompressionInt16 = codec.CompressionInt16
+)
+
+// ParseCompression maps the CLI spellings "none", "f32", "topk", "int8"
+// and "int16" to a Compression mode.
+func ParseCompression(s string) (Compression, error) { return codec.ParseCompression(s) }
+
+// WorkerClientOption adjusts a WorkerClientConfig before dialing.
+type WorkerClientOption func(*WorkerClientConfig)
+
+// WithCompression selects the wire encoding this worker negotiates for
+// its gradient uploads and model downloads.
+func WithCompression(c Compression) WorkerClientOption {
+	return func(cfg *WorkerClientConfig) { cfg.Compression = c }
+}
+
+// WithAuditEvery forces every n-th round (round%n == 0) onto dense
+// lossless frames regardless of the negotiated compression, so audit
+// rounds stay bit-identical to an uncompressed run. n <= 0 disables the
+// cadence; n == 1 makes every round dense.
+func WithAuditEvery(n int) WorkerClientOption {
+	return func(cfg *WorkerClientConfig) { cfg.AuditEvery = n }
+}
+
 // DialWorker registers a worker with a coordinator and returns the client
-// that drives its poll-train-submit loop.
-func DialWorker(ctx context.Context, cfg WorkerClientConfig) (*WorkerClient, error) {
+// that drives its poll-train-submit loop. Options mutate cfg before the
+// dial; they win over the corresponding struct fields.
+func DialWorker(ctx context.Context, cfg WorkerClientConfig, opts ...WorkerClientOption) (*WorkerClient, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
 	return transport.DialWorker(ctx, cfg)
 }
 

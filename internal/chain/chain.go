@@ -15,7 +15,6 @@
 package chain
 
 import (
-	"bytes"
 	"crypto/ed25519"
 	"crypto/sha256"
 	"encoding/binary"
@@ -48,21 +47,23 @@ type Record struct {
 	Executor  string     `json:"executor"` // name of the signing server
 }
 
-// payload serializes the record deterministically for hashing and signing.
-func (r Record) payload() []byte {
-	var buf bytes.Buffer
-	buf.WriteString(string(r.Kind))
-	buf.WriteByte(0)
+// appendPayload serializes the record deterministically for hashing and
+// signing, appending to dst so hot paths can reuse one buffer.
+func (r Record) appendPayload(dst []byte) []byte {
+	dst = append(dst, r.Kind...)
+	dst = append(dst, 0)
 	var ib [8]byte
 	binary.LittleEndian.PutUint64(ib[:], uint64(r.Iteration))
-	buf.Write(ib[:])
+	dst = append(dst, ib[:]...)
 	binary.LittleEndian.PutUint64(ib[:], uint64(r.WorkerID))
-	buf.Write(ib[:])
+	dst = append(dst, ib[:]...)
 	binary.LittleEndian.PutUint64(ib[:], math.Float64bits(r.Value))
-	buf.Write(ib[:])
-	buf.WriteString(r.Executor)
-	return buf.Bytes()
+	dst = append(dst, ib[:]...)
+	return append(dst, r.Executor...)
 }
+
+// payload serializes the record deterministically for hashing and signing.
+func (r Record) payload() []byte { return r.appendPayload(nil) }
 
 // Block is one sealed ledger entry: a record, the hash link to its
 // predecessor, and the executor's signature over (prevHash ‖ payload).
@@ -96,6 +97,11 @@ type Ledger struct {
 	mu     sync.RWMutex
 	blocks []Block
 	keys   map[string]ed25519.PublicKey // executor name -> public key
+
+	// scratch assembles (prevHash ‖ payload ‖ signature) for hashing and
+	// signing; guarded by mu and reused so Append's transient garbage is
+	// just the signature each retained Block actually keeps.
+	scratch []byte
 }
 
 // NewLedger creates an empty ledger.
@@ -129,15 +135,17 @@ func (l *Ledger) Append(s *Signer, r Record) (Block, error) {
 	if n := len(l.blocks); n > 0 {
 		prev = l.blocks[n-1].Hash
 	}
-	msg := append(prev[:], r.payload()...)
-	sig := ed25519.Sign(s.priv, msg)
+	l.scratch = append(l.scratch[:0], prev[:]...)
+	l.scratch = r.appendPayload(l.scratch)
+	sig := ed25519.Sign(s.priv, l.scratch)
 	b := Block{
 		Index:     len(l.blocks),
 		PrevHash:  prev,
 		Record:    r,
 		Signature: sig,
 	}
-	b.Hash = sha256.Sum256(append(msg, sig...))
+	l.scratch = append(l.scratch, sig...)
+	b.Hash = sha256.Sum256(l.scratch)
 	l.blocks = append(l.blocks, b)
 	return b, nil
 }

@@ -46,6 +46,9 @@ func (c *Coordinator) Snapshot() (*persist.Snapshot, error) {
 		Samples:     make([]int, n),
 	}
 	s.BHInitialized, s.BHValue = c.bhSmoother.State()
+	if rm, ok := c.mech.(ResumableMechanism); ok {
+		s.MechDraws = rm.RNGDraws()
+	}
 	for i := 0; i < n; i++ {
 		if c.banned[i] {
 			s.Banned = append(s.Banned, i)
@@ -139,6 +142,14 @@ func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, e
 	// through their own process's determinism instead.
 	if err := engine.DiscardRNG(snap.EngineDraws); err != nil {
 		return nil, err
+	}
+	if rm, ok := c.mech.(ResumableMechanism); ok {
+		if err := rm.DiscardRNG(snap.MechDraws); err != nil {
+			return nil, err
+		}
+	} else if snap.MechDraws != 0 {
+		return nil, fmt.Errorf("core: checkpoint recorded mechanism RNG state (%d draws), but the restored mechanism %q is not resumable — pass the interrupted run's mechanism via WithMechanism",
+			snap.MechDraws, c.mech.Name())
 	}
 	for i, w := range engine.Workers {
 		rw, ok := w.(fl.ResumableWorker)

@@ -120,6 +120,75 @@ func TestKillBetweenRoundsResumesBitIdentical(t *testing.T) {
 	requireSameState(t, want, stateOf(t, resumed), "kill-and-resume")
 }
 
+// mcCoordinator rebuilds a test federation with the Monte-Carlo Shapley
+// mechanism active — the one mechanism with its own random stream, so
+// checkpoints must carry its position too.
+func mcCoordinator(t *testing.T) *Coordinator {
+	t.Helper()
+	base, _ := buildTestCoordinator(t, 4, 2, true)
+	m, err := MechanismByName("shapley-mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCoordinator(base.Cfg, base.Engine, []int{0, 1}, WithMechanism(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCheckpointResumeShapleyMC is the mechanism-stream durability bar: a
+// federation paying out through Monte-Carlo Shapley, checkpointed after
+// round 3 and restored into a fresh federation, must finish bit-identical
+// to an uninterrupted run — which requires the estimator's RNG position
+// to survive the round trip (a freshly seeded estimator would re-draw
+// rounds 0–2's permutations and pay different rewards).
+func TestCheckpointResumeShapleyMC(t *testing.T) {
+	const rounds = 6
+
+	ref := mcCoordinator(t)
+	for r := 0; r < rounds; r++ {
+		runRound(t, ref, r)
+	}
+	want := stateOf(t, ref)
+
+	first := mcCoordinator(t)
+	for r := 0; r < 3; r++ {
+		runRound(t, first, r)
+	}
+	var ckpt bytes.Buffer
+	if err := first.Checkpoint(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := persist.Read(bytes.NewReader(ckpt.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.MechDraws == 0 {
+		t.Fatal("checkpoint recorded no mechanism RNG draws after 3 shapley-mc rounds")
+	}
+
+	// Restoring without the mechanism must fail loudly instead of silently
+	// dropping the recorded stream position.
+	wrongMech := mcCoordinator(t)
+	if _, err := RestoreCoordinatorSnapshot(snap, wrongMech.Cfg, wrongMech.Engine); err == nil {
+		t.Fatal("restore with the default (non-resumable) mechanism accepted a shapley-mc checkpoint")
+	}
+
+	fresh := mcCoordinator(t)
+	resumed, err := RestoreCoordinatorSnapshot(snap, fresh.Cfg, fresh.Engine, WithMechanism(fresh.Mechanism()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Mechanism().(ResumableMechanism).RNGDraws(); got != snap.MechDraws {
+		t.Fatalf("restored mechanism stream at %d draws, checkpoint recorded %d", got, snap.MechDraws)
+	}
+	for r := resumed.NextRound(); r < rounds; r++ {
+		runRound(t, resumed, r)
+	}
+	requireSameState(t, want, stateOf(t, resumed), "shapley-mc resume")
+}
+
 // TestCheckpointRestoreEmpty round-trips a coordinator that has not run a
 // single round: the restored one must start from round 0 and then produce
 // the same run as the original.

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+	"fifl/internal/transport/codec"
+)
+
+// compressedWorker simulates the wire transport's lossy gradient frames in
+// an in-process federation: the global-model download and the gradient
+// upload each pass through a full encode/decode cycle of the configured
+// mode — same encoder, same decoder, same bytes as the HTTP path.
+// Downloads use the mode's dense fallback, exactly as the server's model
+// broadcasts do (top-k never sparsifies parameters).
+type compressedWorker struct {
+	inner fl.Worker
+	mode  codec.Compression
+}
+
+func (w *compressedWorker) ID() int         { return w.inner.ID() }
+func (w *compressedWorker) NumSamples() int { return w.inner.NumSamples() }
+
+func (w *compressedWorker) LocalTrain(round int, global []float64) gradvec.Vector {
+	if down, err := codec.RoundTrip(global, w.mode.DenseFallback()); err == nil {
+		global = down
+	}
+	grad := w.inner.LocalTrain(round, global)
+	up, err := codec.RoundTrip(grad, w.mode)
+	if err != nil {
+		// Non-encodable gradients (non-finite values) travel dense, the
+		// same behavior a real worker gets from lossless frames; the
+		// coordinator's NaN audit still sees them.
+		return grad
+	}
+	return gradvec.Vector(up)
+}
+
+// compressedResumableWorker additionally forwards the wrapped worker's
+// random-stream position so checkpoint/resume keeps working under
+// simulated compression (the wrapper itself holds no cross-round state).
+type compressedResumableWorker struct {
+	compressedWorker
+	res fl.ResumableWorker
+}
+
+func (w *compressedResumableWorker) RNGDraws() uint64          { return w.res.RNGDraws() }
+func (w *compressedResumableWorker) DiscardRNG(n uint64) error { return w.res.DiscardRNG(n) }
+
+// WrapCompressed simulates wire compression around a worker.
+// CompressionNone returns the worker untouched; resumable workers stay
+// resumable through the wrapper.
+func WrapCompressed(w fl.Worker, mode codec.Compression) fl.Worker {
+	if mode == codec.CompressionNone {
+		return w
+	}
+	cw := compressedWorker{inner: w, mode: mode}
+	if rw, ok := w.(fl.ResumableWorker); ok {
+		return &compressedResumableWorker{compressedWorker: cw, res: rw}
+	}
+	return &cw
+}

@@ -126,6 +126,7 @@ func BuildFederation(sc Scale, task DatasetKind, kinds []WorkerKind, src *rng.So
 		default:
 			panic("experiments: unknown worker kind " + k.Kind)
 		}
+		workers[i] = WrapCompressed(workers[i], sc.Compression)
 	}
 	m := sc.Servers
 	if m > n {

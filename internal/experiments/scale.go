@@ -1,5 +1,7 @@
 package experiments
 
+import "fifl/internal/transport/codec"
+
 // Scale sets how much compute an experiment spends. PaperScale matches the
 // paper's configuration where feasible; QuickScale shrinks rounds, repeats
 // and dataset sizes so the whole suite finishes in seconds for tests and
@@ -45,6 +47,11 @@ type Scale struct {
 	// DropRate is the probability a worker's upload is lost in a round —
 	// the paper's "uncertain events" feeding the SLM uncertainty mass Su.
 	DropRate float64
+	// Compression simulates the wire transport's lossy gradient frames:
+	// every worker's model download and gradient upload pass through an
+	// encode/decode cycle of this mode (see codec.RoundTrip). The zero
+	// value is dense lossless frames, i.e. no change.
+	Compression codec.Compression
 	// TinyImageModel substitutes the 5×-cheaper TinyResNet for the
 	// mini-ResNet in image-task experiments, letting quick-scale runs
 	// train far enough on one core for attack orderings to surface.

@@ -52,6 +52,12 @@ func (c Config) Validate() error {
 // aggregation: per-worker local gradients (nil for uploads that never
 // arrived), the reported sample counts, and the fate of every upload in
 // the shared failure vocabulary of internal/faults.
+//
+// The whole result — the struct and every slice in it — is engine-owned
+// scratch that the NEXT CollectGradientsContext call on the same engine
+// overwrites in place, keeping steady-state rounds allocation-free.
+// Consumers that retain any of it past the round must copy what they keep
+// (RunRoundContext's report does exactly that for Status and Retries).
 type RoundResult struct {
 	Round int
 	// Grads holds the collected local gradients, indexed by worker
@@ -94,6 +100,14 @@ type Engine struct {
 	opt    options
 	reg    *metrics.Registry
 	em     engineMetrics
+
+	// Round-loop scratch, reused across rounds so steady-state collection
+	// allocates nothing: the RoundResult with its per-worker slices, the
+	// fault plan, and (only when no straggler can outlive the round) the
+	// parameter snapshot handed to the workers.
+	rr         *RoundResult
+	planBuf    []workerPlan
+	paramsSnap []float64
 }
 
 // NewEngine builds a federation. The global model is constructed from the

@@ -120,7 +120,10 @@ type workerPlan struct {
 // runtime deterministic for a fixed seed regardless of scheduling order,
 // pool size, or wall-clock jitter.
 func (e *Engine) faultPlan(round int) []workerPlan {
-	plan := make([]workerPlan, len(e.Workers))
+	if cap(e.planBuf) < len(e.Workers) {
+		e.planBuf = make([]workerPlan, len(e.Workers))
+	}
+	plan := e.planBuf[:len(e.Workers)]
 	for i := range e.Workers {
 		plan[i] = workerPlan{status: faults.StatusOK}
 		f := faults.FaultNone
@@ -204,19 +207,36 @@ func (e *Engine) CollectGradientsContext(ctx context.Context, round int) (*Round
 		e.arena = gradvec.NewMatrix(n, d)
 	}
 	arena := e.arena
-	rr := &RoundResult{
-		Round:   round,
-		Grads:   make([]gradvec.Vector, n),
-		Samples: make([]int, n),
-		Status:  make([]faults.UploadStatus, n),
-		Retries: make([]int, n),
-		Quorum:  e.opt.quorum,
+	// The RoundResult is engine-owned scratch (see its doc): reuse the
+	// struct and its slices whenever the federation size is unchanged.
+	rr := e.rr
+	if rr == nil || len(rr.Grads) != n {
+		rr = &RoundResult{
+			Grads:   make([]gradvec.Vector, n),
+			Samples: make([]int, n),
+			Status:  make([]faults.UploadStatus, n),
+			Retries: make([]int, n),
+		}
+		e.rr = rr
 	}
+	for i := range rr.Grads {
+		rr.Grads[i] = nil
+	}
+	rr.Round, rr.Quorum, rr.Arrived, rr.Committed = round, e.opt.quorum, 0, false
 	plan := e.faultPlan(round)
-	// Snapshot the parameters for the fan-out: a straggler abandoned at
-	// the deadline may still be reading its copy while a later
-	// ApplyGlobal writes e.params.
-	params := append([]float64(nil), e.params...)
+	// Snapshot the parameters for the fan-out. With a worker deadline, a
+	// straggler abandoned at the deadline may still be reading its copy
+	// while a later ApplyGlobal writes e.params — or while a later round
+	// refills a shared snapshot — so each timed round gets a private copy.
+	// Without a deadline every worker finishes before this call returns,
+	// and the snapshot buffer is reused round over round.
+	var params []float64
+	if e.opt.workerTimeout > 0 {
+		params = append([]float64(nil), e.params...)
+	} else {
+		e.paramsSnap = append(e.paramsSnap[:0], e.params...)
+		params = e.paramsSnap
+	}
 
 	// store files worker i's arrived gradient into its arena row. Rows are
 	// disjoint, so concurrent stores need no synchronization. A worker

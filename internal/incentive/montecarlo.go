@@ -1,0 +1,134 @@
+package incentive
+
+import (
+	"fmt"
+
+	"fifl/internal/rng"
+)
+
+// Defaults for MonteCarloShapley; zero-valued fields resolve to these.
+const (
+	// DefaultMCRounds is the permutation sample budget.
+	DefaultMCRounds = 2000
+	// DefaultMCSeed roots the estimator's private random stream when the
+	// caller does not supply a seed, keeping results reproducible.
+	DefaultMCSeed uint64 = 0x5ab1e2
+	// DefaultMCTolerance is the truncation threshold used when a caller
+	// wants TMC behaviour without tuning: small against Ψ's O(log n)
+	// range, so the bias it admits is far below sampling noise.
+	DefaultMCTolerance = 1e-3
+)
+
+// MonteCarloShapley estimates Shapley values by truncated-permutation
+// Monte Carlo sampling (TMC-Shapley): it averages marginal utilities over
+// Rounds random coalition orderings, and within each ordering stops
+// scanning once the utility still unclaimed — Ψ(total) − Ψ(sum so far) —
+// falls below Tolerance. Because Ψ(n) = log(1+n) is monotone in the
+// coalition's sample sum, every truncated marginal is bounded by
+// Tolerance, so truncation biases each estimate by at most Tolerance per
+// permutation while skipping the long, flat tail of large coalitions.
+//
+// The estimator runs in O(Rounds·n) instead of the exact enumeration's
+// O(n·2^(n-1)), which is what makes Shapley-style payouts tractable at
+// production federation sizes.
+//
+// The sampler owns a private deterministic random stream, so the type is
+// stateful: successive Weights calls continue the stream, and the same
+// seed replayed over the same inputs reproduces the same estimates bit
+// for bit. RNGDraws and DiscardRNG expose the stream position under the
+// same contract as fl.Engine, letting checkpoints persist "where the
+// randomness got to" as a single integer.
+type MonteCarloShapley struct {
+	rounds    int
+	tolerance float64
+	src       *rng.Source
+	perm      []int // reused across permutations; grown on demand
+}
+
+// NewMonteCarloShapley builds the sampled estimator. rounds <= 0 selects
+// DefaultMCRounds; tolerance <= 0 disables truncation (pure Monte Carlo
+// permutation sampling); seed 0 selects DefaultMCSeed.
+func NewMonteCarloShapley(seed uint64, rounds int, tolerance float64) *MonteCarloShapley {
+	if seed == 0 {
+		seed = DefaultMCSeed
+	}
+	if rounds <= 0 {
+		rounds = DefaultMCRounds
+	}
+	if tolerance < 0 {
+		tolerance = 0
+	}
+	return &MonteCarloShapley{rounds: rounds, tolerance: tolerance, src: rng.New(seed)}
+}
+
+// Name implements Mechanism.
+func (*MonteCarloShapley) Name() string { return "Shapley-MC" }
+
+// Rounds reports the permutation sample budget.
+func (m *MonteCarloShapley) Rounds() int { return m.rounds }
+
+// Tolerance reports the truncation threshold (0 = no truncation).
+func (m *MonteCarloShapley) Tolerance() float64 { return m.tolerance }
+
+// Weights implements Mechanism: it returns the estimated Shapley value of
+// every worker. Each call consumes the estimator's random stream, so call
+// order matters for reproducibility — exactly once per round, like the
+// engine's fault stream.
+func (m *MonteCarloShapley) Weights(samples []int) []float64 {
+	n := len(samples)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	if n == 1 {
+		out[0] = Utility(float64(samples[0]))
+		return out
+	}
+	total := 0.0
+	for _, s := range samples {
+		total += float64(s)
+	}
+	full := Utility(total)
+	if cap(m.perm) < n {
+		m.perm = make([]int, n)
+	}
+	perm := m.perm[:n]
+	for r := 0; r < m.rounds; r++ {
+		for i := range perm {
+			perm[i] = i
+		}
+		m.src.Shuffle(n, func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		sum := 0.0
+		for _, i := range perm {
+			before := Utility(sum)
+			if m.tolerance > 0 && full-before < m.tolerance {
+				// Every remaining marginal is below the tolerance (Ψ is
+				// monotone); skip the tail of this permutation.
+				break
+			}
+			sum += float64(samples[i])
+			out[i] += Utility(sum) - before
+		}
+	}
+	inv := 1.0 / float64(m.rounds)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// RNGDraws reports how many raw steps the estimator's private random
+// stream has consumed; together with the seed it pins the stream position
+// for checkpointing.
+func (m *MonteCarloShapley) RNGDraws() uint64 { return m.src.Draws() }
+
+// DiscardRNG fast-forwards the random stream to the position a checkpoint
+// recorded. It refuses to rewind: the stream can only be advanced on a
+// freshly built estimator.
+func (m *MonteCarloShapley) DiscardRNG(n uint64) error {
+	if cur := m.src.Draws(); cur > n {
+		return fmt.Errorf("incentive: Shapley-MC RNG already at %d draws, cannot rewind to %d", cur, n)
+	}
+	m.src.Discard(n - m.src.Draws())
+	return nil
+}

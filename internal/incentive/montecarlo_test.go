@@ -1,0 +1,126 @@
+package incentive
+
+import (
+	"math"
+	"testing"
+)
+
+// mcSamples is a deliberately skewed federation (one data giant, a mid
+// tier, several small holders) so the Shapley values are far from uniform
+// and an estimator bias would show.
+var mcSamples = []int{800, 400, 400, 200, 100, 100, 50, 25, 10, 5}
+
+// TestMonteCarloMatchesExactSmallN is the estimator's error-bound
+// guarantee: at n <= 10 the seeded Monte-Carlo estimate must agree with
+// the exact subset enumeration within the configured tolerance, both per
+// worker and in normalized shares.
+func TestMonteCarloMatchesExactSmallN(t *testing.T) {
+	const sampleTol = 0.05 // absolute per-worker error budget at 8000 permutations (~3σ)
+	exact := shapleyExact(mcSamples)
+	mc := NewMonteCarloShapley(7, 8000, 1e-9).Weights(mcSamples)
+	if len(mc) != len(exact) {
+		t.Fatalf("Monte-Carlo returned %d weights, exact %d", len(mc), len(exact))
+	}
+	for i := range exact {
+		if diff := math.Abs(mc[i] - exact[i]); diff > sampleTol {
+			t.Errorf("worker %d: |mc %.5f - exact %.5f| = %.5f exceeds tolerance %g",
+				i, mc[i], exact[i], diff, sampleTol)
+		}
+	}
+	// Shares (the quantity rewards are paid from) must agree even tighter:
+	// normalization cancels the common scale error.
+	exactShares := Shares(Shapley{}, mcSamples)
+	mcShares := Shares(NewMonteCarloShapley(7, 8000, 1e-9), mcSamples)
+	for i := range exactShares {
+		if diff := math.Abs(mcShares[i] - exactShares[i]); diff > 0.005 {
+			t.Errorf("share %d: |mc %.5f - exact %.5f| = %.5f", i, mcShares[i], exactShares[i], diff)
+		}
+	}
+}
+
+// TestMonteCarloTruncationBias: enabling an aggressive truncation
+// tolerance must not move any estimate by more than that tolerance —
+// the bound the Ψ-monotonicity argument promises.
+func TestMonteCarloTruncationBias(t *testing.T) {
+	const tol = 0.05
+	plain := NewMonteCarloShapley(21, 2000, 0).Weights(mcSamples)
+	truncated := NewMonteCarloShapley(21, 2000, tol).Weights(mcSamples)
+	for i := range plain {
+		if diff := math.Abs(plain[i] - truncated[i]); diff > tol {
+			t.Errorf("worker %d: truncation moved the estimate by %.5f > tolerance %g", i, diff, tol)
+		}
+	}
+}
+
+// TestMonteCarloDeterminism: the same seed over the same inputs
+// reproduces the same estimates bit for bit, and successive calls
+// continue (not restart) the stream.
+func TestMonteCarloDeterminism(t *testing.T) {
+	a := NewMonteCarloShapley(3, 500, 1e-6)
+	b := NewMonteCarloShapley(3, 500, 1e-6)
+	w1a, w1b := a.Weights(mcSamples), b.Weights(mcSamples)
+	for i := range w1a {
+		if math.Float64bits(w1a[i]) != math.Float64bits(w1b[i]) {
+			t.Fatalf("same seed diverged at worker %d: %v vs %v", i, w1a[i], w1b[i])
+		}
+	}
+	w2a := a.Weights(mcSamples)
+	same := true
+	for i := range w2a {
+		if math.Float64bits(w2a[i]) != math.Float64bits(w1a[i]) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("second Weights call replayed the first call's stream instead of continuing it")
+	}
+}
+
+// TestMonteCarloResume: the Draws/Discard contract — a fresh estimator on
+// the same seed, fast-forwarded to a recorded stream position, continues
+// bit for bit. This is what lets a checkpointed federation with
+// shapley-mc active resume identically.
+func TestMonteCarloResume(t *testing.T) {
+	orig := NewMonteCarloShapley(9, 400, 1e-6)
+	orig.Weights(mcSamples) // advance the stream by one round's worth
+	pos := orig.RNGDraws()
+	if pos == 0 {
+		t.Fatal("Weights consumed no random draws")
+	}
+	next := orig.Weights(mcSamples)
+
+	resumed := NewMonteCarloShapley(9, 400, 1e-6)
+	if err := resumed.DiscardRNG(pos); err != nil {
+		t.Fatal(err)
+	}
+	got := resumed.Weights(mcSamples)
+	for i := range next {
+		if math.Float64bits(got[i]) != math.Float64bits(next[i]) {
+			t.Fatalf("resumed stream diverged at worker %d: %v vs %v", i, got[i], next[i])
+		}
+	}
+	if err := resumed.DiscardRNG(0); err == nil {
+		t.Fatal("DiscardRNG rewound the stream")
+	}
+}
+
+// TestMonteCarloEdgeCases: n=0 and n=1 short-circuit without touching the
+// random stream; defaults resolve for zero-valued parameters.
+func TestMonteCarloEdgeCases(t *testing.T) {
+	m := NewMonteCarloShapley(0, 0, -1)
+	if m.Rounds() != DefaultMCRounds {
+		t.Fatalf("rounds defaulted to %d, want %d", m.Rounds(), DefaultMCRounds)
+	}
+	if m.Tolerance() != 0 {
+		t.Fatalf("negative tolerance did not clamp to 0: %v", m.Tolerance())
+	}
+	if w := m.Weights(nil); len(w) != 0 {
+		t.Fatalf("Weights(nil) = %v", w)
+	}
+	if w := m.Weights([]int{100}); len(w) != 1 || w[0] != Utility(100) {
+		t.Fatalf("Weights(single) = %v, want [%v]", w, Utility(100))
+	}
+	if m.RNGDraws() != 0 {
+		t.Fatalf("degenerate inputs consumed %d random draws", m.RNGDraws())
+	}
+}

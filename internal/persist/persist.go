@@ -38,7 +38,9 @@ import (
 
 // Magic opens every checkpoint and carries the format version; an
 // incompatible change to the layout below must bump the trailing digit.
-const Magic = "FIFLCKP1"
+// Version 2 added MechDraws (the reward mechanism's RNG stream position)
+// after EngineDraws.
+const Magic = "FIFLCKP2"
 
 // MaxSnapshotBytes bounds one checkpoint read. The dominant terms are the
 // model parameters and the ledger export; 1 GiB accommodates the largest
@@ -82,6 +84,9 @@ type Snapshot struct {
 	BHValue       float64
 	// EngineDraws is the engine's fault/retry RNG stream position.
 	EngineDraws uint64
+	// MechDraws is the reward mechanism's private RNG stream position
+	// (core.ResumableMechanism), 0 for deterministic mechanisms.
+	MechDraws uint64
 	// WorkerDraws is each worker's training RNG stream position (0 for
 	// workers that do not expose one, e.g. remote transport stubs whose
 	// real state lives in the worker process).
@@ -182,6 +187,7 @@ func Encode(s *Snapshot) ([]byte, error) {
 	}
 	b = putU64(b, math.Float64bits(s.BHValue))
 	b = putU64(b, s.EngineDraws)
+	b = putU64(b, s.MechDraws)
 	b = putU64s(b, s.WorkerDraws)
 	b = putInts(b, s.Samples)
 	if int64(len(s.Ledger)) > math.MaxUint32 {
@@ -256,6 +262,9 @@ func Decode(b []byte) (*Snapshot, error) {
 	}
 	s.BHValue = math.Float64frombits(bhBits)
 	if s.EngineDraws, err = r.u64("engine draws"); err != nil {
+		return nil, err
+	}
+	if s.MechDraws, err = r.u64("mechanism draws"); err != nil {
 		return nil, err
 	}
 	if s.WorkerDraws, err = r.u64s("worker draws"); err != nil {

@@ -56,9 +56,25 @@ type ClientConfig struct {
 	// an explicit "exceeds the response limit" error — terminal, not
 	// retried — instead of a truncated read and a misleading CRC failure.
 	MaxResponseBytes int64
-	// Float32 requests the wire format's compression mode for model
-	// downloads and uses it for uploads: half the bytes, lossy — and it
-	// forfeits bit-identity with an in-process run.
+	// Compression selects the wire layout for this worker's traffic,
+	// negotiated once at dial time: uploads are encoded in it, and model
+	// and report downloads are requested in it via the `enc` query
+	// parameter (the server degrades topk to f32 for those dense
+	// broadcasts). Every mode except codec.CompressionNone is lossy and
+	// forfeits bit-identity with an in-process run — except on audit
+	// rounds, see AuditEvery.
+	Compression codec.Compression
+	// AuditEvery is the bit-identity escape hatch: every AuditEvery-th
+	// round (t % AuditEvery == 0) is carried dense float64 regardless of
+	// Compression, so auditors can spot-check exact gradients on a
+	// schedule. 0 disables auditing; 1 forces every round dense, making
+	// the whole run bit-identical to an uncompressed one.
+	AuditEvery int
+	// Float32 is the deprecated spelling of Compression:
+	// codec.CompressionF32. It is honored only when Compression is
+	// CompressionNone.
+	//
+	// Deprecated: set Compression instead.
 	Float32 bool
 	// Metrics selects the registry the client instruments itself into —
 	// request counts/latencies per endpoint, retry attempts, bytes moved,
@@ -99,6 +115,15 @@ func DialWorker(ctx context.Context, cfg ClientConfig) (*Client, error) {
 	if cfg.RetryBackoff <= 0 {
 		cfg.RetryBackoff = 100 * time.Millisecond
 	}
+	if !cfg.Compression.Valid() {
+		return nil, fmt.Errorf("transport: DialWorker got invalid compression mode %s", cfg.Compression)
+	}
+	if cfg.Compression == codec.CompressionNone && cfg.Float32 {
+		cfg.Compression = codec.CompressionF32
+	}
+	if cfg.AuditEvery < 0 {
+		return nil, fmt.Errorf("transport: DialWorker requires a non-negative audit cadence, got %d", cfg.AuditEvery)
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = metrics.Default
@@ -117,6 +142,15 @@ func DialWorker(ctx context.Context, cfg ClientConfig) (*Client, error) {
 	return c, nil
 }
 
+// compressionFor returns the wire mode for the given round: the
+// negotiated mode, except on audit rounds, which are always dense.
+func (c *Client) compressionFor(round int) codec.Compression {
+	if c.cfg.AuditEvery > 0 && round >= 0 && round%c.cfg.AuditEvery == 0 {
+		return codec.CompressionNone
+	}
+	return c.cfg.Compression
+}
+
 // RunRound performs one poll-train-submit cycle. done reports that the
 // coordinator broadcast the terminal frame; trained reports whether this
 // call actually trained and submitted (false on an empty long poll).
@@ -126,8 +160,12 @@ func (c *Client) RunRound(ctx context.Context) (trained, done bool, err error) {
 		"worker": {strconv.Itoa(c.cfg.Worker.ID())},
 		"wait":   {strconv.Itoa(int(c.cfg.PollWait / time.Millisecond))},
 	}
-	if c.cfg.Float32 {
-		q.Set("enc", "f32")
+	// The download mode predicts the next round as lastRound+1. A stale
+	// prediction (the hub skipped ahead) only costs download fidelity for
+	// one frame; the upload decision below uses the round the model frame
+	// actually names, so audit-round uploads are always exact.
+	if dl := c.compressionFor(c.lastRound + 1); dl != codec.CompressionNone {
+		q.Set("enc", dl.String())
 	}
 	body, err := c.get(ctx, "/v1/model?"+q.Encode())
 	if err != nil {
@@ -153,7 +191,7 @@ func (c *Client) RunRound(ctx context.Context) (trained, done bool, err error) {
 		Worker:  c.cfg.Worker.ID(),
 		Samples: c.cfg.Worker.NumSamples(),
 		Grad:    grad,
-	}, c.cfg.Float32)
+	}, c.compressionFor(m.Round))
 	if err != nil {
 		return false, false, fmt.Errorf("transport: encoding upload for round %d: %w", m.Round, err)
 	}
@@ -193,8 +231,8 @@ func (c *Client) LastRound() int { return c.lastRound }
 // FetchReport downloads one round's assessment.
 func (c *Client) FetchReport(ctx context.Context, round int) (codec.Report, error) {
 	q := url.Values{"round": {strconv.Itoa(round)}}
-	if c.cfg.Float32 {
-		q.Set("enc", "f32")
+	if dl := c.compressionFor(round); dl != codec.CompressionNone {
+		q.Set("enc", dl.String())
 	}
 	body, err := c.get(ctx, "/v1/round/report?"+q.Encode())
 	if err != nil {

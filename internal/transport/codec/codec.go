@@ -10,12 +10,13 @@
 //	  ... length-prefixed payload vectors ...
 //	crc32 (IEEE, little-endian) over everything before it
 //
-// Gradient and parameter payloads are length-prefixed float64 arrays in
-// little-endian bit order, so a float64 round-trips bit-exactly — the
-// property the transport's "bit-identical to the in-process engine"
-// guarantee rests on. Setting FlagFloat32 switches a frame's vector
-// payloads to float32 (half the bytes, lossy); both sides of a connection
-// negotiate it per request, and decoders accept either mode.
+// Gradient and parameter payloads default to length-prefixed float64
+// arrays in little-endian bit order, so a float64 round-trips bit-exactly
+// — the property the transport's "bit-identical to the in-process engine"
+// guarantee rests on. The compression flag bits switch a frame's vector
+// payloads to one of the lossy layouts (dense float32, top-k sparse,
+// int8/int16 quantized — see Compression); each side of a connection
+// picks its mode per request, and decoders accept every mode.
 //
 // Decoders are hardened against adversarial bytes: every declared length
 // is checked against the remaining input before allocation, the CRC is
@@ -78,10 +79,11 @@ func (t MsgType) String() string {
 	}
 }
 
-// Frame flags.
+// Frame flags. The four compression bits are mutually exclusive — Type
+// rejects frames that set more than one.
 const (
-	// FlagFloat32 switches the frame's vector payloads to float32 — the
-	// negotiable compression mode (half the bytes, lossy).
+	// FlagFloat32 switches the frame's vector payloads to float32 (half
+	// the bytes, lossy) — CompressionF32.
 	FlagFloat32 uint8 = 1 << 0
 	// FlagDone on a model frame tells workers the federation has finished;
 	// the frame carries no parameters.
@@ -89,8 +91,18 @@ const (
 	// FlagCommitted on a report frame records that the round met its
 	// quorum.
 	FlagCommitted uint8 = 1 << 2
+	// FlagTopK switches vector payloads to top-k sparse (index, float32)
+	// pairs — CompressionTopK.
+	FlagTopK uint8 = 1 << 3
+	// FlagInt8 switches vector payloads to 8-bit symmetric quantization —
+	// CompressionInt8.
+	FlagInt8 uint8 = 1 << 4
+	// FlagInt16 switches vector payloads to 16-bit symmetric quantization
+	// — CompressionInt16.
+	FlagInt16 uint8 = 1 << 5
 
-	knownFlags = FlagFloat32 | FlagDone | FlagCommitted
+	compressionFlags = FlagFloat32 | FlagTopK | FlagInt8 | FlagInt16
+	knownFlags       = compressionFlags | FlagDone | FlagCommitted
 )
 
 // headerSize is magic + version + type + flags + reserved.
@@ -148,17 +160,26 @@ func (w *writer) u32(v uint32) {
 	w.b = binary.LittleEndian.AppendUint32(w.b, v)
 }
 
-// vec appends a length-prefixed vector in the frame's element width.
-func (w *writer) vec(v []float64, f32 bool) {
-	w.u32(uint32(len(v)))
-	if f32 {
+// vec appends a vector in the frame's negotiated layout (see the
+// Compression modes in compression.go for the per-mode wire formats).
+func (w *writer) vec(v []float64, c Compression) {
+	switch c {
+	case CompressionF32:
+		w.u32(uint32(len(v)))
 		for _, x := range v {
 			w.b = binary.LittleEndian.AppendUint32(w.b, math.Float32bits(float32(x)))
 		}
-		return
-	}
-	for _, x := range v {
-		w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(x))
+	case CompressionTopK:
+		w.writeTopK(v)
+	case CompressionInt8:
+		w.writeQuantized(v, 127, false)
+	case CompressionInt16:
+		w.writeQuantized(v, 32767, true)
+	default:
+		w.u32(uint32(len(v)))
+		for _, x := range v {
+			w.b = binary.LittleEndian.AppendUint64(w.b, math.Float64bits(x))
+		}
 	}
 }
 
@@ -193,17 +214,26 @@ func (r *reader) bytes(n int) ([]byte, error) {
 	return out, nil
 }
 
-// vec reads a length-prefixed vector in the frame's element width,
-// rejecting non-finite elements. The length prefix is validated against
-// the remaining bytes before any allocation, so adversarial prefixes
-// cannot force huge allocations.
-func (r *reader) vec(f32 bool, field string) ([]float64, error) {
+// vec reads a vector in the frame's negotiated layout, rejecting
+// non-finite elements. Every declared length is validated against the
+// remaining bytes before allocation, so adversarial prefixes cannot force
+// huge allocations (sparse frames additionally cap their declared dense
+// dimension — see maxSparseDim).
+func (r *reader) vec(c Compression, field string) ([]float64, error) {
+	switch c {
+	case CompressionTopK:
+		return r.readTopK(field)
+	case CompressionInt8:
+		return r.readQuantized(field, false)
+	case CompressionInt16:
+		return r.readQuantized(field, true)
+	}
 	count, err := r.u32()
 	if err != nil {
 		return nil, err
 	}
 	elem := 8
-	if f32 {
+	if c == CompressionF32 {
 		elem = 4
 	}
 	if int64(count)*int64(elem) > int64(r.remaining()) {
@@ -216,7 +246,7 @@ func (r *reader) vec(f32 bool, field string) ([]float64, error) {
 	out := make([]float64, count)
 	for i := range out {
 		var x float64
-		if f32 {
+		if c == CompressionF32 {
 			x = float64(math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:])))
 		} else {
 			x = math.Float64frombits(binary.LittleEndian.Uint64(raw[i*8:]))
@@ -271,6 +301,9 @@ func Type(b []byte) (MsgType, error) {
 	}
 	if b[6]&^knownFlags != 0 {
 		return 0, fmt.Errorf("codec: unknown flag bits %#x", b[6]&^knownFlags)
+	}
+	if comp := b[6] & compressionFlags; comp&(comp-1) != 0 {
+		return 0, fmt.Errorf("codec: conflicting compression flag bits %#x", comp)
 	}
 	t := MsgType(b[5])
 	switch t {
@@ -333,10 +366,13 @@ func DecodeHello(b []byte) (Hello, error) {
 	return Hello{Worker: int(worker), Samples: int(samples)}, nil
 }
 
-// EncodeUpload encodes a gradient submission. float32Mode halves the
-// payload at the cost of precision (and of the transport's bit-identity
-// guarantee).
-func EncodeUpload(u Upload, float32Mode bool) ([]byte, error) {
+// EncodeUpload encodes a gradient submission in the given compression
+// mode. Every mode except CompressionNone is lossy and forfeits the
+// transport's bit-identity guarantee for this frame.
+func EncodeUpload(u Upload, c Compression) ([]byte, error) {
+	if !c.Valid() {
+		return nil, fmt.Errorf("codec: invalid compression mode %s", c)
+	}
 	if err := checkU32(u.Round, "upload round"); err != nil {
 		return nil, err
 	}
@@ -349,15 +385,14 @@ func EncodeUpload(u Upload, float32Mode bool) ([]byte, error) {
 	if err := checkFinite(u.Grad, "upload gradient"); err != nil {
 		return nil, err
 	}
-	var flags uint8
-	if float32Mode {
-		flags |= FlagFloat32
+	if len(u.Grad) > maxSparseDim && c == CompressionTopK {
+		return nil, fmt.Errorf("codec: %d-element gradient exceeds the sparse frame cap %d", len(u.Grad), maxSparseDim)
 	}
-	w := newWriter(TypeUpload, flags, 16+8*len(u.Grad))
+	w := newWriter(TypeUpload, c.flag(), 16+8*len(u.Grad))
 	w.u32(uint32(u.Round))
 	w.u32(uint32(u.Worker))
 	w.u32(uint32(u.Samples))
-	w.vec(u.Grad, float32Mode)
+	w.vec(u.Grad, c)
 	return w.seal(), nil
 }
 
@@ -381,7 +416,7 @@ func DecodeUpload(b []byte) (Upload, error) {
 	if err != nil {
 		return Upload{}, err
 	}
-	grad, err := r.vec(flags&FlagFloat32 != 0, "upload gradient")
+	grad, err := r.vec(CompressionFromFlags(flags), "upload gradient")
 	if err != nil {
 		return Upload{}, err
 	}
@@ -392,8 +427,15 @@ func DecodeUpload(b []byte) (Upload, error) {
 }
 
 // EncodeModel encodes a global-parameter broadcast. A done frame must
-// carry no parameters.
-func EncodeModel(m Model, float32Mode bool) ([]byte, error) {
+// carry no parameters. Parameters are a dense quantity, so
+// CompressionTopK degrades to CompressionF32 — the negotiation rule
+// DESIGN.md §4.15 documents: a worker that asked for sparse uploads still
+// receives every parameter.
+func EncodeModel(m Model, c Compression) ([]byte, error) {
+	if !c.Valid() {
+		return nil, fmt.Errorf("codec: invalid compression mode %s", c)
+	}
+	c = c.DenseFallback()
 	if err := checkU32(m.Round, "model round"); err != nil {
 		return nil, err
 	}
@@ -403,16 +445,13 @@ func EncodeModel(m Model, float32Mode bool) ([]byte, error) {
 	if err := checkFinite(m.Params, "model parameters"); err != nil {
 		return nil, err
 	}
-	var flags uint8
-	if float32Mode {
-		flags |= FlagFloat32
-	}
+	flags := c.flag()
 	if m.Done {
 		flags |= FlagDone
 	}
 	w := newWriter(TypeModel, flags, 8+8*len(m.Params))
 	w.u32(uint32(m.Round))
-	w.vec(m.Params, float32Mode)
+	w.vec(m.Params, c)
 	return w.seal(), nil
 }
 
@@ -426,7 +465,7 @@ func DecodeModel(b []byte) (Model, error) {
 	if err != nil {
 		return Model{}, err
 	}
-	params, err := r.vec(flags&FlagFloat32 != 0, "model parameters")
+	params, err := r.vec(CompressionFromFlags(flags), "model parameters")
 	if err != nil {
 		return Model{}, err
 	}
@@ -441,8 +480,14 @@ func DecodeModel(b []byte) (Model, error) {
 }
 
 // EncodeReport encodes a round assessment. Statuses, Reputations and
-// Rewards must agree on the federation size.
-func EncodeReport(rep Report, float32Mode bool) ([]byte, error) {
+// Rewards must agree on the federation size. Like model broadcasts, the
+// per-worker vectors are dense, so CompressionTopK degrades to
+// CompressionF32.
+func EncodeReport(rep Report, c Compression) ([]byte, error) {
+	if !c.Valid() {
+		return nil, fmt.Errorf("codec: invalid compression mode %s", c)
+	}
+	c = c.DenseFallback()
 	if err := checkU32(rep.Round, "report round"); err != nil {
 		return nil, err
 	}
@@ -457,10 +502,7 @@ func EncodeReport(rep Report, float32Mode bool) ([]byte, error) {
 	if err := checkFinite(rep.Rewards, "report rewards"); err != nil {
 		return nil, err
 	}
-	var flags uint8
-	if float32Mode {
-		flags |= FlagFloat32
-	}
+	flags := c.flag()
 	if rep.Committed {
 		flags |= FlagCommitted
 	}
@@ -470,8 +512,8 @@ func EncodeReport(rep Report, float32Mode bool) ([]byte, error) {
 	for _, s := range rep.Statuses {
 		w.b = append(w.b, byte(s))
 	}
-	w.vec(rep.Reputations, float32Mode)
-	w.vec(rep.Rewards, float32Mode)
+	w.vec(rep.Reputations, c)
+	w.vec(rep.Rewards, c)
 	return w.seal(), nil
 }
 
@@ -500,12 +542,12 @@ func DecodeReport(b []byte) (Report, error) {
 		}
 		statuses[i] = faults.UploadStatus(s)
 	}
-	f32 := flags&FlagFloat32 != 0
-	reps, err := r.vec(f32, "report reputations")
+	comp := CompressionFromFlags(flags)
+	reps, err := r.vec(comp, "report reputations")
 	if err != nil {
 		return Report{}, err
 	}
-	rewards, err := r.vec(f32, "report rewards")
+	rewards, err := r.vec(comp, "report rewards")
 	if err != nil {
 		return Report{}, err
 	}

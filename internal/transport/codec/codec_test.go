@@ -49,7 +49,7 @@ func TestUploadRoundTrip(t *testing.T) {
 			Samples: src.Intn(1 << 16),
 			Grad:    randVec(src, n),
 		}
-		b, err := EncodeUpload(in, false)
+		b, err := EncodeUpload(in, CompressionNone)
 		if err != nil {
 			t.Fatalf("trial %d: encode: %v", trial, err)
 		}
@@ -75,11 +75,11 @@ func TestUploadRoundTrip(t *testing.T) {
 // projection of the gradient and halves the payload.
 func TestUploadFloat32Mode(t *testing.T) {
 	in := Upload{Round: 3, Worker: 1, Samples: 10, Grad: []float64{1.5, -0.25, 1e-3, 42}}
-	b64, err := EncodeUpload(in, false)
+	b64, err := EncodeUpload(in, CompressionNone)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b32, err := EncodeUpload(in, true)
+	b32, err := EncodeUpload(in, CompressionF32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,10 +100,10 @@ func TestUploadFloat32Mode(t *testing.T) {
 // TestEncodeRejectsNonFinite: NaN and ±Inf must not reach the wire.
 func TestEncodeRejectsNonFinite(t *testing.T) {
 	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
-		if _, err := EncodeUpload(Upload{Grad: []float64{1, bad}}, false); err == nil {
+		if _, err := EncodeUpload(Upload{Grad: []float64{1, bad}}, CompressionNone); err == nil {
 			t.Fatalf("EncodeUpload accepted %v", bad)
 		}
-		if _, err := EncodeModel(Model{Params: []float64{bad}}, false); err == nil {
+		if _, err := EncodeModel(Model{Params: []float64{bad}}, CompressionNone); err == nil {
 			t.Fatalf("EncodeModel accepted %v", bad)
 		}
 	}
@@ -112,7 +112,7 @@ func TestEncodeRejectsNonFinite(t *testing.T) {
 // TestDecodeRejectsNonFinite: a handcrafted frame smuggling NaN past the
 // encoder is refused by the decoder.
 func TestDecodeRejectsNonFinite(t *testing.T) {
-	b, err := EncodeUpload(Upload{Round: 1, Worker: 2, Samples: 3, Grad: []float64{1, 2}}, false)
+	b, err := EncodeUpload(Upload{Round: 1, Worker: 2, Samples: 3, Grad: []float64{1, 2}}, CompressionNone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +139,7 @@ func nanBytes() []byte {
 // must be detected (CRC) or yield a clean parse error — never wrong data.
 func TestDecodeRejectsCorruption(t *testing.T) {
 	in := Upload{Round: 9, Worker: 4, Samples: 77, Grad: []float64{0.5, -2, 3.25}}
-	good, err := EncodeUpload(in, false)
+	good, err := EncodeUpload(in, CompressionNone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +188,7 @@ func TestTypeDispatch(t *testing.T) {
 func TestModelRoundTrip(t *testing.T) {
 	src := rng.New(2)
 	in := Model{Round: 12, Params: randVec(src, 513)}
-	b, err := EncodeModel(in, false)
+	b, err := EncodeModel(in, CompressionNone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -205,7 +205,7 @@ func TestModelRoundTrip(t *testing.T) {
 		}
 	}
 
-	done, err := EncodeModel(Model{Round: 13, Done: true}, false)
+	done, err := EncodeModel(Model{Round: 13, Done: true}, CompressionNone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +213,7 @@ func TestModelRoundTrip(t *testing.T) {
 	if err != nil || !od.Done || od.Round != 13 || len(od.Params) != 0 {
 		t.Fatalf("done frame round trip: %+v, %v", od, err)
 	}
-	if _, err := EncodeModel(Model{Done: true, Params: []float64{1}}, false); err == nil {
+	if _, err := EncodeModel(Model{Done: true, Params: []float64{1}}, CompressionNone); err == nil {
 		t.Fatal("EncodeModel accepted a done frame with parameters")
 	}
 }
@@ -229,7 +229,7 @@ func TestReportRoundTrip(t *testing.T) {
 		Reputations: []float64{0.5, 0.25, 0.125},
 		Rewards:     []float64{1, 0, -0.5},
 	}
-	b, err := EncodeReport(in, false)
+	b, err := EncodeReport(in, CompressionNone)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +247,7 @@ func TestReportRoundTrip(t *testing.T) {
 			t.Fatalf("report worker %d changed: %+v", i, out)
 		}
 	}
-	if _, err := EncodeReport(Report{Statuses: make([]faults.UploadStatus, 2), Reputations: []float64{1}, Rewards: []float64{1, 2}}, false); err == nil {
+	if _, err := EncodeReport(Report{Statuses: make([]faults.UploadStatus, 2), Reputations: []float64{1}, Rewards: []float64{1, 2}}, CompressionNone); err == nil {
 		t.Fatal("EncodeReport accepted mismatched shapes")
 	}
 }
@@ -279,14 +279,22 @@ func TestLedgerRoundTrip(t *testing.T) {
 // whatever the input, DecodeUpload either errors or returns an upload
 // whose gradient is entirely finite and which re-encodes canonically.
 func FuzzDecodeUpload(f *testing.F) {
-	seed1, _ := EncodeUpload(Upload{Round: 1, Worker: 2, Samples: 3, Grad: []float64{0.5, -1.25}}, false)
-	seed2, _ := EncodeUpload(Upload{Round: 7, Worker: 0, Samples: 0, Grad: nil}, false)
-	seed3, _ := EncodeUpload(Upload{Round: 2, Worker: 9, Samples: 4, Grad: []float64{1e30, -1e-30, 0}}, true)
+	seed1, _ := EncodeUpload(Upload{Round: 1, Worker: 2, Samples: 3, Grad: []float64{0.5, -1.25}}, CompressionNone)
+	seed2, _ := EncodeUpload(Upload{Round: 7, Worker: 0, Samples: 0, Grad: nil}, CompressionNone)
+	seed3, _ := EncodeUpload(Upload{Round: 2, Worker: 9, Samples: 4, Grad: []float64{1e30, -1e-30, 0}}, CompressionF32)
 	seed4, _ := EncodeHello(Hello{Worker: 1, Samples: 10})
+	sparse := make([]float64, 40)
+	sparse[3], sparse[17], sparse[31] = 2.5, -7, 0.125
+	seed5, _ := EncodeUpload(Upload{Round: 5, Worker: 1, Samples: 8, Grad: sparse}, CompressionTopK)
+	seed6, _ := EncodeUpload(Upload{Round: 6, Worker: 2, Samples: 9, Grad: []float64{1, -0.5, 0.25, 127}}, CompressionInt8)
+	seed7, _ := EncodeUpload(Upload{Round: 8, Worker: 3, Samples: 11, Grad: []float64{3e4, -2.75, 0}}, CompressionInt16)
 	f.Add(seed1)
 	f.Add(seed2)
 	f.Add(seed3)
 	f.Add(seed4)
+	f.Add(seed5)
+	f.Add(seed6)
+	f.Add(seed7)
 	f.Add([]byte(Magic))
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -300,9 +308,8 @@ func FuzzDecodeUpload(f *testing.F) {
 			}
 		}
 		// A decodable frame must re-encode (in its own mode) to bytes that
-		// decode to the same upload: the format is canonical.
-		f32 := data[6]&FlagFloat32 != 0
-		re, err := EncodeUpload(u, f32)
+		// decode to an upload of the same shape.
+		re, err := EncodeUpload(u, CompressionFromFlags(data[6]))
 		if err != nil {
 			t.Fatalf("re-encode of decoded upload failed: %v", err)
 		}

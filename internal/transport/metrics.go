@@ -27,6 +27,14 @@ type serverMetrics struct {
 	decodeBytes *metrics.Counter
 	encodeBytes *metrics.Counter
 
+	// Dense-equivalent vs actual wire bytes for the compressible payloads
+	// (gradients in, model parameters out): the pair quantifies what the
+	// negotiated compression modes save. Equal totals mean dense frames.
+	denseBytesIn  *metrics.Counter
+	wireBytesIn   *metrics.Counter
+	denseBytesOut *metrics.Counter
+	wireBytesOut  *metrics.Counter
+
 	uploadBytes []*metrics.Counter // per worker; mirrors Server.upBytes
 	modelBytes  []*metrics.Counter // per worker; mirrors Server.downBytes
 }
@@ -43,6 +51,8 @@ func newServerMetrics(r *metrics.Registry, n int) *serverMetrics {
 	r.Help("fifl_codec_decode_seconds", "Wire-codec decode latency (wall-clock, observability-only).")
 	r.Help("fifl_transport_upload_bytes_total", "Upload frame bytes accepted, by worker (matches Server.WorkerTraffic).")
 	r.Help("fifl_transport_model_bytes_total", "Model frame bytes served, by worker (matches Server.WorkerTraffic).")
+	r.Help("fifl_codec_dense_bytes_total", "Dense float64 equivalent of the compressible payloads moved, by direction.")
+	r.Help("fifl_codec_wire_bytes_total", "Actual wire bytes of the compressible payloads moved, by direction.")
 	sm := &serverMetrics{
 		reg:         r,
 		bytesIn:     r.Counter("fifl_http_frame_bytes_total", "direction", "in"),
@@ -53,6 +63,12 @@ func newServerMetrics(r *metrics.Registry, n int) *serverMetrics {
 		encodeSec:   r.Histogram("fifl_codec_encode_seconds", metrics.DefBuckets),
 		decodeBytes: r.Counter("fifl_codec_decode_bytes_total"),
 		encodeBytes: r.Counter("fifl_codec_encode_bytes_total"),
+
+		denseBytesIn:  r.Counter("fifl_codec_dense_bytes_total", "direction", "in"),
+		wireBytesIn:   r.Counter("fifl_codec_wire_bytes_total", "direction", "in"),
+		denseBytesOut: r.Counter("fifl_codec_dense_bytes_total", "direction", "out"),
+		wireBytesOut:  r.Counter("fifl_codec_wire_bytes_total", "direction", "out"),
+
 		uploadBytes: make([]*metrics.Counter, n),
 		modelBytes:  make([]*metrics.Counter, n),
 	}

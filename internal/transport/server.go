@@ -174,6 +174,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			s.upBytes[u.Worker] += int64(len(body))
 			s.mu.Unlock()
 			s.sm.uploadBytes[u.Worker].Add(int64(len(body)))
+			s.sm.denseBytesIn.Add(int64(8 * len(u.Grad)))
+			s.sm.wireBytesIn.Add(int64(len(body)))
 		} else {
 			s.sm.replays.Inc()
 		}
@@ -183,13 +185,29 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// queryCompression parses the ?enc= parameter naming the wire layout the
+// client wants its download in (empty = dense float64).
+func queryCompression(r *http.Request) (codec.Compression, error) {
+	c, err := codec.ParseCompression(r.URL.Query().Get("enc"))
+	if err != nil {
+		return 0, fmt.Errorf("transport: bad enc=%q: %w", r.URL.Query().Get("enc"), err)
+	}
+	return c, nil
+}
+
 // handleModel serves the global-parameter broadcast as a long poll:
 // ?after=R blocks until a round newer than R is published (or the
 // federation finishes), ?wait=ms caps the block, ?worker=i attributes the
-// download for traffic accounting, and ?enc=f32 selects the float32
-// compression mode. No news within the window is 204 No Content.
+// download for traffic accounting, and ?enc= selects the compression mode
+// (topk degrades to f32 — parameters are dense). No news within the
+// window is 204 No Content.
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	after, err := queryInt(r, "after", noRound)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	enc, err := queryCompression(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
@@ -211,13 +229,15 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	encStart := time.Now()
-	frame, err := codec.EncodeModel(codec.Model{Round: round, Done: done, Params: params}, r.URL.Query().Get("enc") == "f32")
+	frame, err := codec.EncodeModel(codec.Model{Round: round, Done: done, Params: params}, enc)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
 	s.sm.observeEncode(encStart, len(frame))
 	if !done {
+		s.sm.denseBytesOut.Add(int64(8 * len(params)))
+		s.sm.wireBytesOut.Add(int64(len(frame)))
 		if worker, err := queryInt(r, "worker", -1); err == nil && worker >= 0 && worker < s.hub.n {
 			s.mu.Lock()
 			s.downBytes[worker] += int64(len(frame))
@@ -242,6 +262,11 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf("transport: no report for round %d yet", round), http.StatusNotFound)
 		return
 	}
+	enc, err := queryCompression(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	encStart := time.Now()
 	frame, err := codec.EncodeReport(codec.Report{
 		Round:       rep.Round,
@@ -249,7 +274,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Statuses:    rep.Statuses,
 		Reputations: rep.Reputations,
 		Rewards:     rep.Rewards,
-	}, r.URL.Query().Get("enc") == "f32")
+	}, enc)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

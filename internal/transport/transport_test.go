@@ -12,8 +12,10 @@ import (
 	"fifl/internal/core"
 	"fifl/internal/faults"
 	"fifl/internal/fl"
+	"fifl/internal/metrics"
 	"fifl/internal/netsim"
 	"fifl/internal/rng"
+	"fifl/internal/transport/codec"
 )
 
 // coordConfig is the shared FIFL configuration of both arms of the
@@ -319,6 +321,180 @@ func TestLoopbackFloat32Mode(t *testing.T) {
 		if up[i] >= dim*8 || down[i] >= dim*8 {
 			t.Fatalf("worker %d float32 traffic (%d up / %d down) not below the float64 payload %d", i, up[i], down[i], dim*8)
 		}
+	}
+}
+
+// loopbackResult captures everything a compressed loopback run produces
+// that the assertions below care about.
+type loopbackResult struct {
+	reports  []*core.RoundReport
+	params   []float64
+	ledger   []byte
+	up, down []int64
+
+	denseIn, wireIn   int64
+	denseOut, wireOut int64
+}
+
+// runCompressedLoopback drives a 2-worker, nRounds-round federation over
+// httptest loopback with the given negotiated compression and audit
+// cadence, against a private metrics registry, and returns the run's
+// observable state.
+func runCompressedLoopback(t *testing.T, mode codec.Compression, auditEvery, nRounds int) loopbackResult {
+	t.Helper()
+	const nWorkers = 2
+	recipe := Recipe{Seed: 11, Workers: nWorkers, SamplesPerWorker: 40}
+	build, err := recipe.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := NewHub(nWorkers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.05}, build, hub.Workers(),
+		rng.New(recipe.Seed).Split("comp"), fl.WithWorkerTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := coordConfig()
+	cfg.Metrics = metrics.New() // isolate the codec byte counters per run
+	coord, err := core.NewCoordinator(cfg, engine, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(coord, hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	errs := make([]error, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		w, err := recipe.Worker(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := DialWorker(ctx, ClientConfig{
+			BaseURL:     ts.URL,
+			Worker:      w,
+			PollWait:    500 * time.Millisecond,
+			Compression: mode,
+			AuditEvery:  auditEvery,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.Run(ctx)
+		}(i)
+	}
+	res := loopbackResult{reports: make([]*core.RoundReport, nRounds)}
+	for r := 0; r < nRounds; r++ {
+		if res.reports[r], err = srv.RunRound(ctx, r); err != nil {
+			t.Fatalf("round %d under %s: %v", r, mode, err)
+		}
+	}
+	srv.MarkDone()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d under %s: %v", i, mode, err)
+		}
+	}
+	res.params = append([]float64(nil), engine.Params()...)
+	var buf bytes.Buffer
+	if err := coord.Ledger.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	res.ledger = buf.Bytes()
+	res.up, res.down = srv.WorkerTraffic()
+	reg := coord.Metrics()
+	res.denseIn = reg.Counter("fifl_codec_dense_bytes_total", "direction", "in").Value()
+	res.wireIn = reg.Counter("fifl_codec_wire_bytes_total", "direction", "in").Value()
+	res.denseOut = reg.Counter("fifl_codec_dense_bytes_total", "direction", "out").Value()
+	res.wireOut = reg.Counter("fifl_codec_wire_bytes_total", "direction", "out").Value()
+	return res
+}
+
+// TestLoopbackCompressedModes: each lossy frame format completes a real
+// HTTP federation and moves strictly fewer wire bytes than the dense
+// float64 equivalent the metrics record alongside — in both directions.
+func TestLoopbackCompressedModes(t *testing.T) {
+	for _, mode := range []codec.Compression{codec.CompressionTopK, codec.CompressionInt8, codec.CompressionInt16} {
+		t.Run(mode.String(), func(t *testing.T) {
+			res := runCompressedLoopback(t, mode, 0, 2)
+			for _, rep := range res.reports {
+				for i, s := range rep.Statuses {
+					if s != faults.StatusOK {
+						t.Fatalf("worker %d status %v under %s", i, s, mode)
+					}
+					if math.IsNaN(rep.Reputations[i]) {
+						t.Fatalf("worker %d reputation is NaN under %s", i, mode)
+					}
+				}
+			}
+			if res.denseIn == 0 || res.denseOut == 0 {
+				t.Fatalf("dense byte counters empty (in=%d out=%d) — metrics not wired", res.denseIn, res.denseOut)
+			}
+			if res.wireIn >= res.denseIn {
+				t.Fatalf("%s uploads: wire bytes %d not below dense equivalent %d", mode, res.wireIn, res.denseIn)
+			}
+			if res.wireOut >= res.denseOut {
+				t.Fatalf("%s model downloads: wire bytes %d not below dense equivalent %d", mode, res.wireOut, res.denseOut)
+			}
+			dim := int64(len(res.params))
+			for i := range res.up {
+				if res.up[i] >= 2*dim*8 || res.down[i] >= 2*dim*8 {
+					t.Fatalf("worker %d %s traffic (%d up / %d down over 2 rounds) not below the float64 payload %d", i, mode, res.up[i], res.down[i], 2*dim*8)
+				}
+			}
+		})
+	}
+}
+
+// TestLoopbackAuditEscapeHatch: with AuditEvery=1 every round rides dense
+// lossless frames regardless of the negotiated lossy mode, so the whole
+// run — reputations, rewards, global model, ledger — is bit-identical to
+// an uncompressed federation on the same seed. This is the audit escape
+// hatch: flip one client knob and the wire introduces no arithmetic
+// difference at all.
+func TestLoopbackAuditEscapeHatch(t *testing.T) {
+	const nRounds = 3
+	dense := runCompressedLoopback(t, codec.CompressionNone, 0, nRounds)
+	audited := runCompressedLoopback(t, codec.CompressionInt8, 1, nRounds)
+
+	for r := 0; r < nRounds; r++ {
+		ref, got := dense.reports[r], audited.reports[r]
+		for i := range ref.Reputations {
+			if math.Float64bits(ref.Reputations[i]) != math.Float64bits(got.Reputations[i]) {
+				t.Fatalf("round %d worker %d: audit-round reputation %v, dense %v", r, i, got.Reputations[i], ref.Reputations[i])
+			}
+			if math.Float64bits(ref.Rewards[i]) != math.Float64bits(got.Rewards[i]) {
+				t.Fatalf("round %d worker %d: audit-round reward %v, dense %v", r, i, got.Rewards[i], ref.Rewards[i])
+			}
+		}
+	}
+	for i := range dense.params {
+		if math.Float64bits(dense.params[i]) != math.Float64bits(audited.params[i]) {
+			t.Fatalf("global parameter %d diverged under the audit escape hatch: %v vs %v", i, audited.params[i], dense.params[i])
+		}
+	}
+	if !bytes.Equal(dense.ledger, audited.ledger) {
+		t.Fatal("audit ledger differs between the dense run and the AuditEvery=1 run")
+	}
+	// Dense frames carry framing overhead on top of the payload, so the
+	// wire counters must not undercut the dense equivalent here.
+	if audited.wireIn < audited.denseIn || audited.wireOut < audited.denseOut {
+		t.Fatalf("audit rounds reported lossy savings (in %d/%d, out %d/%d) — they should be dense",
+			audited.wireIn, audited.denseIn, audited.wireOut, audited.denseOut)
 	}
 }
 

@@ -1,0 +1,40 @@
+# Converts `go test -bench` output into the BENCH_pipeline.json schema.
+# Usage: awk -f scripts/benchjson.awk -v CMD="<command>" -v DATE="YYYY-MM-DD" \
+#            -v NOTES="<free text>" < bench-output.txt
+# Expects benchmarks that call b.ReportAllocs(), so every result line
+# carries ns/op, B/op and allocs/op columns.
+BEGIN { n = 0 }
+/^goos: /  { goos = $2 }
+/^goarch: / { goarch = $2 }
+/^cpu: /   { cpu = substr($0, 6) }
+/^Benchmark/ && /ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    names[n] = name
+    iters[n] = $2
+    ns[n] = $3
+    bytes[n] = $5
+    allocs[n] = $7
+    n++
+}
+END {
+    printf "{\n"
+    printf "  \"benchmark\": \"BenchmarkRunRound / BenchmarkSliceGradients\",\n"
+    printf "  \"command\": \"%s\",\n", CMD
+    printf "  \"date\": \"%s\",\n", DATE
+    printf "  \"goos\": \"%s\",\n", goos
+    printf "  \"goarch\": \"%s\",\n", goarch
+    printf "  \"cpu\": \"%s\",\n", cpu
+    printf "  \"notes\": \"%s\",\n", NOTES
+    printf "  \"results\": [\n"
+    for (i = 0; i < n; i++) {
+        printf "    {\n"
+        printf "      \"name\": \"%s\",\n", names[i]
+        printf "      \"iterations\": %s,\n", iters[i]
+        printf "      \"ns_per_op\": %s,\n", ns[i]
+        printf "      \"bytes_per_op\": %s,\n", bytes[i]
+        printf "      \"allocs_per_op\": %s\n", allocs[i]
+        printf "    }%s\n", (i < n - 1 ? "," : "")
+    }
+    printf "  ]\n}\n"
+}
