@@ -57,6 +57,7 @@ import (
 	"fifl/internal/persist"
 	"fifl/internal/rng"
 	"fifl/internal/robust"
+	"fifl/internal/score"
 	"fifl/internal/trace"
 	"fifl/internal/transport"
 	"fifl/internal/transport/codec"
@@ -486,6 +487,54 @@ func ResumeFromFile(path string, cfg CoordinatorConfig, engine *Engine, opts ...
 		return nil, err
 	}
 	return core.RestoreCoordinatorSnapshot(s, cfg, engine, opts...)
+}
+
+// Ledger analytics: fold an audit-chain export offline — streamed record
+// by record, never materialized — into per-worker signals, audit the
+// recorded rewards against the recomputed Eq. 15 mechanism, recompute the
+// Eq. 16 fairness coefficient from the ledger alone, and rank workers
+// through a config-driven weighted scoring algorithm (see internal/score
+// and cmd/fifl-score).
+type (
+	// ScoreCollector folds ledger records into signals and a report.
+	ScoreCollector = score.Collector
+	// ScoreConfig tunes the collector's reward-audit tolerance.
+	ScoreConfig = score.Config
+	// WorkerSignals is one worker's folded ledger trail.
+	WorkerSignals = score.WorkerSignals
+	// SignalSet is the folded federation with its totals.
+	SignalSet = score.SignalSet
+	// ScoreReport is the federation-level offline audit: fairness,
+	// reward mismatches, record census.
+	ScoreReport = score.Report
+	// ScoreAlgorithm is a validated config-defined scoring function.
+	ScoreAlgorithm = score.Algorithm
+)
+
+// NewScoreCollector returns an empty ledger fold; feed it with
+// FromStream (a chain binary export), FromLedger (an in-memory chain) or
+// AddBlock/AddRecord, then Finalize.
+func NewScoreCollector(cfg ScoreConfig) *ScoreCollector { return score.NewCollector(cfg) }
+
+// DefaultScoreAlgorithm returns the built-in scoring configuration.
+func DefaultScoreAlgorithm() *ScoreAlgorithm { return score.DefaultAlgorithm() }
+
+// ParseScoreConfig reads fifl-score's line-based scoring configuration.
+func ParseScoreConfig(r io.Reader) (*ScoreAlgorithm, error) { return score.ParseConfig(r) }
+
+// WriteScoreCSV ranks the folded workers under the algorithm and writes
+// the deterministic `worker,<fields...>,score` CSV.
+func WriteScoreCSV(w io.Writer, set *SignalSet, alg *ScoreAlgorithm) error {
+	return score.WriteCSV(w, set, alg)
+}
+
+// FetchLedger downloads a coordinator's audit-chain export over HTTP
+// without joining the federation — no worker slot, no handshake. from
+// selects the first block (0 = the whole chain; past-tip yields an empty
+// export), maxBytes caps the response (<= 0 = 1 GiB). Feed the result to
+// a ScoreCollector's FromStream or chain-level verification.
+func FetchLedger(ctx context.Context, baseURL string, from int, maxBytes int64) ([]byte, error) {
+	return transport.FetchLedger(ctx, baseURL, from, maxBytes)
 }
 
 // Observability: every layer — engine round phases, coordinator assessment,

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"crypto/ed25519"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -23,9 +24,21 @@ const binaryMagic = "FIFLCHN1"
 
 // WriteBinary writes the ledger's deterministic binary export to w: the
 // same ledger state always produces the same bytes.
-func (l *Ledger) WriteBinary(w io.Writer) error {
+func (l *Ledger) WriteBinary(w io.Writer) error { return l.WriteBinaryFrom(w, 0) }
+
+// WriteBinaryFrom writes a partial export carrying the full executor key
+// table but only the blocks with index >= from. The suffix is what the
+// transport's incremental /v1/ledger?from=N endpoint serves: a follower
+// that already holds blocks [0,from) splices the new ones onto its chain
+// (each block still carries PrevHash, so continuity stays checkable)
+// without re-downloading the whole ledger. ReadBinary rejects partial
+// exports — consume them with StreamBinary.
+func (l *Ledger) WriteBinaryFrom(w io.Writer, from int) error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
+	if from < 0 || from > len(l.blocks) {
+		return fmt.Errorf("chain: export offset %d out of range [0,%d]", from, len(l.blocks))
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(binaryMagic); err != nil {
 		return fmt.Errorf("chain: writing export header: %w", err)
@@ -46,12 +59,12 @@ func (l *Ledger) WriteBinary(w io.Writer) error {
 			return fmt.Errorf("chain: writing key of %q: %w", name, err)
 		}
 	}
-	if err := binary.Write(bw, binary.LittleEndian, uint32(len(l.blocks))); err != nil {
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(l.blocks)-from)); err != nil {
 		return fmt.Errorf("chain: writing block count: %w", err)
 	}
-	for i, b := range l.blocks {
+	for _, b := range l.blocks[from:] {
 		if err := writeBlock(bw, b); err != nil {
-			return fmt.Errorf("chain: writing block %d: %w", i, err)
+			return fmt.Errorf("chain: writing block %d: %w", b.Index, err)
 		}
 	}
 	return bw.Flush()
@@ -97,51 +110,111 @@ func writeBytes(w io.Writer, b []byte) error {
 // ReadBinary reconstructs a ledger from its binary export. The returned
 // ledger is fully functional (Query, Audit, Verify, re-export); call
 // Verify — or use VerifyFrom, which does both — before trusting it.
+// ReadBinary materializes every block; readers that only fold over the
+// records (the score collector) should use StreamBinary instead, which
+// holds one block at a time. Partial exports (WriteBinaryFrom with a
+// positive offset) are rejected: splicing a suffix onto existing state is
+// a streaming-consumer concern.
 func ReadBinary(r io.Reader) (*Ledger, error) {
+	l := NewLedger()
+	err := streamExport(r,
+		func(name string, key ed25519.PublicKey) error {
+			return l.RegisterExecutor(name, key)
+		},
+		func(b Block) error {
+			if b.Index != len(l.blocks) {
+				return fmt.Errorf("chain: block %d carries index %d", len(l.blocks), b.Index)
+			}
+			l.blocks = append(l.blocks, b)
+			return nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	return l, nil
+}
+
+// StreamBinary reads a binary export record by record, invoking fn for
+// every block in chain order without ever materializing the whole ledger:
+// peak memory is one block, independent of chain length, so million-record
+// exports fold in O(records) time and O(1) space. Block indices are
+// checked for contiguity (partial exports start wherever their first block
+// says). fn returning ErrStop ends the stream early with a nil error; any
+// other error aborts and propagates.
+func StreamBinary(r io.Reader, fn func(Block) error) error {
+	return StreamBinaryKeys(r, nil, fn)
+}
+
+// StreamBinaryKeys is StreamBinary with access to the export's executor
+// key table: keyFn (if non-nil) is invoked once per registered executor,
+// before any block, so a streaming consumer can verify block signatures as
+// they pass.
+func StreamBinaryKeys(r io.Reader, keyFn func(name string, pub ed25519.PublicKey) error, fn func(Block) error) error {
+	next := -1
+	err := streamExport(r, keyFn, func(b Block) error {
+		if next >= 0 && b.Index != next {
+			return fmt.Errorf("chain: block index %d does not follow %d", b.Index, next-1)
+		}
+		next = b.Index + 1
+		return fn(b)
+	})
+	if errors.Is(err, ErrStop) {
+		return nil
+	}
+	return err
+}
+
+// ErrStop, returned from a Scan or StreamBinary callback, ends the
+// iteration early without error.
+var ErrStop = errors.New("chain: stop iteration")
+
+// streamExport is the shared export parser: header, key table, then one
+// callback per block.
+func streamExport(r io.Reader, keyFn func(string, ed25519.PublicKey) error, fn func(Block) error) error {
 	br := bufio.NewReader(r)
 	head := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, fmt.Errorf("chain: reading export header: %w", err)
+		return fmt.Errorf("chain: reading export header: %w", err)
 	}
 	if string(head) != binaryMagic {
-		return nil, fmt.Errorf("chain: bad export header %q", head)
+		return fmt.Errorf("chain: bad export header %q", head)
 	}
-	l := NewLedger()
 	var nKeys uint32
 	if err := binary.Read(br, binary.LittleEndian, &nKeys); err != nil {
-		return nil, fmt.Errorf("chain: reading key count: %w", err)
+		return fmt.Errorf("chain: reading key count: %w", err)
 	}
 	for i := 0; i < int(nKeys); i++ {
 		name, err := readBytes(br)
 		if err != nil {
-			return nil, fmt.Errorf("chain: reading executor %d: %w", i, err)
+			return fmt.Errorf("chain: reading executor %d: %w", i, err)
 		}
 		key, err := readBytes(br)
 		if err != nil {
-			return nil, fmt.Errorf("chain: reading key of %q: %w", name, err)
+			return fmt.Errorf("chain: reading key of %q: %w", name, err)
 		}
 		if len(key) != ed25519.PublicKeySize {
-			return nil, fmt.Errorf("chain: key of %q is %d bytes, want %d", name, len(key), ed25519.PublicKeySize)
+			return fmt.Errorf("chain: key of %q is %d bytes, want %d", name, len(key), ed25519.PublicKeySize)
 		}
-		if err := l.RegisterExecutor(string(name), ed25519.PublicKey(key)); err != nil {
-			return nil, err
+		if keyFn != nil {
+			if err := keyFn(string(name), ed25519.PublicKey(key)); err != nil {
+				return err
+			}
 		}
 	}
 	var nBlocks uint32
 	if err := binary.Read(br, binary.LittleEndian, &nBlocks); err != nil {
-		return nil, fmt.Errorf("chain: reading block count: %w", err)
+		return fmt.Errorf("chain: reading block count: %w", err)
 	}
 	for i := 0; i < int(nBlocks); i++ {
 		b, err := readBlock(br)
 		if err != nil {
-			return nil, fmt.Errorf("chain: reading block %d: %w", i, err)
+			return fmt.Errorf("chain: reading block %d: %w", i, err)
 		}
-		if b.Index != i {
-			return nil, fmt.Errorf("chain: block %d carries index %d", i, b.Index)
+		if err := fn(b); err != nil {
+			return err
 		}
-		l.blocks = append(l.blocks, b)
 	}
-	return l, nil
+	return nil
 }
 
 // readBlock deserializes one block.

@@ -198,26 +198,49 @@ func (l *Ledger) Verify() error {
 	return nil
 }
 
-// Query returns all records matching the given filters; a negative
-// iteration or worker matches everything, and an empty kind matches all
-// kinds. Records are returned in chain order.
-func (l *Ledger) Query(kind RecordKind, iteration, worker int) []Record {
+// Scan streams every record of the given kind (empty kind = all kinds) to
+// fn in chain order without copying or collecting anything: the per-call
+// cost is zero allocations however long the chain is, which is what audit
+// loops that re-walk the ledger every round pay. fn returning ErrStop ends
+// the scan early with a nil error; any other error aborts the scan and is
+// returned. The ledger's lock is held for the duration — fn must not call
+// back into the same ledger's locking methods.
+func (l *Ledger) Scan(kind RecordKind, fn func(Record) error) error {
 	l.mu.RLock()
 	defer l.mu.RUnlock()
-	var out []Record
-	for _, b := range l.blocks {
-		r := b.Record
+	for i := range l.blocks {
+		r := &l.blocks[i].Record
 		if kind != "" && r.Kind != kind {
 			continue
 		}
+		if err := fn(*r); err != nil {
+			if errors.Is(err, ErrStop) {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Query returns all records matching the given filters; a negative
+// iteration or worker matches everything, and an empty kind matches all
+// kinds. Records are returned in chain order. Each call copies the
+// matches; iteration-heavy callers should Scan instead.
+func (l *Ledger) Query(kind RecordKind, iteration, worker int) []Record {
+	var out []Record
+	// The only error Scan can surface is the callback's, and this one
+	// never fails.
+	_ = l.Scan(kind, func(r Record) error {
 		if iteration >= 0 && r.Iteration != iteration {
-			continue
+			return nil
 		}
 		if worker >= 0 && r.WorkerID != worker {
-			continue
+			return nil
 		}
 		out = append(out, r)
-	}
+		return nil
+	})
 	return out
 }
 
@@ -227,15 +250,27 @@ func (l *Ledger) Query(kind RecordKind, iteration, worker int) []Record {
 // empty string if the ledger agrees within tol, or an error if no record
 // exists.
 func (l *Ledger) Audit(kind RecordKind, iteration, worker int, recomputed, tol float64) (culprit string, err error) {
-	recs := l.Query(kind, iteration, worker)
-	if len(recs) == 0 {
+	var r Record
+	found := false
+	// Scan instead of Query: the audit only needs the last match, so the
+	// per-call record copying Query pays is pure waste in audit loops.
+	_ = l.Scan(kind, func(rec Record) error {
+		if iteration >= 0 && rec.Iteration != iteration {
+			return nil
+		}
+		if worker >= 0 && rec.WorkerID != worker {
+			return nil
+		}
+		r, found = rec, true
+		return nil
+	})
+	if !found {
 		return "", fmt.Errorf("chain: no %s record for iteration %d worker %d", kind, iteration, worker)
 	}
 	// The latest record for the triple is authoritative. Non-finite values
 	// must be treated as mismatches explicitly: a NaN record (or a NaN
 	// recomputation or tolerance) makes both comparisons below false, which
 	// would let a corrupted entry pass the audit.
-	r := recs[len(recs)-1]
 	if isNonFinite(r.Value) || isNonFinite(recomputed) || isNonFinite(tol) {
 		return r.Executor, nil
 	}

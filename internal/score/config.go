@@ -1,0 +1,126 @@
+package score
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// DefaultConfigText is the built-in scoring configuration, in the same
+// line format ParseConfig reads. Weights favour the behavioural signals
+// FIFL's mechanism is built on — verdicts, reputation, contribution share
+// — with reliability and stability as minor terms.
+const DefaultConfigText = `# fifl-score configuration.
+# One "input" line per weighted term:
+#   input <field> weight=W lower=L upper=U [dist=linear|zipf|log] [smaller=better]
+algorithm weighted_mean
+input detection.accept_rate           weight=3 lower=0 upper=1
+input reputation.last                 weight=2 lower=0 upper=1
+input reputation.drift                weight=1 lower=-1 upper=1
+input contribution.share              weight=2 lower=0 upper=1 dist=zipf
+input reward.share                    weight=1 lower=0 upper=1 dist=zipf
+input uploads.arrival_rate            weight=1 lower=0 upper=1
+input detection.consensus_dist        weight=1 lower=0 upper=1 smaller=better
+input detection.longest_reject_streak weight=1 lower=0 upper=10 dist=log smaller=better
+`
+
+// DefaultAlgorithm returns the algorithm DefaultConfigText defines.
+func DefaultAlgorithm() *Algorithm {
+	a, err := ParseConfig(strings.NewReader(DefaultConfigText))
+	if err != nil {
+		panic("score: default config invalid: " + err.Error())
+	}
+	return a
+}
+
+// ParseConfig reads the line-based scoring configuration. Blank lines and
+// '#' comments are skipped. The file must declare `algorithm
+// weighted_mean` (once, before any input) and at least one input line.
+func ParseConfig(r io.Reader) (*Algorithm, error) {
+	var inputs []Input
+	sawAlgorithm := false
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "algorithm":
+			if sawAlgorithm {
+				return nil, fmt.Errorf("score: config line %d: duplicate algorithm declaration", lineNo)
+			}
+			if len(fields) != 2 || fields[1] != "weighted_mean" {
+				return nil, fmt.Errorf("score: config line %d: only 'algorithm weighted_mean' is supported", lineNo)
+			}
+			sawAlgorithm = true
+		case "input":
+			if !sawAlgorithm {
+				return nil, fmt.Errorf("score: config line %d: input before the algorithm declaration", lineNo)
+			}
+			in, err := parseInput(fields[1:])
+			if err != nil {
+				return nil, fmt.Errorf("score: config line %d: %w", lineNo, err)
+			}
+			inputs = append(inputs, in)
+		default:
+			return nil, fmt.Errorf("score: config line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("score: reading config: %w", err)
+	}
+	if !sawAlgorithm {
+		return nil, fmt.Errorf("score: config missing the algorithm declaration")
+	}
+	return NewAlgorithm(inputs)
+}
+
+// parseInput decodes one `input` line's operands: the field name followed
+// by key=value options.
+func parseInput(fields []string) (Input, error) {
+	if len(fields) == 0 {
+		return Input{}, fmt.Errorf("input needs a field name")
+	}
+	in := Input{Field: fields[0]}
+	sawWeight, sawLower, sawUpper := false, false, false
+	for _, opt := range fields[1:] {
+		key, val, ok := strings.Cut(opt, "=")
+		if !ok {
+			return Input{}, fmt.Errorf("malformed option %q (want key=value)", opt)
+		}
+		switch key {
+		case "weight", "lower", "upper":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return Input{}, fmt.Errorf("option %s: %w", key, err)
+			}
+			switch key {
+			case "weight":
+				in.Weight, sawWeight = f, true
+			case "lower":
+				in.Lower, sawLower = f, true
+			case "upper":
+				in.Upper, sawUpper = f, true
+			}
+		case "dist":
+			in.Dist = DistributionKind(val)
+		case "smaller":
+			if val != "better" {
+				return Input{}, fmt.Errorf("option smaller only accepts 'better', got %q", val)
+			}
+			in.SmallerIsBetter = true
+		default:
+			return Input{}, fmt.Errorf("unknown option %q", key)
+		}
+	}
+	if !sawWeight || !sawLower || !sawUpper {
+		return Input{}, fmt.Errorf("field %q needs weight=, lower= and upper=", in.Field)
+	}
+	return in, nil
+}

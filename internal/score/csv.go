@@ -1,0 +1,75 @@
+package score
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ScoredWorker is one ranked row: the worker, every registry field's raw
+// value (in Fields order), and the algorithm's score.
+type ScoredWorker struct {
+	Worker int
+	Values []float64
+	Score  float64
+}
+
+// Rank scores every worker in the set and sorts the result by score
+// descending, worker ID ascending on ties — a total, deterministic order.
+func Rank(set *SignalSet, alg *Algorithm) []ScoredWorker {
+	out := make([]ScoredWorker, 0, len(set.Workers))
+	for i := range set.Workers {
+		w := &set.Workers[i]
+		row := ScoredWorker{
+			Worker: w.Worker,
+			Values: make([]float64, len(Fields)),
+			Score:  alg.Score(w, set),
+		}
+		for j, f := range Fields {
+			row.Values[j] = f.Get(w, set)
+		}
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Worker < out[j].Worker
+	})
+	return out
+}
+
+// formatFloat renders a value with the shortest exact decimal form —
+// byte-deterministic across runs and platforms.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteCSV ranks the set and writes `worker,<fields...>,score` rows. The
+// header lists every registry field in order; output is byte-deterministic
+// for a given ledger and algorithm.
+func WriteCSV(w io.Writer, set *SignalSet, alg *Algorithm) error {
+	cols := make([]string, 0, len(Fields)+2)
+	cols = append(cols, "worker")
+	for _, f := range Fields {
+		cols = append(cols, f.Name)
+	}
+	cols = append(cols, "score")
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for _, row := range Rank(set, alg) {
+		cols = cols[:0]
+		cols = append(cols, strconv.Itoa(row.Worker))
+		for _, v := range row.Values {
+			cols = append(cols, formatFloat(v))
+		}
+		cols = append(cols, formatFloat(row.Score))
+		if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}

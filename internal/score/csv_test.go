@@ -1,0 +1,70 @@
+package score
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRankDeterministicOrder(t *testing.T) {
+	set := &SignalSet{
+		Workers: []WorkerSignals{
+			{Worker: 0, Rounds: 2, Accepts: 1},
+			{Worker: 1, Rounds: 2, Accepts: 2},
+			{Worker: 2, Rounds: 2, Accepts: 1}, // ties worker 0: ID breaks it
+		},
+		Rounds: 2,
+	}
+	alg, err := NewAlgorithm([]Input{{Field: "detection.accept_rate", Weight: 1, Lower: 0, Upper: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := Rank(set, alg)
+	order := [3]int{ranked[0].Worker, ranked[1].Worker, ranked[2].Worker}
+	if order != [3]int{1, 0, 2} {
+		t.Fatalf("rank order = %v, want [1 0 2]", order)
+	}
+	if len(ranked[0].Values) != len(Fields) {
+		t.Fatalf("row has %d values for %d fields", len(ranked[0].Values), len(Fields))
+	}
+}
+
+func TestWriteCSVShape(t *testing.T) {
+	set := &SignalSet{
+		Workers: []WorkerSignals{
+			{Worker: 0, Rounds: 3, Accepts: 3, OK: 3, RewardTotal: 0.5, ContribTotal: 0.25},
+			{Worker: 1, Rounds: 3, Accepts: 1, OK: 2, Dropped: 1, RewardTotal: 0.1, ContribTotal: 0.05},
+		},
+		TotalContribution: 0.3,
+		TotalReward:       0.6,
+		Rounds:            3,
+	}
+	var a, b bytes.Buffer
+	alg := DefaultAlgorithm()
+	if err := WriteCSV(&a, set, alg); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCSV(&b, set, alg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("WriteCSV is not byte-deterministic")
+	}
+	lines := strings.Split(strings.TrimRight(a.String(), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows", len(lines))
+	}
+	header := strings.Split(lines[0], ",")
+	if header[0] != "worker" || header[len(header)-1] != "score" || len(header) != len(Fields)+2 {
+		t.Fatalf("header = %v", header)
+	}
+	for _, line := range lines[1:] {
+		if got := len(strings.Split(line, ",")); got != len(header) {
+			t.Fatalf("row width %d vs header %d", got, len(header))
+		}
+	}
+	// Clean worker 0 scores higher, so it is the first row.
+	if !strings.HasPrefix(lines[1], "0,") {
+		t.Fatalf("first ranked row = %q", lines[1])
+	}
+}

@@ -1,0 +1,166 @@
+package score
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fifl/internal/core"
+	"fifl/internal/experiments"
+	"fifl/internal/rng"
+	"fifl/internal/stats"
+)
+
+// update regenerates the golden fixtures:
+//
+//	go test ./internal/score -run TestGoldenLedger -update
+var update = flag.Bool("update", false, "regenerate golden fixtures")
+
+// goldenFederation builds the fixture run exactly as the tier-1 command
+//
+//	fifl-sim -workers 8 -signflip 1 -rounds 6 -samples 200 -seed 7
+//
+// does: 7 honest workers plus one sign-flip attacker in the last slot,
+// QuickScale dimensions otherwise. These parameters are deliberate: the
+// run pays non-degenerate rewards (several rounds with positive total
+// contribution), so the fairness coefficient is defined.
+func goldenFederation(t *testing.T) (*experiments.Federation, *core.Coordinator) {
+	t.Helper()
+	sc := experiments.QuickScale()
+	sc.Seed = 7
+	sc.TrainWorkers = 8
+	sc.TrainRounds = 6
+	sc.SamplesPerWorker = 200
+	sc.Servers = 4
+	sc.EvalEvery = 5
+	kinds := make([]experiments.WorkerKind, sc.TrainWorkers)
+	for i := range kinds {
+		kinds[i] = experiments.Honest()
+	}
+	kinds[len(kinds)-1] = experiments.SignFlip(4)
+	fed := experiments.BuildFederation(sc, experiments.TaskDigitsMLP, kinds, rng.New(sc.Seed).Split("sim"))
+	mech, err := core.MechanismByName("fifl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fed, experiments.DefaultCoordinator(fed, 0.05, true, core.WithMechanism(mech))
+}
+
+// TestGoldenLedgerEndToEnd is the subsystem's acceptance test: the seeded
+// 8-worker run must reproduce the committed golden ledger byte for byte;
+// scoring that ledger must reproduce the committed CSV byte for byte; and
+// the offline Eq. 16 fairness recomputed from the ledger alone must match
+// the in-run value within 1e-9 with zero reward mismatches.
+func TestGoldenLedgerEndToEnd(t *testing.T) {
+	const rounds = 6
+	_, coord := goldenFederation(t)
+	cumContrib := make([]float64, 8)
+	for i := 0; i < rounds; i++ {
+		rep, err := coord.RunRoundContext(context.Background(), i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Committed {
+			t.Fatalf("round %d did not commit", i)
+		}
+		for w, c := range rep.Contributions.C {
+			cumContrib[w] += c
+		}
+	}
+	var export bytes.Buffer
+	if err := coord.Ledger.WriteBinary(&export); err != nil {
+		t.Fatal(err)
+	}
+
+	ledgerPath := filepath.Join("testdata", "golden_ledger.bin")
+	csvPath := filepath.Join("testdata", "golden.csv")
+
+	c := NewCollector(Config{})
+	if err := c.FromStream(bytes.NewReader(export.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	set, rep := c.Finalize()
+	var csv bytes.Buffer
+	if err := WriteCSV(&csv, set, DefaultAlgorithm()); err != nil {
+		t.Fatal(err)
+	}
+
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ledgerPath, export.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(csvPath, csv.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("fixtures regenerated: %d ledger bytes, %d CSV bytes", export.Len(), csv.Len())
+	}
+
+	wantLedger, err := os.ReadFile(ledgerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(export.Bytes(), wantLedger) {
+		t.Fatal("seeded run no longer reproduces the golden ledger (regenerate with -update if the change is intended)")
+	}
+	wantCSV, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv.Bytes(), wantCSV) {
+		t.Fatalf("scoring the golden ledger no longer reproduces the golden CSV:\n%s", csv.String())
+	}
+
+	// The checkpoint path must carry the identical export, so the tier-1
+	// fifl-sim -checkpoint → fifl-score pipeline scores the same bytes.
+	snap, err := coord.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(snap.Ledger, export.Bytes()) {
+		t.Fatal("checkpoint ledger differs from the direct export")
+	}
+
+	// Federation report: clean audit, full coverage.
+	if rep.Blocks != coord.Ledger.Len() {
+		t.Fatalf("folded %d blocks, ledger has %d", rep.Blocks, coord.Ledger.Len())
+	}
+	if rep.Rounds != rounds || rep.Workers != 8 {
+		t.Fatalf("rounds/workers = %d/%d", rep.Rounds, rep.Workers)
+	}
+	if rep.MismatchCount != 0 || rep.UnauditedRounds != 0 {
+		t.Fatalf("reward audit flagged %d mismatches, %d unaudited rounds: %+v",
+			rep.MismatchCount, rep.UnauditedRounds, rep.Mismatches)
+	}
+
+	// Offline Eq. 16 vs the in-run value, recomputed here from live
+	// coordinator state the collector never saw.
+	cumReward := coord.CumulativeRewards()
+	wantFair, err := stats.Pearson(cumContrib, cumReward)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FairnessDefined {
+		t.Fatal("offline fairness undefined")
+	}
+	if math.Abs(rep.Fairness-wantFair) > 1e-9 {
+		t.Fatalf("offline fairness %v vs in-run %v", rep.Fairness, wantFair)
+	}
+	for i, w := range set.Workers {
+		if math.Abs(w.RewardTotal-cumReward[i]) > 1e-9 {
+			t.Fatalf("worker %d folded reward %v vs coordinator %v", i, w.RewardTotal, cumReward[i])
+		}
+	}
+
+	// The sign-flip attacker must rank beneath every honest worker.
+	ranked := Rank(set, DefaultAlgorithm())
+	if last := ranked[len(ranked)-1]; last.Worker != 7 {
+		t.Fatalf("attacker ranked %d-th from bottom; ranking: %+v", len(ranked), ranked)
+	}
+}

@@ -1,0 +1,158 @@
+// Package score is the offline analytics subsystem over FIFL's audit
+// ledger. It streams a chain export record by record — never holding the
+// ledger in memory — folding each worker's raw trail (upload taxonomy,
+// detection verdicts, reputation trajectory, contribution and reward
+// accumulation) into WorkerSignals, recomputes the paper's incentive
+// arithmetic to audit what the coordinator actually paid, and scores
+// workers through a config-driven weighted algorithm into a deterministic
+// ranked CSV.
+package score
+
+// WorkerSignals is one worker's folded ledger trail: every raw quantity
+// the scoring fields derive from. Counters cover the rounds the worker
+// appears in; a worker absent from a round (never elected, pruned) simply
+// does not accumulate there.
+type WorkerSignals struct {
+	// Worker is the ledger worker ID.
+	Worker int
+	// Rounds is the number of rounds the worker appears in.
+	Rounds int
+
+	// Upload-status taxonomy counts (faults.UploadStatus).
+	OK, Retried, Dropped, TimedOut, Crashed int
+
+	// Accepts counts rounds with detection verdict 1. ArrivedRounds
+	// counts rounds whose upload arrived (OK or Retried) — the verdicts
+	// that were judged on a real gradient rather than defaulted for a
+	// missing one.
+	Accepts       int
+	ArrivedRounds int
+	// Flips counts verdict changes between consecutive participating
+	// rounds; LongestRejectStreak is the longest run of consecutive
+	// verdict-0 rounds.
+	Flips               int
+	LongestRejectStreak int
+	// ConsensusDisagrees counts arrived rounds where this worker's
+	// verdict differed from the round's majority verdict among arrived
+	// workers — the ledger's proxy for detection distance.
+	ConsensusDisagrees int
+
+	// Reputation trajectory.
+	RepFirst, RepLast, RepMin, RepMax, RepSum float64
+
+	// Contribution accumulation.
+	ContribTotal, ContribMin, ContribMax float64
+	ContribN                             int
+
+	// RewardTotal is the cumulative reward share paid to this worker.
+	RewardTotal float64
+
+	// Fold-state internals (not signals).
+	lastVerdict     float64
+	haveVerdict     bool
+	curRejectStreak int
+	seenRep         bool
+	seenContrib     bool
+}
+
+// SignalSet is the folded federation: every worker's signals plus the
+// totals share-type fields normalize against.
+type SignalSet struct {
+	// Workers is sorted by worker ID.
+	Workers []WorkerSignals
+	// TotalContribution and TotalReward sum the per-worker cumulative
+	// totals across the federation.
+	TotalContribution float64
+	TotalReward       float64
+	// Rounds is the number of distinct ledger iterations folded.
+	Rounds int
+}
+
+// Field is one scoreable signal: a stable name the config addresses, a
+// one-line doc string, and the accessor deriving it from a worker's fold.
+type Field struct {
+	Name string
+	Doc  string
+	Get  func(w *WorkerSignals, s *SignalSet) float64
+}
+
+// ratio returns a/b, or 0 for b == 0 — per-round rates of a worker that
+// never participated are defined, not NaN.
+func ratio(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}
+
+// Fields is the ordered registry of every scoreable signal. The order is
+// the CSV column order; names are namespaced by signal family. Configs
+// reference entries by Name.
+var Fields = []Field{
+	{"uploads.rounds", "rounds the worker participated in",
+		func(w *WorkerSignals, s *SignalSet) float64 { return float64(w.Rounds) }},
+	{"uploads.ok", "uploads that arrived first try",
+		func(w *WorkerSignals, s *SignalSet) float64 { return float64(w.OK) }},
+	{"uploads.retried", "uploads that arrived after retries",
+		func(w *WorkerSignals, s *SignalSet) float64 { return float64(w.Retried) }},
+	{"uploads.dropped", "uploads lost in transit",
+		func(w *WorkerSignals, s *SignalSet) float64 { return float64(w.Dropped) }},
+	{"uploads.timed_out", "rounds missed past the deadline",
+		func(w *WorkerSignals, s *SignalSet) float64 { return float64(w.TimedOut) }},
+	{"uploads.crashed", "rounds the device was down",
+		func(w *WorkerSignals, s *SignalSet) float64 { return float64(w.Crashed) }},
+	{"uploads.arrival_rate", "fraction of rounds whose upload arrived",
+		func(w *WorkerSignals, s *SignalSet) float64 {
+			return ratio(float64(w.OK+w.Retried), float64(w.Rounds))
+		}},
+	{"detection.accept_rate", "fraction of rounds with verdict accept",
+		func(w *WorkerSignals, s *SignalSet) float64 { return ratio(float64(w.Accepts), float64(w.Rounds)) }},
+	{"detection.attack_rate", "fraction of rounds with verdict reject (incl. missing uploads)",
+		func(w *WorkerSignals, s *SignalSet) float64 {
+			return ratio(float64(w.Rounds-w.Accepts), float64(w.Rounds))
+		}},
+	{"detection.flips", "verdict changes between consecutive rounds",
+		func(w *WorkerSignals, s *SignalSet) float64 { return float64(w.Flips) }},
+	{"detection.longest_reject_streak", "longest run of consecutive reject verdicts",
+		func(w *WorkerSignals, s *SignalSet) float64 { return float64(w.LongestRejectStreak) }},
+	{"detection.consensus_dist", "fraction of arrived rounds disagreeing with the majority verdict",
+		func(w *WorkerSignals, s *SignalSet) float64 {
+			return ratio(float64(w.ConsensusDisagrees), float64(w.ArrivedRounds))
+		}},
+	{"reputation.first", "reputation at first participating round",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.RepFirst }},
+	{"reputation.last", "reputation at last participating round",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.RepLast }},
+	{"reputation.min", "lowest recorded reputation",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.RepMin }},
+	{"reputation.max", "highest recorded reputation",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.RepMax }},
+	{"reputation.mean", "mean recorded reputation",
+		func(w *WorkerSignals, s *SignalSet) float64 { return ratio(w.RepSum, float64(w.Rounds)) }},
+	{"reputation.drift", "reputation change from first to last round",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.RepLast - w.RepFirst }},
+	{"contribution.total", "cumulative contribution",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.ContribTotal }},
+	{"contribution.mean", "mean per-round contribution",
+		func(w *WorkerSignals, s *SignalSet) float64 { return ratio(w.ContribTotal, float64(w.ContribN)) }},
+	{"contribution.min", "lowest per-round contribution",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.ContribMin }},
+	{"contribution.max", "highest per-round contribution",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.ContribMax }},
+	{"contribution.share", "worker's fraction of the federation's total contribution",
+		func(w *WorkerSignals, s *SignalSet) float64 { return ratio(w.ContribTotal, s.TotalContribution) }},
+	{"reward.total", "cumulative reward share paid",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.RewardTotal }},
+	{"reward.share", "worker's fraction of the federation's total reward",
+		func(w *WorkerSignals, s *SignalSet) float64 { return ratio(w.RewardTotal, s.TotalReward) }},
+}
+
+// FieldByName resolves a registry entry, reporting whether it exists.
+func FieldByName(name string) (Field, bool) {
+	for _, f := range Fields {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Field{}, false
+}

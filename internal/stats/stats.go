@@ -77,17 +77,42 @@ func Max(xs []float64) (float64, error) {
 	return m, nil
 }
 
+// Pearson edge-case sentinels. Each names a case where the correlation is
+// mathematically undefined; Pearson still returns the defined value 0 for
+// them (not NaN), so a caller that ignores the error cannot silently
+// poison a downstream aggregate — the Eq. 16 fairness report folds many
+// Pearson calls and one NaN would erase them all.
+var (
+	// ErrShortSeries: fewer than two samples cannot carry a correlation.
+	ErrShortSeries = errors.New("stats: Pearson needs at least two samples")
+	// ErrConstantSeries: a zero-variance series makes the denominator 0.
+	ErrConstantSeries = errors.New("stats: Pearson undefined for constant series")
+	// ErrNonFinite: a NaN or Inf input would propagate through the sums.
+	ErrNonFinite = errors.New("stats: Pearson input contains a non-finite value")
+)
+
 // Pearson returns the Pearson correlation coefficient between xs and ys.
 // This is the fairness coefficient C_s of FIFL's Eq. 16: the correlation
-// between workers' contributions and their rewards. It returns an error if
-// the slices differ in length, are empty, or either is constant (undefined
-// correlation).
+// between workers' contributions and their rewards. The result is always
+// finite and clamped into [-1, 1] (the exact formula can exceed 1 by an
+// ulp). Undefined cases — mismatched lengths, empty input (ErrEmpty),
+// fewer than two samples (ErrShortSeries), non-finite inputs
+// (ErrNonFinite), constant series (ErrConstantSeries) — return the value
+// 0 together with the sentinel error, never NaN.
 func Pearson(xs, ys []float64) (float64, error) {
 	if len(xs) != len(ys) {
 		return 0, errors.New("stats: Pearson length mismatch")
 	}
 	if len(xs) == 0 {
 		return 0, ErrEmpty
+	}
+	if len(xs) < 2 {
+		return 0, ErrShortSeries
+	}
+	for i := range xs {
+		if isNonFinite(xs[i]) || isNonFinite(ys[i]) {
+			return 0, ErrNonFinite
+		}
 	}
 	mx, my := Mean(xs), Mean(ys)
 	var sxy, sxx, syy float64
@@ -98,10 +123,19 @@ func Pearson(xs, ys []float64) (float64, error) {
 		syy += dy * dy
 	}
 	if sxx == 0 || syy == 0 {
-		return 0, errors.New("stats: Pearson undefined for constant series")
+		return 0, ErrConstantSeries
 	}
-	return sxy / math.Sqrt(sxx*syy), nil
+	r := sxy / math.Sqrt(sxx*syy)
+	// Huge inputs can overflow the intermediate sums to +Inf; the ratio is
+	// then NaN even though every input was finite. Still defined output.
+	if math.IsNaN(r) {
+		return 0, ErrNonFinite
+	}
+	return Clamp(r, -1, 1), nil
 }
+
+// isNonFinite reports whether v is NaN or infinite.
+func isNonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 
 // Normalize returns xs scaled so the entries sum to 1. Entries of an
 // all-zero slice are returned as a uniform distribution.

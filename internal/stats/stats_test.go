@@ -187,3 +187,60 @@ func TestClamp(t *testing.T) {
 		t.Fatal("Clamp wrong")
 	}
 }
+
+// TestPearsonEdgeCases: every undefined case must return the defined
+// value 0 with its sentinel error — never NaN, which would silently
+// poison a folded fairness report.
+func TestPearsonEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		xs, ys  []float64
+		wantErr error
+	}{
+		{"empty", nil, nil, ErrEmpty},
+		{"single sample", []float64{1}, []float64{2}, ErrShortSeries},
+		{"constant xs", []float64{3, 3, 3}, []float64{1, 2, 3}, ErrConstantSeries},
+		{"constant ys", []float64{1, 2, 3}, []float64{7, 7, 7}, ErrConstantSeries},
+		{"nan in xs", []float64{1, math.NaN(), 3}, []float64{1, 2, 3}, ErrNonFinite},
+		{"inf in ys", []float64{1, 2, 3}, []float64{1, math.Inf(1), 3}, ErrNonFinite},
+		{"overflowing sums", []float64{math.MaxFloat64, -math.MaxFloat64}, []float64{math.MaxFloat64, -math.MaxFloat64}, ErrNonFinite},
+	}
+	for _, c := range cases {
+		r, err := Pearson(c.xs, c.ys)
+		if err == nil {
+			t.Errorf("%s: Pearson returned nil error", c.name)
+			continue
+		}
+		if c.wantErr != nil && err != c.wantErr {
+			t.Errorf("%s: error %v, want %v", c.name, err, c.wantErr)
+		}
+		if r != 0 {
+			t.Errorf("%s: value %v, want the defined fallback 0", c.name, r)
+		}
+		if math.IsNaN(r) {
+			t.Errorf("%s: Pearson leaked NaN", c.name)
+		}
+	}
+}
+
+// TestPearsonAlwaysInRange: defined results are clamped into [-1,1] even
+// when rounding pushes the exact formula an ulp past the bound.
+func TestPearsonAlwaysInRange(t *testing.T) {
+	src := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + src.Intn(10)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = src.Float64()*2e6 - 1e6
+			ys[i] = xs[i] * 3.5 // perfectly correlated: r must be exactly 1
+		}
+		r, err := Pearson(xs, ys)
+		if err != nil {
+			continue
+		}
+		if r < -1 || r > 1 {
+			t.Fatalf("trial %d: Pearson %v out of [-1,1]", trial, r)
+		}
+	}
+}

@@ -262,6 +262,73 @@ func (c *Client) VerifyLedger(ctx context.Context) (blocks int, err error) {
 	return chain.VerifyFrom(bytes.NewReader(export))
 }
 
+// FetchLedgerFrom downloads the coordinator's chain export suffix starting
+// at block index from (0 = the whole chain). The returned bytes are a
+// chain binary export — full for from 0, partial otherwise — ready for
+// chain.StreamBinary; a partial export past the chain tip carries zero
+// blocks. Incremental fetches let an auditor tail a live chain paying for
+// new blocks only.
+func (c *Client) FetchLedgerFrom(ctx context.Context, from int) ([]byte, error) {
+	if from < 0 {
+		return nil, fmt.Errorf("transport: FetchLedgerFrom requires a non-negative index, got %d", from)
+	}
+	path := "/v1/ledger"
+	if from > 0 {
+		path += "?from=" + strconv.Itoa(from)
+	}
+	body, err := c.get(ctx, path)
+	if err != nil {
+		return nil, fmt.Errorf("transport: fetching ledger from %d: %w", from, err)
+	}
+	if body == nil {
+		return nil, fmt.Errorf("transport: empty ledger response")
+	}
+	return codec.DecodeLedger(body)
+}
+
+// FetchLedger downloads a coordinator's chain export without joining the
+// federation: no hello handshake, no worker slot — the shape a read-only
+// analytics consumer (fifl-score, dashboards) needs. from and the response
+// budget behave as in FetchLedgerFrom; maxBytes <= 0 uses the default
+// 1 GiB ledger budget. The export is returned unverified; stream it with
+// chain.StreamBinary (checking continuity) or chain.VerifyFrom.
+func FetchLedger(ctx context.Context, baseURL string, from int, maxBytes int64) ([]byte, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("transport: FetchLedger requires an absolute coordinator URL, got %q", baseURL)
+	}
+	if from < 0 {
+		return nil, fmt.Errorf("transport: FetchLedger requires a non-negative index, got %d", from)
+	}
+	if maxBytes <= 0 {
+		maxBytes = maxLedgerBytes
+	}
+	path := baseURL + "/v1/ledger"
+	if from > 0 {
+		path += "?from=" + strconv.Itoa(from)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: fetching ledger: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading ledger response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("GET /v1/ledger: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if int64(len(body)) > maxBytes {
+		return nil, fmt.Errorf("GET /v1/ledger: response exceeds the %d-byte limit", maxBytes)
+	}
+	return codec.DecodeLedger(body)
+}
+
 // get issues a GET with retries. It returns nil bytes for 204 No Content.
 func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 	return c.do(ctx, http.MethodGet, path, nil)

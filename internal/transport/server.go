@@ -284,9 +284,27 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleLedger streams the audit chain as a framed binary export.
+// ?from=N serves only the blocks with index >= N (plus the executor key
+// table), so a follower that polls the chain — fifl-score -follow — pays
+// for new blocks only instead of re-downloading the whole ledger against
+// the client's 1 GiB response budget each time. from past the chain tip
+// is not an error: it yields a zero-block export the poller recognizes as
+// "no news".
 func (s *Server) handleLedger(w http.ResponseWriter, r *http.Request) {
+	from, err := queryInt(r, "from", 0)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if from < 0 {
+		http.Error(w, "transport: ?from must be non-negative", http.StatusBadRequest)
+		return
+	}
+	if n := s.coord.Ledger.Len(); from > n {
+		from = n
+	}
 	var buf bytes.Buffer
-	if err := s.coord.Ledger.WriteBinary(&buf); err != nil {
+	if err := s.coord.Ledger.WriteBinaryFrom(&buf, from); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
