@@ -54,6 +54,10 @@ func main() {
 		ckptDir  = flag.String("checkpoint", "", "durable checkpoint directory; the coordinator snapshots after each committed round and resumes from an existing checkpoint on start")
 		ckptN    = flag.Int("checkpoint-every", 1, "checkpoint every this many rounds (with -checkpoint)")
 		haltAt   = flag.Int("halt-after", 0, "stop after this many rounds with the checkpoint written and block until killed (0 = off; for crash-recovery testing)")
+		async    = flag.Bool("async", false, "asynchronous rounds: workers submit whenever ready and each advance folds what arrived with bounded-staleness weights")
+		maxStale = flag.Int("max-staleness", 2, "async staleness bound: uploads trained against a model more than this many advances old are rejected and penalized")
+		advEvery = flag.Int("advance-every", 0, "async count cadence: submissions folded per advance (0 = workers/2, min 1)")
+		advIntvl = flag.Duration("advance-interval", 5*time.Second, "async time cadence: an advance waits at most this long for its submission count (0 = count trigger only)")
 
 		// Worker flags.
 		coordURL = flag.String("coordinator", "http://127.0.0.1:7070", "coordinator base URL")
@@ -93,6 +97,7 @@ func main() {
 			Listen: *listen, Rounds: *rounds, Servers: *servers, Quorum: *quorum,
 			WorkerTimeout: *wtmo, Sy: *sy, EvalEach: *evalEach, Linger: *linger,
 			CheckpointDir: *ckptDir, CheckpointEvery: *ckptN, HaltAfter: *haltAt,
+			Async: *async, MaxStaleness: *maxStale, AdvanceEvery: *advEvery, AdvanceInterval: *advIntvl,
 		})
 	case "worker":
 		err = runWorker(ctx, recipe, workerOpts{
@@ -123,6 +128,10 @@ type coordOpts struct {
 	CheckpointDir   string
 	CheckpointEvery int
 	HaltAfter       int
+	Async           bool
+	MaxStaleness    int
+	AdvanceEvery    int
+	AdvanceInterval time.Duration
 }
 
 // workerOpts bundles the worker role's flags.
@@ -166,6 +175,31 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) e
 		RecordToLedger: true,
 	}
 
+	// -async swaps only the Collect stage: the hub accepts uploads for any
+	// already-broadcast round whenever they land, and each advance drains
+	// the queue on the count/time cadence. The collector must be built
+	// before the hub replays any checkpoint (EnableAsync precedes traffic).
+	var coordOpts []core.CoordinatorOption
+	if o.Async {
+		if o.AdvanceEvery == 0 {
+			o.AdvanceEvery = recipe.Workers / 2
+			if o.AdvanceEvery < 1 {
+				o.AdvanceEvery = 1
+			}
+		}
+		col, err := transport.NewAsyncCollector(hub, engine, transport.AsyncConfig{
+			MaxStaleness:    o.MaxStaleness,
+			AdvanceEvery:    o.AdvanceEvery,
+			AdvanceInterval: o.AdvanceInterval,
+		})
+		if err != nil {
+			return err
+		}
+		coordOpts = append(coordOpts, core.WithCollector(col))
+		fmt.Printf("coordinator: async mode, max-staleness %d, advance every %d submissions or %v\n",
+			o.MaxStaleness, o.AdvanceEvery, o.AdvanceInterval)
+	}
+
 	// With -checkpoint, an existing snapshot in the directory means this
 	// process is a restart: rebuild the coordinator from it and seed the hub
 	// so reconnecting workers long-poll straight into the resumed round.
@@ -183,7 +217,7 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) e
 		snap, err := persist.ReadFile(ckptPath)
 		switch {
 		case err == nil:
-			coord, err = core.RestoreCoordinatorSnapshot(snap, cfg, engine)
+			coord, err = core.RestoreCoordinatorSnapshot(snap, cfg, engine, coordOpts...)
 			if err != nil {
 				return fmt.Errorf("restoring %s: %w", ckptPath, err)
 			}
@@ -203,7 +237,7 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) e
 		for i := range initial {
 			initial[i] = i
 		}
-		coord, err = core.NewCoordinator(cfg, engine, initial)
+		coord, err = core.NewCoordinator(cfg, engine, initial, coordOpts...)
 		if err != nil {
 			return err
 		}

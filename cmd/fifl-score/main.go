@@ -168,18 +168,42 @@ func scoreFile(path string, verify bool, cfg score.Config, alg *score.Algorithm,
 	return emit(set, rep, alg, outFile, reportFile)
 }
 
+// maxFollowErrors is how many consecutive failed fetches follow mode rides
+// through before giving up: a coordinator restart or network blip must not
+// kill a long-lived follower, but a coordinator that is actually gone
+// should not be polled forever.
+const maxFollowErrors = 5
+
 // scoreLive fetches a coordinator's ledger over HTTP — incrementally when
-// following — and rescores after each fetch until interrupted.
+// following — and rescores after each fetch until interrupted. In follow
+// mode transient fetch errors are logged and retried on the poll cadence;
+// only cancellation or maxFollowErrors consecutive failures end the loop.
 func scoreLive(baseURL string, from int, follow bool, poll time.Duration, verify bool, cfg score.Config, alg *score.Algorithm, outFile, reportFile string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	c := score.NewCollector(cfg)
 	next := from
+	failures := 0
 	for {
 		export, err := transport.FetchLedger(ctx, baseURL, next, 0)
 		if err != nil {
-			return err
+			if !follow || ctx.Err() != nil {
+				return err
+			}
+			failures++
+			if failures >= maxFollowErrors {
+				return fmt.Errorf("giving up after %d consecutive fetch failures, last: %w", failures, err)
+			}
+			fmt.Fprintf(os.Stderr, "fifl-score: fetch failed (%d/%d consecutive), retrying in %v: %v\n",
+				failures, maxFollowErrors, poll, err)
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(poll):
+			}
+			continue
 		}
+		failures = 0
 		if verify && next == 0 {
 			if _, err := chain.VerifyFrom(bytes.NewReader(export)); err != nil {
 				return fmt.Errorf("ledger verification failed: %w", err)

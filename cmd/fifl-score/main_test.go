@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fifl/internal/chain"
+	"fifl/internal/score"
+	"fifl/internal/transport/codec"
+)
+
+// testExport builds a tiny valid audit-chain export for the fake
+// coordinator to serve.
+func testExport(t *testing.T) []byte {
+	t.Helper()
+	led := chain.NewLedger()
+	signer := chain.NewSigner("server-0", [32]byte{1})
+	if err := led.RegisterExecutor("server-0", signer.Public()); err != nil {
+		t.Fatal(err)
+	}
+	records := []chain.Record{
+		{Kind: chain.KindDetection, Iteration: 0, WorkerID: 0, Value: 1},
+		{Kind: chain.KindReputation, Iteration: 0, WorkerID: 0, Value: 0.5},
+		{Kind: chain.KindDetection, Iteration: 0, WorkerID: 1, Value: 0},
+	}
+	for _, r := range records {
+		if _, err := led.Append(signer, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := led.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := codec.EncodeLedger(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+// TestScoreLiveFollowRetriesTransientErrors: follow mode must log and
+// retry transient fetch failures instead of dying on the first one, reset
+// the failure budget on a successful fetch, and give up only after
+// maxFollowErrors consecutive failures.
+func TestScoreLiveFollowRetriesTransientErrors(t *testing.T) {
+	export := testExport(t)
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Two transient failures, one good export, then a dead coordinator.
+		switch n := calls.Add(1); {
+		case n <= 2 || n > 3:
+			http.Error(w, "coordinator restarting", http.StatusInternalServerError)
+		default:
+			w.Header().Set("Content-Type", "application/octet-stream")
+			_, _ = w.Write(export)
+		}
+	}))
+	defer ts.Close()
+
+	dir := t.TempDir()
+	out := filepath.Join(dir, "scores.csv")
+	report := filepath.Join(dir, "report.txt")
+	err := scoreLive(ts.URL, 0, true, 5*time.Millisecond, false,
+		score.Config{Tolerance: 1e-9}, score.DefaultAlgorithm(), out, report)
+	if err == nil {
+		t.Fatal("scoreLive must eventually give up on a permanently failing coordinator")
+	}
+	if !strings.Contains(err.Error(), "giving up after 5 consecutive fetch failures") {
+		t.Fatalf("unexpected terminal error: %v", err)
+	}
+	// 2 failures + 1 success + maxFollowErrors terminal failures.
+	if got := calls.Load(); got != int64(3+maxFollowErrors) {
+		t.Fatalf("fetch attempts = %d, want %d", got, 3+maxFollowErrors)
+	}
+	// The successful fetch between the failures must have scored and
+	// emitted: the budget reset proves errors are counted consecutively.
+	csv, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("no CSV written by the successful fetch: %v", err)
+	}
+	if !strings.HasPrefix(string(csv), "worker,") {
+		t.Fatalf("CSV missing header: %q", csv)
+	}
+	if lines := strings.Count(strings.TrimSpace(string(csv)), "\n"); lines != 2 {
+		t.Fatalf("CSV has %d worker rows, want 2", lines)
+	}
+}
+
+// TestScoreLiveOneShotFailsFast: without -follow the first fetch error is
+// terminal — no retry loop for a one-shot scoring run.
+func TestScoreLiveOneShotFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "nope", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+
+	err := scoreLive(ts.URL, 0, false, time.Millisecond, false,
+		score.Config{Tolerance: 1e-9}, score.DefaultAlgorithm(),
+		filepath.Join(t.TempDir(), "out.csv"), filepath.Join(t.TempDir(), "rep.txt"))
+	if err == nil {
+		t.Fatal("one-shot scoreLive must surface the fetch error")
+	}
+	if strings.Contains(err.Error(), "giving up") {
+		t.Fatalf("one-shot run entered the follow retry loop: %v", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("one-shot run issued %d fetches, want 1", got)
+	}
+}

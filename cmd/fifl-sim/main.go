@@ -20,6 +20,7 @@ import (
 	"fifl/internal/chain"
 	"fifl/internal/core"
 	"fifl/internal/experiments"
+	"fifl/internal/faults"
 	"fifl/internal/fl"
 	"fifl/internal/metrics"
 	"fifl/internal/persist"
@@ -27,6 +28,29 @@ import (
 	"fifl/internal/trace"
 	"fifl/internal/transport/codec"
 )
+
+// parseLagSpec turns the -async-lag "worker:lag,worker:lag" spelling into
+// a per-worker lag slice for fl.StaticLag. Unlisted workers are fresh.
+func parseLagSpec(spec string, workers int) ([]int, error) {
+	lags := make([]int, workers)
+	if spec == "" {
+		return lags, nil
+	}
+	for _, pair := range strings.Split(spec, ",") {
+		var w, l int
+		if _, err := fmt.Sscanf(strings.TrimSpace(pair), "%d:%d", &w, &l); err != nil {
+			return nil, fmt.Errorf("-async-lag: bad pair %q (want worker:lag)", pair)
+		}
+		if w < 0 || w >= workers {
+			return nil, fmt.Errorf("-async-lag: worker %d out of range [0,%d)", w, workers)
+		}
+		if l < 0 {
+			return nil, fmt.Errorf("-async-lag: negative lag %d for worker %d", l, w)
+		}
+		lags[w] = l
+	}
+	return lags, nil
+}
 
 func main() {
 	var (
@@ -54,6 +78,10 @@ func main() {
 		resume    = flag.String("resume", "", "resume from a checkpoint file written by a previous run with identical flags")
 		mechName  = flag.String("mechanism", "fifl", "reward mechanism: "+strings.Join(core.MechanismNames(), ", ")+" (baselines pay by sample count and ignore detection; shapley-mc is the sampled estimator for large N)")
 		compress  = flag.String("compression", "none", "simulated wire compression for gradient uploads and model downloads: none, f32, topk, int8 or int16")
+		async     = flag.Bool("async", false, "asynchronous rounds: each advance folds a round-robin cohort with bounded-staleness weights instead of the collect-all barrier")
+		maxStale  = flag.Int("max-staleness", 2, "async staleness bound: submissions trained against a model more than this many advances old are rejected and penalized")
+		advEvery  = flag.Int("advance-every", 0, "async count cadence: workers folded per advance window (0 = workers/2, min 1)")
+		asyncLag  = flag.String("async-lag", "", "async straggler injection: comma-separated worker:lag pairs, e.g. \"3:1,7:4\" — worker 7 always submits 4 advances stale")
 	)
 	flag.Parse()
 
@@ -135,6 +163,35 @@ func main() {
 	}
 	fed := experiments.BuildFederation(sc, dk, kinds, rng.New(sc.Seed).Split("sim"), opts...)
 
+	// -async swaps only the Collect stage: the same detection, reputation,
+	// contribution and reward pipeline assesses bounded-staleness advance
+	// windows instead of synchronous barriers.
+	var coordOpts []core.CoordinatorOption
+	coordOpts = append(coordOpts, core.WithMechanism(mech))
+	if *async {
+		if *advEvery == 0 {
+			*advEvery = *workers / 2
+			if *advEvery < 1 {
+				*advEvery = 1
+			}
+		}
+		lags, err := parseLagSpec(*asyncLag, *workers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
+			os.Exit(2)
+		}
+		col, err := fl.NewAsyncCollector(fed.Engine, fl.AsyncConfig{
+			MaxStaleness: *maxStale,
+			AdvanceEvery: *advEvery,
+			Lag:          fl.StaticLag(lags),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
+			os.Exit(2)
+		}
+		coordOpts = append(coordOpts, core.WithCollector(col))
+	}
+
 	// -resume rebuilds the same federation from the same flags (seed, sizes,
 	// attacker mix must match the run that wrote the checkpoint — the restore
 	// cross-checks what it can and rejects mismatches) and fast-forwards it
@@ -147,7 +204,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "fifl-sim: reading %s: %v\n", *resume, err)
 			os.Exit(1)
 		}
-		coord, err = core.RestoreCoordinatorSnapshot(snap, experiments.DefaultCoordinatorConfig(*sy, true), fed.Engine, core.WithMechanism(mech))
+		coord, err = core.RestoreCoordinatorSnapshot(snap, experiments.DefaultCoordinatorConfig(*sy, true), fed.Engine, coordOpts...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fifl-sim: resuming from %s: %v\n", *resume, err)
 			os.Exit(1)
@@ -155,11 +212,15 @@ func main() {
 		startRound = coord.NextRound()
 		fmt.Printf("resumed from %s at round %d\n", *resume, startRound)
 	} else {
-		coord = experiments.DefaultCoordinator(fed, *sy, true, core.WithMechanism(mech))
+		coord = experiments.DefaultCoordinator(fed, *sy, true, coordOpts...)
 	}
 
-	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d mechanism=%s compression=%s (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
-		*workers, *servers, *task, *rounds, coord.Mechanism().Name(), cmode, *nFlip, *ps, *nPoison, *pd)
+	mode := "sync"
+	if *async {
+		mode = fmt.Sprintf("async(max-staleness=%d advance-every=%d)", *maxStale, *advEvery)
+	}
+	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d mode=%s mechanism=%s compression=%s (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
+		*workers, *servers, *task, *rounds, mode, coord.Mechanism().Name(), cmode, *nFlip, *ps, *nPoison, *pd)
 
 	recorder := trace.NewRecorder()
 	for t := startRound; t < *rounds; t++ {
@@ -178,6 +239,18 @@ func main() {
 			}
 		}
 		line := fmt.Sprintf("round %3d  accepted %d/%d  servers %v", t, accepted, *workers, rep.Servers)
+		if rep.Staleness != nil {
+			stale, pending := 0, 0
+			for _, st := range rep.Statuses {
+				switch st {
+				case faults.StatusStale:
+					stale++
+				case faults.StatusPending:
+					pending++
+				}
+			}
+			line += fmt.Sprintf("  stale %d  pending %d", stale, pending)
+		}
 		if !rep.Committed {
 			line += "  QUORUM MISSED (round degraded)"
 		}

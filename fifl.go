@@ -139,6 +139,12 @@ const (
 	UploadTimedOut = faults.StatusTimedOut
 	// UploadCrashed marks a worker that crashed before uploading.
 	UploadCrashed = faults.StatusCrashed
+	// UploadStale marks an async submission rejected for training against
+	// a model older than the staleness bound (negative reputation event).
+	UploadStale = faults.StatusStale
+	// UploadPending marks a worker still training when an async advance
+	// window closed (uncertain reputation event, like a timeout).
+	UploadPending = faults.StatusPending
 )
 
 // WithQuorum makes rounds commit only when at least k uploads arrive;
@@ -236,6 +242,60 @@ func WithMechanism(m RewardMechanism) CoordinatorOption { return core.WithMechan
 // Reward, Record, Reselect).
 func WithStageTrace(h func(RoundStageTrace)) CoordinatorOption {
 	return core.WithStageTrace(h)
+}
+
+// Asynchronous federation: replace the synchronous collect-all barrier
+// with bounded-staleness windows — workers submit whenever ready, tagged
+// with the model round they trained against, and each advance folds what
+// arrived with staleness weight 1/(1+s), rejecting s > MaxStaleness. Only
+// the Collect stage changes; detection, reputation, contribution and
+// rewards assess async windows unchanged (pending workers are uncertain
+// events, over-bound submissions negative ones).
+type (
+	// Collector swaps the round pipeline's Collect stage; install one with
+	// WithCollector. nil keeps the synchronous engine barrier.
+	Collector = core.Collector
+	// AsyncConfig parameterizes the in-process async collector.
+	AsyncConfig = fl.AsyncConfig
+	// AsyncCollector is the in-process bounded-staleness Collect stage: a
+	// deterministic round-robin cohort submits each advance window, with a
+	// deterministic lag schedule as the async failure model.
+	AsyncCollector = fl.AsyncCollector
+	// LagSchedule decides how stale each simulated submission is.
+	LagSchedule = fl.LagSchedule
+	// TransportAsyncConfig parameterizes the wire-side async collector.
+	TransportAsyncConfig = transport.AsyncConfig
+	// TransportAsyncCollector is the wire-side bounded-staleness Collect
+	// stage: HTTP workers submit any time and advance windows drain the
+	// hub's queue on a count/time cadence.
+	TransportAsyncCollector = transport.AsyncCollector
+)
+
+// StalenessWeight is the bounded-staleness fold weight 1/(1+s); non-finite
+// or negative staleness weighs 0, and s > max is rejected (weight 0) when
+// max >= 0.
+func StalenessWeight(s float64, max int) float64 { return core.StalenessWeight(s, max) }
+
+// WithCollector replaces the pipeline's Collect stage — the synchronous
+// engine barrier — with an alternative collector, typically an async one.
+// Checkpoints taken with a resumable collector carry its state; restore
+// with the same option.
+func WithCollector(col Collector) CoordinatorOption { return core.WithCollector(col) }
+
+// NewAsyncCollector builds the in-process bounded-staleness collector over
+// an engine; install it with WithCollector.
+func NewAsyncCollector(e *Engine, cfg AsyncConfig) (*AsyncCollector, error) {
+	return fl.NewAsyncCollector(e, cfg)
+}
+
+// StaticLag builds a lag schedule from fixed per-worker lags.
+func StaticLag(lags []int) LagSchedule { return fl.StaticLag(lags) }
+
+// NewTransportAsyncCollector switches a hub into async any-time-submit
+// mode and builds the wire-side collector over it; install it with
+// WithCollector on the coordinator the hub serves.
+func NewTransportAsyncCollector(hub *TransportHub, engine *Engine, cfg TransportAsyncConfig) (*TransportAsyncCollector, error) {
+	return transport.NewAsyncCollector(hub, engine, cfg)
 }
 
 // MechanismByName resolves a registry name — see MechanismNames, today

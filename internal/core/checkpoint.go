@@ -60,6 +60,13 @@ func (c *Coordinator) Snapshot() (*persist.Snapshot, error) {
 			s.WorkerDraws[i] = rw.RNGDraws()
 		}
 	}
+	if rc, ok := c.collector.(ResumableCollector); ok {
+		st, err := rc.AsyncSnapshot()
+		if err != nil {
+			return nil, fmt.Errorf("core: capturing async collector state: %w", err)
+		}
+		s.Async = st
+	}
 	var buf bytes.Buffer
 	if err := c.Ledger.WriteBinary(&buf); err != nil {
 		return nil, fmt.Errorf("core: exporting ledger for checkpoint: %w", err)
@@ -135,6 +142,18 @@ func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, e
 		return nil, err
 	}
 	c.nextRound = snap.NextRound
+
+	// Reinstate the async collector's inter-round state (model history,
+	// pending fold). Mode mismatches are errors both ways: async state
+	// needs a resumable collector to receive it, and a resumable collector
+	// cannot cold-start mid-run without it.
+	if rc, ok := c.collector.(ResumableCollector); ok {
+		if err := rc.RestoreAsync(snap.Async); err != nil {
+			return nil, err
+		}
+	} else if snap.Async != nil {
+		return nil, fmt.Errorf("core: checkpoint carries async collector state, but no resumable collector was configured — pass the interrupted run's collector via WithCollector")
+	}
 
 	// Fast-forward the deterministic random streams to where the
 	// interrupted run left them. Workers that do not expose their stream

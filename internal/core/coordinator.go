@@ -77,6 +77,10 @@ type RoundReport struct {
 	// Retries the retransmission attempts made for it.
 	Statuses []faults.UploadStatus
 	Retries  []int
+	// Staleness tags each worker's submission with how many model
+	// advances old its training model was (fl.NoSubmission = absent this
+	// window); nil for synchronous rounds.
+	Staleness []int
 	// Committed reports whether the round met the engine's quorum. An
 	// uncommitted round is degraded: the model did not move, every worker
 	// recorded an uncertain event, and all contributions are zero.
@@ -105,6 +109,7 @@ type Coordinator struct {
 	mech       RewardMechanism
 	trace      TraceHook
 	pipeline   *Pipeline
+	collector  Collector
 }
 
 // CoordinatorOption customizes a coordinator beyond its config struct.
@@ -128,6 +133,18 @@ func WithMechanism(m RewardMechanism) CoordinatorOption {
 // must not mutate the round.
 func WithStageTrace(h TraceHook) CoordinatorOption {
 	return func(c *Coordinator) { c.trace = h }
+}
+
+// WithCollector swaps the Collect stage's upload source — by default the
+// engine's synchronous collect-all barrier — for an alternative such as
+// the async bounded-staleness collectors (fl.NewAsyncCollector for
+// in-process federations, transport.NewAsyncCollector over the wire).
+// Every other stage runs unchanged: detection, reputation, rewards and
+// the ledger see the async round through the same RoundResult shape, with
+// staleness-discounted aggregation weights and stale/absent submissions
+// mapped onto the Eq. 8–10 reputation events.
+func WithCollector(col Collector) CoordinatorOption {
+	return func(c *Coordinator) { c.collector = col }
 }
 
 // NewCoordinator builds a FIFL coordinator over an engine. initialServers
@@ -248,6 +265,7 @@ func (c *Coordinator) RunRoundContext(ctx context.Context, t int) (*RoundReport,
 		Global:        rc.Global,
 		Statuses:      append([]faults.UploadStatus(nil), rc.RR.Status...),
 		Retries:       append([]int(nil), rc.RR.Retries...),
+		Staleness:     append([]int(nil), rc.RR.Staleness...),
 		Committed:     rc.RR.Committed,
 	}, nil
 }

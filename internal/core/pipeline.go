@@ -3,8 +3,10 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"time"
 
+	"fifl/internal/faults"
 	"fifl/internal/fl"
 	"fifl/internal/gradvec"
 	"fifl/internal/metrics"
@@ -135,12 +137,30 @@ func (p *Pipeline) Run(c *Coordinator, rc *RoundContext) error {
 	return nil
 }
 
-// stageCollect runs local training under the engine's fault-tolerant
-// runtime and snapshots the executing server cluster.
+// stageCollect gathers the round's uploads — local training under the
+// engine's fault-tolerant synchronous barrier by default, or whatever
+// source WithCollector installed (the async bounded-staleness collectors)
+// — and snapshots the executing server cluster. Async rounds additionally
+// get their staleness-discounted aggregation weights here, so every later
+// stage sees a fully tagged RoundResult.
 func stageCollect(c *Coordinator, rc *RoundContext) error {
-	rr, err := c.Engine.CollectGradientsContext(rc.Ctx, rc.Round)
+	var (
+		rr  *fl.RoundResult
+		err error
+	)
+	if c.collector != nil {
+		rr, err = c.collector.CollectRound(rc.Ctx, rc.Round)
+		if err == nil && rr != nil {
+			fillStalenessWeights(rr, c.collector.MaxStaleness())
+		}
+	} else {
+		rr, err = c.Engine.CollectGradientsContext(rc.Ctx, rc.Round)
+	}
 	if err != nil {
 		return err
+	}
+	if rr == nil {
+		return fmt.Errorf("collector returned a nil round")
 	}
 	rc.RR = rr
 	rc.Servers = c.Servers()
@@ -164,6 +184,20 @@ func stageDetect(c *Coordinator, rc *RoundContext) error {
 			return err
 		}
 		rc.Detection = det
+	}
+	// Async rounds: an over-bound submission (StatusStale) did arrive —
+	// the worker spent the compute, just too late — so it is not the
+	// "uncertain" absence the detector inferred from its nil gradient. The
+	// bounded-staleness rule rejects it outright, turning it into a
+	// negative Eq. 8–10 reputation event that prices lateness.
+	if rc.RR.Staleness != nil {
+		for i, st := range rc.RR.Status {
+			if st == faults.StatusStale {
+				rc.Detection.Scores[i] = math.Inf(-1)
+				rc.Detection.Accept[i] = false
+				rc.Detection.Uncertain[i] = false
+			}
+		}
 	}
 	return nil
 }

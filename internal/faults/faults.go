@@ -35,6 +35,15 @@ const (
 	StatusTimedOut
 	// StatusCrashed: the device was down this round and sent nothing.
 	StatusCrashed
+	// StatusStale: the upload arrived, but it was trained against a model
+	// more than MaxStaleness advances old — the async bounded-staleness
+	// rule rejects it from aggregation and the detection stage records a
+	// negative event for it. Only async rounds produce this status.
+	StatusStale
+	// StatusPending: the worker had no submission in this async advance
+	// window — it is presumed still training against an earlier broadcast.
+	// Only async rounds produce this status.
+	StatusPending
 )
 
 // Arrived reports whether an upload with this status reached the servers.
@@ -53,6 +62,10 @@ func (s UploadStatus) String() string {
 		return "timed_out"
 	case StatusCrashed:
 		return "crashed"
+	case StatusStale:
+		return "stale"
+	case StatusPending:
+		return "pending"
 	default:
 		return "unknown"
 	}

@@ -82,7 +82,21 @@ type RoundResult struct {
 	// round must not be aggregated: the runtime degrades it gracefully
 	// (every worker records an uncertain event, the model stays put).
 	Committed bool
+	// Staleness records, per worker, how many model advances old the
+	// parameters this round's submission trained against were (0 = the
+	// current broadcast); NoSubmission marks workers without a submission
+	// in the window. Synchronous collection leaves it nil.
+	Staleness []int
+	// Weights holds optional per-worker aggregation weights multiplied
+	// into the n_i sample weights — the async staleness discount. nil
+	// means every arrival weighs 1, which is the synchronous path and is
+	// bit-identical to aggregation before the field existed.
+	Weights []float64
 }
+
+// NoSubmission is the Staleness marker for a worker that submitted
+// nothing in an async advance window.
+const NoSubmission = -1
 
 // Dropped reports whether worker i's upload failed to arrive this round.
 func (r *RoundResult) Dropped(i int) bool { return r.Grads[i] == nil }
@@ -218,11 +232,14 @@ func (e *Engine) DiscardRNG(n uint64) error {
 	return nil
 }
 
-// AggregateRound computes the global gradient G̃ = Σ_i (n_i·r_i / Σ_j
-// n_j·r_j)·G_i over the workers whose accept flag is true and whose upload
-// arrived. Passing a nil accept slice accepts everyone (plain FedAvg). It
-// returns (nil, nil) if no gradient survives or the round failed its
-// quorum, and an error if the accept mask does not match the round.
+// AggregateRound computes the global gradient G̃ = Σ_i (w_i·n_i·r_i / Σ_j
+// w_j·n_j·r_j)·G_i over the workers whose accept flag is true and whose
+// upload arrived. Passing a nil accept slice accepts everyone (plain
+// FedAvg). w_i comes from rr.Weights — the async staleness discount; a nil
+// Weights slice weighs every arrival 1, bit-identical to the synchronous
+// aggregation that predates the field. It returns (nil, nil) if no
+// weighted gradient survives or the round failed its quorum, and an error
+// if the accept mask or weight vector does not match the round.
 func (e *Engine) AggregateRound(rr *RoundResult, accept []bool) (gradvec.Vector, error) {
 	if rr == nil {
 		return nil, errors.New("fl: AggregateRound on a nil round")
@@ -231,16 +248,29 @@ func (e *Engine) AggregateRound(rr *RoundResult, accept []bool) (gradvec.Vector,
 	if accept != nil && len(accept) != len(rr.Grads) {
 		return nil, fmt.Errorf("fl: AggregateRound accept length %d, want %d", len(accept), len(rr.Grads))
 	}
+	if rr.Weights != nil && len(rr.Weights) != len(rr.Grads) {
+		return nil, fmt.Errorf("fl: AggregateRound weights length %d, want %d", len(rr.Weights), len(rr.Grads))
+	}
 	if rr.Quorum > 0 && !rr.Committed {
 		// Quorum unmet: the round is degraded and must not move the model.
 		return nil, nil
+	}
+	weight := func(i int) float64 {
+		if rr.Weights == nil {
+			return 1
+		}
+		w := rr.Weights[i]
+		if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+			return 0
+		}
+		return w
 	}
 	total := 0.0
 	for i, g := range rr.Grads {
 		if g == nil || (accept != nil && !accept[i]) {
 			continue
 		}
-		total += float64(rr.Samples[i])
+		total += weight(i) * float64(rr.Samples[i])
 	}
 	if total == 0 {
 		return nil, nil
@@ -250,7 +280,9 @@ func (e *Engine) AggregateRound(rr *RoundResult, accept []bool) (gradvec.Vector,
 		if g == nil || (accept != nil && !accept[i]) {
 			continue
 		}
-		out.AddScaled(float64(rr.Samples[i])/total, g)
+		if w := weight(i); w > 0 {
+			out.AddScaled(w*float64(rr.Samples[i])/total, g)
+		}
 	}
 	return out, nil
 }

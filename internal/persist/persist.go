@@ -39,8 +39,9 @@ import (
 // Magic opens every checkpoint and carries the format version; an
 // incompatible change to the layout below must bump the trailing digit.
 // Version 2 added MechDraws (the reward mechanism's RNG stream position)
-// after EngineDraws.
-const Magic = "FIFLCKP2"
+// after EngineDraws. Version 3 appended the optional async-collector
+// state (flag byte + AsyncState) after the ledger export.
+const Magic = "FIFLCKP3"
 
 // MaxSnapshotBytes bounds one checkpoint read. The dominant terms are the
 // model parameters and the ledger export; 1 GiB accommodates the largest
@@ -98,6 +99,39 @@ type Snapshot struct {
 	// Ledger is the audit chain's deterministic binary export
 	// (chain.WriteBinary), empty when the run kept no ledger.
 	Ledger []byte
+	// Async carries the bounded-staleness collector's inter-round state —
+	// the recent-model history stale submissions train against and the
+	// uploads accepted but not yet folded into an advance. nil for
+	// synchronous runs.
+	Async *AsyncState
+}
+
+// AsyncState is the inter-round state of an async bounded-staleness
+// collector. Kill-and-resume stays bit-identical only if the resumed
+// collector sees the same model history and the same pending fold the
+// interrupted one held.
+type AsyncState struct {
+	// HistRounds lists the advance indices whose parameter vectors are
+	// retained for stale training, strictly ascending; HistParams[i] is
+	// the model of advance HistRounds[i].
+	HistRounds []int64
+	HistParams [][]float64
+	// Pending holds uploads the hub accepted after the last committed
+	// advance window closed — they belong to the next window and must not
+	// be lost across a restart.
+	Pending []AsyncUpload
+}
+
+// AsyncUpload is one accepted-but-unfolded async submission.
+type AsyncUpload struct {
+	// Worker is the submitting worker's federation index.
+	Worker int
+	// TrainedRound is the model round the gradient was trained against.
+	TrainedRound int
+	// Samples is the worker's registered dataset size at submission.
+	Samples int
+	// Grad is the submitted gradient.
+	Grad []float64
 }
 
 // Validate checks the snapshot's internal consistency: one entry per
@@ -159,6 +193,49 @@ func (s *Snapshot) Validate() error {
 			return fmt.Errorf("persist: negative sample count %d for worker %d", smp, i)
 		}
 	}
+	if s.Async != nil {
+		if err := s.Async.validate(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validate checks the async-collector state against a federation of n
+// workers.
+func (a *AsyncState) validate(n int) error {
+	if len(a.HistRounds) != len(a.HistParams) {
+		return fmt.Errorf("persist: %d history rounds for %d parameter vectors", len(a.HistRounds), len(a.HistParams))
+	}
+	for i, r := range a.HistRounds {
+		if r < 0 {
+			return fmt.Errorf("persist: negative history round %d", r)
+		}
+		if i > 0 && r <= a.HistRounds[i-1] {
+			return fmt.Errorf("persist: history rounds not strictly ascending at position %d", i)
+		}
+		for j, v := range a.HistParams[i] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("persist: history params[%d][%d] is non-finite (%v)", i, j, v)
+			}
+		}
+	}
+	for i, p := range a.Pending {
+		if p.Worker < 0 || p.Worker >= n {
+			return fmt.Errorf("persist: pending upload %d from worker %d outside federation of %d", i, p.Worker, n)
+		}
+		if p.TrainedRound < 0 {
+			return fmt.Errorf("persist: pending upload %d trained against negative round %d", i, p.TrainedRound)
+		}
+		if p.Samples <= 0 {
+			return fmt.Errorf("persist: pending upload %d declares %d samples", i, p.Samples)
+		}
+		for j, v := range p.Grad {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("persist: pending upload %d gradient[%d] is non-finite (%v)", i, j, v)
+			}
+		}
+	}
 	return nil
 }
 
@@ -195,6 +272,23 @@ func Encode(s *Snapshot) ([]byte, error) {
 	}
 	b = putU32(b, uint32(len(s.Ledger)))
 	b = append(b, s.Ledger...)
+	if s.Async == nil {
+		b = append(b, 0)
+	} else {
+		b = append(b, 1)
+		b = putI64s(b, s.Async.HistRounds)
+		b = putU32(b, uint32(len(s.Async.HistParams)))
+		for _, p := range s.Async.HistParams {
+			b = putF64s(b, p)
+		}
+		b = putU32(b, uint32(len(s.Async.Pending)))
+		for _, p := range s.Async.Pending {
+			b = putU64(b, uint64(p.Worker))
+			b = putU64(b, uint64(p.TrainedRound))
+			b = putU64(b, uint64(p.Samples))
+			b = putF64s(b, p.Grad)
+		}
+	}
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
 }
 
@@ -282,6 +376,59 @@ func Decode(b []byte) (*Snapshot, error) {
 		return nil, err
 	}
 	s.Ledger = append([]byte(nil), ledger...)
+	asyncFlag, err := r.byte("async flag")
+	if err != nil {
+		return nil, err
+	}
+	switch asyncFlag {
+	case 0:
+	case 1:
+		a := &AsyncState{}
+		if a.HistRounds, err = r.i64s("async history rounds"); err != nil {
+			return nil, err
+		}
+		histLen, err := r.vecLen(4, "async history params")
+		if err != nil {
+			return nil, err
+		}
+		a.HistParams = make([][]float64, histLen)
+		for i := range a.HistParams {
+			if a.HistParams[i], err = r.f64s("async history params"); err != nil {
+				return nil, err
+			}
+		}
+		pendLen, err := r.vecLen(28, "async pending uploads")
+		if err != nil {
+			return nil, err
+		}
+		a.Pending = make([]AsyncUpload, pendLen)
+		for i := range a.Pending {
+			p := &a.Pending[i]
+			for _, f := range []struct {
+				name string
+				dst  *int
+			}{
+				{"async pending worker", &p.Worker},
+				{"async pending round", &p.TrainedRound},
+				{"async pending samples", &p.Samples},
+			} {
+				v, err := r.u64(f.name)
+				if err != nil {
+					return nil, err
+				}
+				if v > math.MaxInt32 {
+					return nil, fmt.Errorf("persist: %s %d outside the supported range", f.name, v)
+				}
+				*f.dst = int(v)
+			}
+			if p.Grad, err = r.f64s("async pending gradient"); err != nil {
+				return nil, err
+			}
+		}
+		s.Async = a
+	default:
+		return nil, fmt.Errorf("persist: async flag byte %d is not a bool", asyncFlag)
+	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("persist: %d trailing bytes after checkpoint body", r.remaining())
 	}

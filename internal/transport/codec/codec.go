@@ -537,7 +537,7 @@ func DecodeReport(b []byte) (Report, error) {
 	}
 	statuses := make([]faults.UploadStatus, n)
 	for i, s := range raw {
-		if faults.UploadStatus(s) > faults.StatusCrashed {
+		if faults.UploadStatus(s) > faults.StatusPending {
 			return Report{}, fmt.Errorf("codec: report status %d for worker %d unknown", s, i)
 		}
 		statuses[i] = faults.UploadStatus(s)

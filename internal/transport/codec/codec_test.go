@@ -225,9 +225,10 @@ func TestReportRoundTrip(t *testing.T) {
 		Committed: true,
 		Statuses: []faults.UploadStatus{
 			faults.StatusOK, faults.StatusRetried, faults.StatusTimedOut,
+			faults.StatusStale, faults.StatusPending,
 		},
-		Reputations: []float64{0.5, 0.25, 0.125},
-		Rewards:     []float64{1, 0, -0.5},
+		Reputations: []float64{0.5, 0.25, 0.125, 0.0625, 0.03125},
+		Rewards:     []float64{1, 0, -0.5, -1, 0},
 	}
 	b, err := EncodeReport(in, CompressionNone)
 	if err != nil {
@@ -249,6 +250,17 @@ func TestReportRoundTrip(t *testing.T) {
 	}
 	if _, err := EncodeReport(Report{Statuses: make([]faults.UploadStatus, 2), Reputations: []float64{1}, Rewards: []float64{1, 2}}, CompressionNone); err == nil {
 		t.Fatal("EncodeReport accepted mismatched shapes")
+	}
+	bad, err := EncodeReport(Report{
+		Statuses:    []faults.UploadStatus{faults.StatusPending + 1},
+		Reputations: []float64{1},
+		Rewards:     []float64{1},
+	}, CompressionNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeReport(bad); err == nil {
+		t.Fatal("DecodeReport accepted a status past the known range")
 	}
 }
 

@@ -48,6 +48,29 @@ type submission struct {
 	samples int
 }
 
+// pendingSub is one async submission queued for the next advance window,
+// in arrival order.
+type pendingSub struct {
+	worker  int
+	round   int // the model round the gradient trained against
+	samples int
+	grad    gradvec.Vector
+}
+
+// waitStatus classifies how a model long poll on the hub resolved.
+type waitStatus int
+
+const (
+	// waitNews: a newer round (or the terminal done state) is available.
+	waitNews waitStatus = iota
+	// waitTimeout: the server-side poll window elapsed with nothing new —
+	// the client is alive and gets a 204 to re-poll on.
+	waitTimeout
+	// waitCancelled: the client went away (request context cancelled);
+	// nothing should be written to the dead connection.
+	waitCancelled
+)
+
 // Hub is the rendezvous between the coordinator's engine (which runs
 // remote-worker stubs) and the HTTP handlers (which receive the real
 // submissions). It is safe for concurrent use.
@@ -68,6 +91,13 @@ type Hub struct {
 
 	subs map[int]map[int]submission // round -> worker -> submission
 	wait map[[2]int]chan struct{}   // (round, worker) -> arrival signal
+
+	// Async mode (EnableAsync): submissions for any broadcast round are
+	// accepted at any time and queued for the next advance window instead
+	// of waking a per-round stub.
+	asyncBound int           // staleness bound; negative = synchronous mode
+	pending    []pendingSub  // queued async submissions, arrival order
+	pendingCh  chan struct{} // closed and replaced when the queue grows
 }
 
 // NewHub creates the coordinator-side rendezvous for a federation of n
@@ -77,17 +107,39 @@ func NewHub(n int) (*Hub, error) {
 		return nil, fmt.Errorf("transport: NewHub requires a positive federation size, got %d", n)
 	}
 	return &Hub{
-		n:         n,
-		samples:   make([]int, n),
-		helloed:   make([]bool, n),
-		readyLeft: n,
-		readyCh:   make(chan struct{}),
-		round:     noRound,
-		modelCh:   make(chan struct{}),
-		closedCh:  make(chan struct{}),
-		subs:      make(map[int]map[int]submission),
-		wait:      make(map[[2]int]chan struct{}),
+		n:          n,
+		samples:    make([]int, n),
+		helloed:    make([]bool, n),
+		readyLeft:  n,
+		readyCh:    make(chan struct{}),
+		round:      noRound,
+		modelCh:    make(chan struct{}),
+		closedCh:   make(chan struct{}),
+		subs:       make(map[int]map[int]submission),
+		wait:       make(map[[2]int]chan struct{}),
+		asyncBound: -1,
+		pendingCh:  make(chan struct{}),
 	}, nil
+}
+
+// EnableAsync switches the hub into asynchronous mode with the given
+// staleness bound: submissions tagged with any already-broadcast round
+// are accepted whenever they arrive and queued for the next advance
+// window (takePending) instead of rendezvousing with a per-round stub.
+// Submission mailboxes are retained for maxStaleness+1 extra rounds so
+// idempotent-replay detection spans the whole staleness window. Must be
+// called before any traffic.
+func (h *Hub) EnableAsync(maxStaleness int) error {
+	if maxStaleness < 0 {
+		return fmt.Errorf("transport: EnableAsync requires a non-negative staleness bound, got %d", maxStaleness)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.round != noRound || h.done {
+		return fmt.Errorf("transport: EnableAsync on a hub that already published round %d", h.round)
+	}
+	h.asyncBound = maxStaleness
+	return nil
 }
 
 // Workers returns the remote-worker stubs to build the coordinator's
@@ -226,9 +278,15 @@ func (h *Hub) publish(round int, params []float64) {
 	// Drop mailboxes older than the previous round. The previous round's
 	// submissions are retained so a client that lost a 204 can retry its
 	// upload across the round boundary and still be recognized as an
-	// idempotent replay.
+	// idempotent replay. Async mode keeps the whole staleness window (plus
+	// one over-bound round) so replay detection covers every submission
+	// the next advance could still fold.
+	keepFrom := round - 1
+	if h.asyncBound >= 0 {
+		keepFrom = round - h.asyncBound - 2
+	}
 	for r := range h.subs {
-		if r < round-1 {
+		if r < keepFrom {
 			delete(h.subs, r)
 		}
 	}
@@ -257,8 +315,11 @@ func (h *Hub) model() (round int, params []float64, done bool) {
 
 // waitModel blocks until a round newer than `after` is published (or the
 // federation finishes), up to maxWait — the server side of the client's
-// long poll. It returns ok=false on timeout with nothing new.
-func (h *Hub) waitModel(ctx context.Context, after int, maxWait time.Duration) (round int, params []float64, done, ok bool) {
+// long poll. The status distinguishes the two empty-handed outcomes:
+// waitTimeout means the poll window elapsed and the live client should
+// get a 204 to re-poll on; waitCancelled means the client's request
+// context died and nothing can usefully be written back.
+func (h *Hub) waitModel(ctx context.Context, after int, maxWait time.Duration) (round int, params []float64, done bool, status waitStatus) {
 	deadline := time.NewTimer(maxWait)
 	defer deadline.Stop()
 	for {
@@ -266,28 +327,28 @@ func (h *Hub) waitModel(ctx context.Context, after int, maxWait time.Duration) (
 		if h.done {
 			r := h.round
 			h.mu.Unlock()
-			return r, nil, true, true
+			return r, nil, true, waitNews
 		}
 		if h.round > after {
 			r, p := h.round, h.params
 			h.mu.Unlock()
-			return r, p, false, true
+			return r, p, false, waitNews
 		}
 		ch := h.modelCh
 		h.mu.Unlock()
 		select {
 		case <-ch:
 		case <-deadline.C:
-			return 0, nil, false, false
+			return 0, nil, false, waitTimeout
 		case <-h.closedCh:
 			// Re-acquire the lock for the round read: a publish can be
 			// mutating h.round concurrently with the close.
 			h.mu.Lock()
 			r := h.round
 			h.mu.Unlock()
-			return r, nil, true, true
+			return r, nil, true, waitNews
 		case <-ctx.Done():
-			return 0, nil, false, false
+			return 0, nil, false, waitCancelled
 		}
 	}
 }
@@ -328,8 +389,18 @@ func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) (fresh bool, e
 	// to the restarted coordinator before the engine re-publishes that
 	// round — the re-broadcast is deterministic, so the gradient is the one
 	// the round will want. Before any broadcast at all (noRound) nothing is
-	// accepted.
-	if h.round == noRound || (round != h.round && round != h.round+1) {
+	// accepted. Async mode is the any-time submit path: every
+	// already-broadcast round is accepted whenever its upload lands — the
+	// advance window prices the staleness (or rejects it past the bound)
+	// instead of the door.
+	if h.round == noRound {
+		return false, fmt.Errorf("transport: submission for round %d before any broadcast", round)
+	}
+	if h.asyncBound >= 0 {
+		if round < 0 || round > h.round {
+			return false, fmt.Errorf("transport: async submission for round %d, broadcasts reach round %d", round, h.round)
+		}
+	} else if round != h.round && round != h.round+1 {
 		return false, fmt.Errorf("transport: submission for round %d, current round is %d", round, h.round)
 	}
 	if samples != h.samples[id] {
@@ -342,12 +413,64 @@ func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) (fresh bool, e
 		h.subs[round] = make(map[int]submission)
 	}
 	h.subs[round][id] = submission{grad: grad, samples: samples}
+	if h.asyncBound >= 0 {
+		h.pending = append(h.pending, pendingSub{worker: id, round: round, samples: samples, grad: grad})
+		close(h.pendingCh)
+		h.pendingCh = make(chan struct{})
+		return true, nil
+	}
 	key := [2]int{round, id}
 	if ch, exists := h.wait[key]; exists {
 		close(ch)
 		delete(h.wait, key)
 	}
 	return true, nil
+}
+
+// takePending blocks until at least min async submissions are queued, the
+// optional maxWait elapses (0 = count trigger only), the hub closes, or
+// ctx is cancelled, then drains and returns the queue in arrival order —
+// one advance window's intake. A time-triggered return can carry fewer
+// than min submissions (including none).
+func (h *Hub) takePending(ctx context.Context, min int, maxWait time.Duration) ([]pendingSub, error) {
+	var deadline <-chan time.Time
+	if maxWait > 0 {
+		timer := time.NewTimer(maxWait)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	for {
+		h.mu.Lock()
+		if len(h.pending) >= min {
+			out := h.pending
+			h.pending = nil
+			h.mu.Unlock()
+			return out, nil
+		}
+		ch := h.pendingCh
+		h.mu.Unlock()
+		select {
+		case <-ch:
+		case <-deadline:
+			h.mu.Lock()
+			out := h.pending
+			h.pending = nil
+			h.mu.Unlock()
+			return out, nil
+		case <-h.closedCh:
+			return nil, fmt.Errorf("transport: hub closed while waiting for async submissions")
+		case <-ctx.Done():
+			return nil, fmt.Errorf("transport: waiting for async submissions: %w", ctx.Err())
+		}
+	}
+}
+
+// peekPending returns a copy of the queued async submissions without
+// draining them — checkpoint capture must not consume the queue.
+func (h *Hub) peekPending() []pendingSub {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]pendingSub(nil), h.pending...)
 }
 
 // gradBitsEqual reports bit-exact equality of two gradient vectors — the

@@ -1,0 +1,138 @@
+package transport
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"fifl/internal/core"
+	"fifl/internal/fl"
+	"fifl/internal/metrics"
+	"fifl/internal/rng"
+)
+
+// newLongpollServer builds a coordinator endpoint over an idle hub — no
+// rounds run, so every /v1/model poll parks until its window resolves —
+// with an isolated metrics registry for counter assertions.
+func newLongpollServer(t *testing.T) *Server {
+	t.Helper()
+	recipe := Recipe{Seed: 5, Workers: 2, SamplesPerWorker: 30}
+	build, err := recipe.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := NewHub(recipe.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.05}, build, hub.Workers(),
+		rng.New(recipe.Seed).Split("longpoll"),
+		fl.WithWorkerTimeout(time.Second), fl.WithMetrics(metrics.New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := core.NewCoordinator(coordConfig(), engine, []int{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServer(coord, hub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+// TestHandleModelGaugeSurvivesPanickingHub: the longpoll occupancy gauge
+// must be decremented on every exit path from handleModel, including a
+// panic below the wait (which net/http's recover machinery swallows). The
+// old sequential decrement leaked one unit per panic, permanently
+// overstating parked polls.
+func TestHandleModelGaugeSurvivesPanickingHub(t *testing.T) {
+	srv := newLongpollServer(t)
+	srv.waitModel = func(ctx context.Context, after int, maxWait time.Duration) (int, []float64, bool, waitStatus) {
+		panic(http.ErrAbortHandler) // the silent panic net/http recovers without logging
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/v1/model?wait=50")
+		if err == nil {
+			resp.Body.Close()
+			t.Fatal("aborted handler produced a complete response")
+		}
+	}
+	if v := srv.sm.longpoll.Value(); v != 0 {
+		t.Fatalf("longpoll gauge leaked: %v parked polls recorded after 3 panics, want 0", v)
+	}
+}
+
+// TestWaitModelDistinguishesCancelFromTimeout: at the hub level, a poll
+// window that elapses and a client that goes away are different outcomes —
+// only the former should be answered.
+func TestWaitModelDistinguishesCancelFromTimeout(t *testing.T) {
+	hub, err := NewHub(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, status := hub.waitModel(context.Background(), 1<<30, 20*time.Millisecond); status != waitTimeout {
+		t.Fatalf("elapsed window resolved as %d, want waitTimeout", status)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, _, status := hub.waitModel(ctx, 1<<30, time.Minute); status != waitCancelled {
+		t.Fatalf("dead client resolved as %d, want waitCancelled", status)
+	}
+}
+
+// TestHandleModelCountsTimeoutsAndCancelsSeparately: the server must 204
+// a timed-out poll (and count it) but skip the write for a cancelled one
+// (counting it under its own label).
+func TestHandleModelCountsTimeoutsAndCancelsSeparately(t *testing.T) {
+	srv := newLongpollServer(t)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/model?wait=30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("timed-out poll answered %d, want 204", resp.StatusCode)
+	}
+	if got := srv.sm.pollTimeouts.Value(); got != 1 {
+		t.Fatalf("poll timeouts = %d, want 1", got)
+	}
+	if got := srv.sm.pollCancels.Value(); got != 0 {
+		t.Fatalf("poll cancels = %d before any cancellation, want 0", got)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/v1/model?wait=9000", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	if resp, err := http.DefaultClient.Do(req); err == nil {
+		resp.Body.Close()
+		t.Fatal("cancelled poll produced a response")
+	}
+	// The handler observes the disconnect asynchronously; wait for the
+	// counter rather than racing it.
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.sm.pollCancels.Value() != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("poll cancels = %d, want 1", srv.sm.pollCancels.Value())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.sm.pollTimeouts.Value(); got != 1 {
+		t.Fatalf("poll timeouts moved to %d on a cancellation, want still 1", got)
+	}
+}

@@ -17,10 +17,12 @@ import (
 type serverMetrics struct {
 	reg *metrics.Registry
 
-	bytesIn  *metrics.Counter
-	bytesOut *metrics.Counter
-	longpoll *metrics.Gauge
-	replays  *metrics.Counter
+	bytesIn      *metrics.Counter
+	bytesOut     *metrics.Counter
+	longpoll     *metrics.Gauge
+	pollTimeouts *metrics.Counter
+	pollCancels  *metrics.Counter
+	replays      *metrics.Counter
 
 	decodeSec   *metrics.Histogram
 	encodeSec   *metrics.Histogram
@@ -47,6 +49,7 @@ func newServerMetrics(r *metrics.Registry, n int) *serverMetrics {
 	r.Help("fifl_http_request_seconds", "HTTP request latency by endpoint (wall-clock, observability-only).")
 	r.Help("fifl_http_frame_bytes_total", "Frame bytes moved over HTTP, by direction.")
 	r.Help("fifl_http_longpoll_active", "Model long polls currently parked on the server.")
+	r.Help("fifl_http_longpoll_empty_total", "Model long polls that resolved without news, by reason: 'timeout' (poll window elapsed, 204 sent) vs 'cancel' (client went away, nothing written).")
 	r.Help("fifl_codec_encode_seconds", "Wire-codec encode latency (wall-clock, observability-only).")
 	r.Help("fifl_codec_decode_seconds", "Wire-codec decode latency (wall-clock, observability-only).")
 	r.Help("fifl_transport_upload_bytes_total", "Upload frame bytes accepted, by worker (matches Server.WorkerTraffic).")
@@ -54,15 +57,17 @@ func newServerMetrics(r *metrics.Registry, n int) *serverMetrics {
 	r.Help("fifl_codec_dense_bytes_total", "Dense float64 equivalent of the compressible payloads moved, by direction.")
 	r.Help("fifl_codec_wire_bytes_total", "Actual wire bytes of the compressible payloads moved, by direction.")
 	sm := &serverMetrics{
-		reg:         r,
-		bytesIn:     r.Counter("fifl_http_frame_bytes_total", "direction", "in"),
-		bytesOut:    r.Counter("fifl_http_frame_bytes_total", "direction", "out"),
-		longpoll:    r.Gauge("fifl_http_longpoll_active"),
-		replays:     r.Counter("fifl_transport_submit_replays_total"),
-		decodeSec:   r.Histogram("fifl_codec_decode_seconds", metrics.DefBuckets),
-		encodeSec:   r.Histogram("fifl_codec_encode_seconds", metrics.DefBuckets),
-		decodeBytes: r.Counter("fifl_codec_decode_bytes_total"),
-		encodeBytes: r.Counter("fifl_codec_encode_bytes_total"),
+		reg:          r,
+		bytesIn:      r.Counter("fifl_http_frame_bytes_total", "direction", "in"),
+		bytesOut:     r.Counter("fifl_http_frame_bytes_total", "direction", "out"),
+		longpoll:     r.Gauge("fifl_http_longpoll_active"),
+		pollTimeouts: r.Counter("fifl_http_longpoll_empty_total", "reason", "timeout"),
+		pollCancels:  r.Counter("fifl_http_longpoll_empty_total", "reason", "cancel"),
+		replays:      r.Counter("fifl_transport_submit_replays_total"),
+		decodeSec:    r.Histogram("fifl_codec_decode_seconds", metrics.DefBuckets),
+		encodeSec:    r.Histogram("fifl_codec_encode_seconds", metrics.DefBuckets),
+		decodeBytes:  r.Counter("fifl_codec_decode_bytes_total"),
+		encodeBytes:  r.Counter("fifl_codec_encode_bytes_total"),
 
 		denseBytesIn:  r.Counter("fifl_codec_dense_bytes_total", "direction", "in"),
 		wireBytesIn:   r.Counter("fifl_codec_wire_bytes_total", "direction", "in"),

@@ -31,9 +31,9 @@ func TestHubCloseUnderConcurrentLongPolls(t *testing.T) {
 		go func() {
 			defer wg.Done()
 			// after is unreachable, so only Close can end this poll.
-			round, _, done, ok := hub.waitModel(context.Background(), 1<<30, 10*time.Second)
-			if !ok || !done {
-				t.Errorf("long poll ended without done: round=%d done=%v ok=%v", round, done, ok)
+			round, _, done, status := hub.waitModel(context.Background(), 1<<30, 10*time.Second)
+			if status != waitNews || !done {
+				t.Errorf("long poll ended without done: round=%d done=%v status=%d", round, done, status)
 			}
 		}()
 	}

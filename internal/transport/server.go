@@ -38,6 +38,10 @@ type Server struct {
 	mux   *http.ServeMux
 	sm    *serverMetrics
 
+	// waitModel is the hub's long-poll wait, indirected so tests can stand
+	// in a misbehaving hub and prove handleModel's accounting survives it.
+	waitModel func(ctx context.Context, after int, maxWait time.Duration) (round int, params []float64, done bool, status waitStatus)
+
 	mu      sync.Mutex
 	reports map[int]*core.RoundReport
 	// Per-worker wire accounting for the netsim cross-check: bytes of
@@ -71,6 +75,7 @@ func NewServer(coord *core.Coordinator, hub *Hub) (*Server, error) {
 		upBytes:   make([]int64, hub.n),
 		downBytes: make([]int64, hub.n),
 	}
+	s.waitModel = hub.waitModel
 	s.mux.HandleFunc("POST /v1/round/submit", s.sm.instrument("/v1/round/submit", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/model", s.sm.instrument("/v1/model", s.handleModel))
 	s.mux.HandleFunc("GET /v1/round/report", s.sm.instrument("/v1/round/report", s.handleReport))
@@ -221,11 +226,22 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if wait <= 0 || wait > defaultPollWait {
 		wait = defaultPollWait
 	}
+	// The decrement is deferred, not sequential: a panicking wait (or
+	// anything the net/http recover machinery swallows below it) must not
+	// leak a permanently-parked poll in the occupancy gauge.
 	s.sm.longpoll.Add(1)
-	round, params, done, ok := s.hub.waitModel(r.Context(), after, wait)
-	s.sm.longpoll.Add(-1)
-	if !ok {
+	defer s.sm.longpoll.Add(-1)
+	round, params, done, status := s.waitModel(r.Context(), after, wait)
+	switch status {
+	case waitTimeout:
+		// The client is still there: 204 tells it to re-poll.
+		s.sm.pollTimeouts.Inc()
 		w.WriteHeader(http.StatusNoContent)
+		return
+	case waitCancelled:
+		// The client hung up mid-poll; writing a 204 to the dead connection
+		// would just mint a misleading response in the access accounting.
+		s.sm.pollCancels.Inc()
 		return
 	}
 	encStart := time.Now()
