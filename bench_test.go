@@ -264,6 +264,137 @@ func BenchmarkSliceGradients(b *testing.B) {
 	}
 }
 
+// benchShardedCoordinator assembles the hierarchical counterpart of
+// benchCoordinator: the same n fixed-gradient workers, partitioned into
+// `shards` contiguous cohorts under edge aggregators (loopback DirectLink,
+// so every evidence frame still round-trips the wire codec), below a
+// virtual-worker root coordinator. The returned stop function shuts the
+// aggregators down and must be called before the benchmark returns.
+func benchShardedCoordinator(b testing.TB, n, shards int) (*Coordinator, func()) {
+	b.Helper()
+	build := NewMLP(11, 24, []int{8}, 4)
+	dim := build().NumParams()
+	samples := make([]int, n)
+	for i := range samples {
+		samples[i] = 100
+	}
+	root, err := NewEngine(EngineConfig{Servers: 2, GlobalLR: 0.05}, build,
+		ShardVirtualWorkers(samples), NewRNG(uint64(n)), WithMetrics(NewMetricsRegistry()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	hub, err := NewShardHub(n, shards, root.Metrics())
+	if err != nil {
+		b.Fatal(err)
+	}
+	bridge, err := NewShardBridge(hub, root, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Detection:      Detector{Threshold: 0.02},
+		Reputation:     DefaultReputationConfig(),
+		Contribution:   ContributionConfig{BaselineWorker: -1, Clamp: 10, SmoothBH: 0.2},
+		RewardPerRound: 1,
+		RecordToLedger: true,
+	}, root, []int{0, 1}, WithCollector(bridge))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bridge.BindServers(coord.Servers)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, shards)
+	lo := 0
+	for s := 0; s < shards; s++ {
+		size := n / shards
+		if s < n%shards {
+			size++
+		}
+		workers := make([]Worker, size)
+		for i := range workers {
+			id := lo + i
+			g := make(Gradient, dim)
+			for j := range g {
+				g[j] = 0.01 * float64((id*31+j*7)%13-6)
+			}
+			workers[i] = &benchFixedWorker{id: id, grad: g}
+		}
+		eng, err := NewEngine(EngineConfig{Servers: 1, GlobalLR: 0.05}, build, workers,
+			NewRNG(uint64(n*7+s)), WithMetrics(NewMetricsRegistry()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		agg, err := NewShardAggregator(s, lo, eng, ShardDirectLink{Hub: hub})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go func() {
+			if err := agg.Hello(ctx); err != nil {
+				errc <- err
+				return
+			}
+			errc <- agg.Run(ctx)
+		}()
+		lo += size
+	}
+	if err := hub.WaitReady(ctx); err != nil {
+		b.Fatal(err)
+	}
+	stop := func() {
+		if err := bridge.Finish(); err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < shards; s++ {
+			if err := <-errc; err != nil {
+				b.Fatal(err)
+			}
+		}
+		cancel()
+		hub.Close()
+	}
+	return coord, stop
+}
+
+// BenchmarkShardRound measures one coordinator round flat vs sharded up
+// the n-sweep to 4096 workers: the flat arm collects every gradient at the
+// root, the sharded arm pre-aggregates in 16 edge cohorts and forwards one
+// summarized upload each, so the root folds s cohort frames instead of n
+// worker gradients. Numbers live in BENCH_shard.json.
+func BenchmarkShardRound(b *testing.B) {
+	const shards = 16
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("flat/n=%d", n), func(b *testing.B) {
+			coord := benchCoordinator(b, n)
+			if _, err := coord.RunRoundContext(context.Background(), 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.RunRoundContext(context.Background(), i+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("sharded/n=%d/s=%d", n, shards), func(b *testing.B) {
+			coord, stop := benchShardedCoordinator(b, n, shards)
+			if _, err := coord.RunRoundContext(context.Background(), 0); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.RunRoundContext(context.Background(), i+1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			stop()
+		})
+	}
+}
+
 // benchGrad is a gradient-sized payload for the codec benchmarks (the
 // dimension of the transport recipe's default MLP).
 func benchGrad() []float64 {

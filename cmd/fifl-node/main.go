@@ -12,6 +12,15 @@
 //	fifl-node -role coordinator -workers 2 -rounds 5 -listen :7070
 //	fifl-node -role worker -id 0 -coordinator http://127.0.0.1:7070
 //	fifl-node -role worker -id 1 -coordinator http://127.0.0.1:7070 -audit
+//
+// Hierarchical mode runs a 1-level sharded federation: a root process
+// serves the shard protocol and each shard process hosts one worker
+// cohort behind an edge aggregator (three terminals, 4 workers in 2
+// cohorts):
+//
+//	fifl-node -role root -workers 4 -shards 2 -rounds 5 -listen :7070
+//	fifl-node -role shard -id 0 -workers 4 -shards 2 -shard-of http://127.0.0.1:7070
+//	fifl-node -role shard -id 1 -workers 4 -shards 2 -shard-of http://127.0.0.1:7070
 package main
 
 import (
@@ -28,9 +37,11 @@ import (
 	"time"
 
 	"fifl/internal/core"
+	"fifl/internal/experiments"
 	"fifl/internal/fl"
 	"fifl/internal/persist"
 	"fifl/internal/rng"
+	"fifl/internal/shard"
 	"fifl/internal/transport"
 	"fifl/internal/transport/codec"
 )
@@ -69,6 +80,10 @@ func main() {
 		retries  = flag.Int("retry", 0, "HTTP retry attempts before a request is abandoned (0 = default 3); raise this so a worker rides through a coordinator restart")
 		rbackoff = flag.Duration("retry-backoff", 0, "base delay between HTTP retries, doubling each attempt (0 = default 100ms)")
 
+		// Hierarchical (sharded) mode flags.
+		shards  = flag.Int("shards", 0, "root/shard roles: number of edge-aggregator cohorts (must match on every node)")
+		shardOf = flag.String("shard-of", "http://127.0.0.1:7070", "shard role: the root's base URL")
+
 		// Shared debug flags.
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; empty = off)")
 	)
@@ -105,8 +120,17 @@ func main() {
 			Float32: *f32, Audit: *audit,
 			Retries: *retries, RetryBackoff: *rbackoff,
 		})
+	case "root":
+		err = runRoot(ctx, recipe, rootOpts{
+			Listen: *listen, Rounds: *rounds, Servers: *servers, Shards: *shards,
+			Quorum: *quorum, Sy: *sy, EvalEach: *evalEach, Linger: *linger,
+		})
+	case "shard":
+		err = runShard(ctx, recipe, shardOpts{
+			RootURL: *shardOf, ID: *id, Shards: *shards,
+		})
 	default:
-		fmt.Fprintln(os.Stderr, "fifl-node: -role must be coordinator or worker")
+		fmt.Fprintln(os.Stderr, "fifl-node: -role must be coordinator, worker, root or shard")
 		os.Exit(2)
 	}
 	if err != nil {
@@ -365,6 +389,184 @@ func runWorker(ctx context.Context, recipe transport.Recipe, o workerOpts) error
 		}
 		fmt.Printf("worker %d: audit ledger verified, %d blocks intact\n", id, blocks)
 	}
+	return nil
+}
+
+// rootOpts bundles the root role's flags.
+type rootOpts struct {
+	Listen   string
+	Rounds   int
+	Servers  int
+	Shards   int
+	Quorum   int
+	Sy       float64
+	EvalEach int
+	Linger   time.Duration
+}
+
+// shardOpts bundles the shard role's flags.
+type shardOpts struct {
+	RootURL string
+	ID      int
+	Shards  int
+}
+
+// runRoot serves the shard protocol: edge aggregators register worker
+// cohorts, and the root's coordinator runs the full FIFL pipeline over
+// their pre-aggregated evidence, unfolded into per-worker events.
+func runRoot(ctx context.Context, recipe transport.Recipe, o rootOpts) error {
+	if o.Shards < 1 || o.Shards > recipe.Workers {
+		return fmt.Errorf("-shards must be in [1,%d], got %d", recipe.Workers, o.Shards)
+	}
+	build, err := recipe.Builder()
+	if err != nil {
+		return err
+	}
+	// The root never trains: its engine slots are per-worker virtual
+	// stand-ins carrying only the sample counts the recipe implies.
+	all, err := recipe.AllWorkers()
+	if err != nil {
+		return err
+	}
+	samples := make([]int, len(all))
+	for i, w := range all {
+		samples[i] = w.NumSamples()
+	}
+	root, err := fl.NewEngine(fl.Config{Servers: o.Servers, GlobalLR: 0.05},
+		build, shard.VirtualWorkers(samples), rng.New(recipe.Seed).Split("shard-root"))
+	if err != nil {
+		return err
+	}
+	hub, err := shard.NewShardHub(recipe.Workers, o.Shards, root.Metrics())
+	if err != nil {
+		return err
+	}
+	bridge, err := shard.NewBridge(hub, root, o.Quorum)
+	if err != nil {
+		return err
+	}
+	cfg := core.CoordinatorConfig{
+		Detection:      core.Detector{Threshold: o.Sy},
+		Reputation:     core.DefaultReputationConfig(),
+		Contribution:   core.ContributionConfig{BaselineWorker: -1},
+		RewardPerRound: 1,
+		RecordToLedger: true,
+	}
+	initial := make([]int, o.Servers)
+	for i := range initial {
+		initial[i] = i
+	}
+	coord, err := core.NewCoordinator(cfg, root, initial, core.WithCollector(bridge))
+	if err != nil {
+		return err
+	}
+	bridge.BindServers(coord.Servers)
+	srv, err := shard.NewServer(coord, hub)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: o.Listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(sctx)
+	}()
+	fmt.Printf("root: listening on %s, waiting for %d shards covering %d workers\n",
+		o.Listen, o.Shards, recipe.Workers)
+
+	if err := hub.WaitReady(ctx); err != nil {
+		select {
+		case serveErr := <-errc:
+			return fmt.Errorf("serving %s: %w", o.Listen, serveErr)
+		default:
+			return fmt.Errorf("waiting for shards: %w", err)
+		}
+	}
+	fmt.Println("root: all cohorts registered")
+
+	test, err := recipe.TestSet(500)
+	if err != nil {
+		return err
+	}
+	for t := 0; t < o.Rounds; t++ {
+		rep, err := coord.RunRoundContext(ctx, t)
+		if err != nil {
+			return fmt.Errorf("round %d: %w", t, err)
+		}
+		arrived := 0
+		for _, s := range rep.Statuses {
+			if s.Arrived() {
+				arrived++
+			}
+		}
+		fmt.Printf("round %2d: %d/%d uploads arrived, committed=%v, reputations=%s\n",
+			t, arrived, recipe.Workers, rep.Committed, fmtF64s(rep.Reputations))
+		if o.EvalEach > 0 && (t+1)%o.EvalEach == 0 {
+			acc, loss := root.Evaluate(test, 64)
+			fmt.Printf("round %2d: global accuracy %.3f, loss %.4f\n", t, acc, loss)
+		}
+	}
+	if err := bridge.Finish(); err != nil {
+		return err
+	}
+	fmt.Printf("root: done — ledger holds %d blocks; serving /v1/healthz and /v1/metrics for %s\n",
+		coord.Ledger.Len(), o.Linger)
+	select {
+	case <-time.After(o.Linger):
+	case <-ctx.Done():
+	}
+	hub.Close()
+	return nil
+}
+
+// runShard hosts one worker cohort behind an edge aggregator: it rebuilds
+// its slots from the shared recipe, registers the cohort with the root
+// and obeys the directive stream until the federation finishes.
+func runShard(ctx context.Context, recipe transport.Recipe, o shardOpts) error {
+	if o.Shards < 1 || o.Shards > recipe.Workers {
+		return fmt.Errorf("-shards must be in [1,%d], got %d", recipe.Workers, o.Shards)
+	}
+	if o.ID < 0 || o.ID >= o.Shards {
+		return fmt.Errorf("-id must be in [0,%d) for %d shards, got %d", o.Shards, o.Shards, o.ID)
+	}
+	// Every node derives the same near-equal contiguous cohort layout from
+	// (workers, shards), so the root's tiling check accepts the hellos.
+	sizes := experiments.ShardCohorts(recipe.Workers, o.Shards)
+	first := 0
+	for s := 0; s < o.ID; s++ {
+		first += sizes[s]
+	}
+	workers := make([]fl.Worker, sizes[o.ID])
+	for i := range workers {
+		var err error
+		if workers[i], err = recipe.Worker(first + i); err != nil {
+			return err
+		}
+	}
+	build, err := recipe.Builder()
+	if err != nil {
+		return err
+	}
+	engine, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.05},
+		build, workers, rng.New(recipe.Seed).SplitN("shard", o.ID))
+	if err != nil {
+		return err
+	}
+	agg, err := shard.NewAggregator(o.ID, first, engine,
+		shard.HTTPLink{Base: o.RootURL, PollWait: 5 * time.Second})
+	if err != nil {
+		return err
+	}
+	if err := agg.Hello(ctx); err != nil {
+		return fmt.Errorf("registering with %s: %w", o.RootURL, err)
+	}
+	fmt.Printf("shard %d: registered cohort [%d,%d) with %s\n", o.ID, first, first+sizes[o.ID], o.RootURL)
+	if err := agg.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Printf("shard %d: federation done\n", o.ID)
 	return nil
 }
 

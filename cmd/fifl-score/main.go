@@ -10,6 +10,8 @@
 //	fifl-score ledger.bin
 //	fifl-score -checkpoint run.ckpt -out scored.csv
 //	fifl-score -url http://127.0.0.1:7070 -follow -poll 2s
+//	fifl-score -url http://127.0.0.1:7070 -metrics
+//	fifl-score -metrics-file metrics.prom ledger.bin
 //	fifl-sim -rounds 30 -checkpoint run.ckpt && fifl-score -checkpoint run.ckpt
 package main
 
@@ -45,6 +47,8 @@ func run() error {
 		follow     = flag.Bool("follow", false, "with -url: keep polling for new blocks, rescoring after each fetch")
 		poll       = flag.Duration("poll", 2*time.Second, "with -follow: interval between fetches")
 		configFile = flag.String("config", "", "scoring configuration file (default: the built-in configuration)")
+		metricFile = flag.String("metrics-file", "", "overlay a saved Prometheus exposition (a /v1/metrics dump) onto the latency.* fields")
+		liveMetric = flag.Bool("metrics", false, "with -url: fetch the coordinator's live /v1/metrics before each rescore and overlay it onto the latency.* fields")
 		outFile    = flag.String("out", "", "write the ranked CSV to this file (default: stdout)")
 		reportFile = flag.String("report", "", "write the federation report to this file (default: stderr)")
 		tol        = flag.Float64("tol", 1e-9, "reward audit tolerance: recorded vs recomputed disagreement beyond this flags the round")
@@ -99,11 +103,30 @@ func run() error {
 	if (*follow || *from != 0) && *baseURL == "" {
 		return fmt.Errorf("-follow and -from need -url")
 	}
+	if *liveMetric && *baseURL == "" {
+		return fmt.Errorf("-metrics needs -url")
+	}
+	if *liveMetric && *metricFile != "" {
+		return fmt.Errorf("-metrics and -metrics-file are mutually exclusive")
+	}
+
+	var view score.MetricsView
+	if *metricFile != "" {
+		f, err := os.Open(*metricFile)
+		if err != nil {
+			return err
+		}
+		view, err = score.ParseMetrics(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("parsing %s: %w", *metricFile, err)
+		}
+	}
 
 	cfg := score.Config{Tolerance: *tol}
 
 	if *baseURL != "" {
-		return scoreLive(*baseURL, *from, *follow, *poll, *verify, cfg, alg, *outFile, *reportFile)
+		return scoreLive(*baseURL, *from, *follow, *poll, *verify, *liveMetric, view, cfg, alg, *outFile, *reportFile)
 	}
 
 	var export []byte
@@ -126,7 +149,7 @@ func run() error {
 	default:
 		// The file path streams without materializing: a million-record
 		// ledger never lands in memory.
-		return scoreFile(flag.Arg(0), *verify, cfg, alg, *outFile, *reportFile)
+		return scoreFile(flag.Arg(0), *verify, view, cfg, alg, *outFile, *reportFile)
 	}
 	if *verify {
 		if _, err := chain.VerifyFrom(bytes.NewReader(export)); err != nil {
@@ -138,12 +161,15 @@ func run() error {
 		return err
 	}
 	set, rep := c.Finalize()
+	if view != nil {
+		set.ApplyMetrics(view)
+	}
 	return emit(set, rep, alg, *outFile, *reportFile)
 }
 
 // scoreFile folds a chain export file record by record — constant memory
 // in the chain length.
-func scoreFile(path string, verify bool, cfg score.Config, alg *score.Algorithm, outFile, reportFile string) error {
+func scoreFile(path string, verify bool, view score.MetricsView, cfg score.Config, alg *score.Algorithm, outFile, reportFile string) error {
 	if verify {
 		f, err := os.Open(path)
 		if err != nil {
@@ -165,6 +191,9 @@ func scoreFile(path string, verify bool, cfg score.Config, alg *score.Algorithm,
 		return err
 	}
 	set, rep := c.Finalize()
+	if view != nil {
+		set.ApplyMetrics(view)
+	}
 	return emit(set, rep, alg, outFile, reportFile)
 }
 
@@ -178,7 +207,10 @@ const maxFollowErrors = 5
 // following — and rescores after each fetch until interrupted. In follow
 // mode transient fetch errors are logged and retried on the poll cadence;
 // only cancellation or maxFollowErrors consecutive failures end the loop.
-func scoreLive(baseURL string, from int, follow bool, poll time.Duration, verify bool, cfg score.Config, alg *score.Algorithm, outFile, reportFile string) error {
+// With liveMetrics the coordinator's /v1/metrics is re-fetched alongside
+// each ledger fetch and overlaid onto the latency fields; a fixed view
+// (from -metrics-file) is overlaid as-is instead.
+func scoreLive(baseURL string, from int, follow bool, poll time.Duration, verify, liveMetrics bool, view score.MetricsView, cfg score.Config, alg *score.Algorithm, outFile, reportFile string) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	c := score.NewCollector(cfg)
@@ -186,6 +218,12 @@ func scoreLive(baseURL string, from int, follow bool, poll time.Duration, verify
 	failures := 0
 	for {
 		export, err := transport.FetchLedger(ctx, baseURL, next, 0)
+		if err == nil && liveMetrics {
+			var raw []byte
+			if raw, err = transport.FetchMetrics(ctx, baseURL); err == nil {
+				view, err = score.ParseMetrics(bytes.NewReader(raw))
+			}
+		}
 		if err != nil {
 			if !follow || ctx.Err() != nil {
 				return err
@@ -219,6 +257,9 @@ func scoreLive(baseURL string, from int, follow bool, poll time.Duration, verify
 		}
 		next += got
 		set, rep := c.Snapshot()
+		if view != nil {
+			set.ApplyMetrics(view)
+		}
 		if err := emit(set, rep, alg, outFile, reportFile); err != nil {
 			return err
 		}

@@ -68,7 +68,7 @@ func TestScoreLiveFollowRetriesTransientErrors(t *testing.T) {
 	dir := t.TempDir()
 	out := filepath.Join(dir, "scores.csv")
 	report := filepath.Join(dir, "report.txt")
-	err := scoreLive(ts.URL, 0, true, 5*time.Millisecond, false,
+	err := scoreLive(ts.URL, 0, true, 5*time.Millisecond, false, false, nil,
 		score.Config{Tolerance: 1e-9}, score.DefaultAlgorithm(), out, report)
 	if err == nil {
 		t.Fatal("scoreLive must eventually give up on a permanently failing coordinator")
@@ -104,7 +104,7 @@ func TestScoreLiveOneShotFailsFast(t *testing.T) {
 	}))
 	defer ts.Close()
 
-	err := scoreLive(ts.URL, 0, false, time.Millisecond, false,
+	err := scoreLive(ts.URL, 0, false, time.Millisecond, false, false, nil,
 		score.Config{Tolerance: 1e-9}, score.DefaultAlgorithm(),
 		filepath.Join(t.TempDir(), "out.csv"), filepath.Join(t.TempDir(), "rep.txt"))
 	if err == nil {

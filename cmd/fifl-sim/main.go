@@ -19,6 +19,7 @@ import (
 
 	"fifl/internal/chain"
 	"fifl/internal/core"
+	"fifl/internal/dataset"
 	"fifl/internal/experiments"
 	"fifl/internal/faults"
 	"fifl/internal/fl"
@@ -82,6 +83,7 @@ func main() {
 		maxStale  = flag.Int("max-staleness", 2, "async staleness bound: submissions trained against a model more than this many advances old are rejected and penalized")
 		advEvery  = flag.Int("advance-every", 0, "async count cadence: workers folded per advance window (0 = workers/2, min 1)")
 		asyncLag  = flag.String("async-lag", "", "async straggler injection: comma-separated worker:lag pairs, e.g. \"3:1,7:4\" — worker 7 always submits 4 advances stale")
+		shardsN   = flag.Int("shards", 0, "hierarchical mode: partition the workers into this many edge-aggregator cohorts under one root coordinator (0 = flat)")
 	)
 	flag.Parse()
 
@@ -118,6 +120,26 @@ func main() {
 	if *ckptEvery < 1 {
 		fmt.Fprintf(os.Stderr, "fifl-sim: -checkpoint-every must be at least 1, got %d\n", *ckptEvery)
 		os.Exit(2)
+	}
+	if *shardsN < 0 || *shardsN > *workers {
+		fmt.Fprintf(os.Stderr, "fifl-sim: -shards must be in [0,%d], got %d\n", *workers, *shardsN)
+		os.Exit(2)
+	}
+	if *shardsN > 0 {
+		// Sharded federation keeps the root's eight-stage pipeline intact by
+		// unfolding per-shard evidence into per-worker events; the knobs that
+		// reshape the flat collect path don't compose with that.
+		switch {
+		case *async:
+			fmt.Fprintln(os.Stderr, "fifl-sim: -shards and -async are mutually exclusive (edge aggregation is a synchronous barrier)")
+			os.Exit(2)
+		case *quorum > 0 || *retries > 0:
+			fmt.Fprintln(os.Stderr, "fifl-sim: -quorum and -retries are flat-engine options, not supported with -shards")
+			os.Exit(2)
+		case *mechName != "fifl":
+			fmt.Fprintln(os.Stderr, "fifl-sim: -shards supports only the fifl mechanism")
+			os.Exit(2)
+		}
 	}
 
 	sc := experiments.QuickScale()
@@ -161,63 +183,107 @@ func main() {
 	if *retries > 0 {
 		opts = append(opts, fl.WithRetry(*retries, *backoff))
 	}
-	fed := experiments.BuildFederation(sc, dk, kinds, rng.New(sc.Seed).Split("sim"), opts...)
-
-	// -async swaps only the Collect stage: the same detection, reputation,
-	// contribution and reward pipeline assesses bounded-staleness advance
-	// windows instead of synchronous barriers.
 	var coordOpts []core.CoordinatorOption
 	coordOpts = append(coordOpts, core.WithMechanism(mech))
-	if *async {
-		if *advEvery == 0 {
-			*advEvery = *workers / 2
-			if *advEvery < 1 {
-				*advEvery = 1
-			}
-		}
-		lags, err := parseLagSpec(*asyncLag, *workers)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
-			os.Exit(2)
-		}
-		col, err := fl.NewAsyncCollector(fed.Engine, fl.AsyncConfig{
-			MaxStaleness: *maxStale,
-			AdvanceEvery: *advEvery,
-			Lag:          fl.StaticLag(lags),
-		})
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
-			os.Exit(2)
-		}
-		coordOpts = append(coordOpts, core.WithCollector(col))
-	}
 
 	// -resume rebuilds the same federation from the same flags (seed, sizes,
 	// attacker mix must match the run that wrote the checkpoint — the restore
 	// cross-checks what it can and rejects mismatches) and fast-forwards it
 	// to the checkpointed state instead of starting from round 0.
-	var coord *core.Coordinator
+	var (
+		coord      *core.Coordinator
+		run        *experiments.ShardedRun
+		evalEngine *fl.Engine
+		evalTest   *dataset.Dataset
+	)
 	startRound := 0
-	if *resume != "" {
-		snap, err := persist.ReadFile(*resume)
+	src := rng.New(sc.Seed).Split("sim")
+	if *shardsN > 0 {
+		// -shards partitions the workers under in-process edge aggregators:
+		// each cohort collects and screens locally, pre-aggregates its
+		// survivors and forwards codec-framed evidence to the root, whose
+		// pipeline unfolds it into the same per-worker events a flat run
+		// produces. Checkpoints carry one extra section per shard.
+		var err error
+		if *resume != "" {
+			snap, rerr := persist.ReadFile(*resume)
+			if rerr != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: reading %s: %v\n", *resume, rerr)
+				os.Exit(1)
+			}
+			run, err = experiments.RestoreShardedRun(snap, sc, dk, kinds, *shardsN, *sy, true, src, coordOpts...)
+		} else {
+			run, err = experiments.BuildShardedRun(sc, dk, kinds, *shardsN, *sy, true, src, coordOpts...)
+		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fifl-sim: reading %s: %v\n", *resume, err)
+			fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
 			os.Exit(1)
 		}
-		coord, err = core.RestoreCoordinatorSnapshot(snap, experiments.DefaultCoordinatorConfig(*sy, true), fed.Engine, coordOpts...)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "fifl-sim: resuming from %s: %v\n", *resume, err)
+		coord = run.Coord
+		evalEngine, evalTest = run.Root, run.Fed.Test
+		if *resume != "" {
+			startRound = coord.NextRound()
+			fmt.Printf("resumed from %s at round %d\n", *resume, startRound)
+		}
+		if err := run.Start(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "fifl-sim: starting shards: %v\n", err)
 			os.Exit(1)
 		}
-		startRound = coord.NextRound()
-		fmt.Printf("resumed from %s at round %d\n", *resume, startRound)
 	} else {
-		coord = experiments.DefaultCoordinator(fed, *sy, true, coordOpts...)
+		fed := experiments.BuildFederation(sc, dk, kinds, src, opts...)
+		evalEngine, evalTest = fed.Engine, fed.Test
+
+		// -async swaps only the Collect stage: the same detection, reputation,
+		// contribution and reward pipeline assesses bounded-staleness advance
+		// windows instead of synchronous barriers.
+		if *async {
+			if *advEvery == 0 {
+				*advEvery = *workers / 2
+				if *advEvery < 1 {
+					*advEvery = 1
+				}
+			}
+			lags, err := parseLagSpec(*asyncLag, *workers)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
+				os.Exit(2)
+			}
+			col, err := fl.NewAsyncCollector(fed.Engine, fl.AsyncConfig{
+				MaxStaleness: *maxStale,
+				AdvanceEvery: *advEvery,
+				Lag:          fl.StaticLag(lags),
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
+				os.Exit(2)
+			}
+			coordOpts = append(coordOpts, core.WithCollector(col))
+		}
+
+		if *resume != "" {
+			snap, err := persist.ReadFile(*resume)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: reading %s: %v\n", *resume, err)
+				os.Exit(1)
+			}
+			coord, err = core.RestoreCoordinatorSnapshot(snap, experiments.DefaultCoordinatorConfig(*sy, true), fed.Engine, coordOpts...)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: resuming from %s: %v\n", *resume, err)
+				os.Exit(1)
+			}
+			startRound = coord.NextRound()
+			fmt.Printf("resumed from %s at round %d\n", *resume, startRound)
+		} else {
+			coord = experiments.DefaultCoordinator(fed, *sy, true, coordOpts...)
+		}
 	}
 
 	mode := "sync"
-	if *async {
+	switch {
+	case *async:
 		mode = fmt.Sprintf("async(max-staleness=%d advance-every=%d)", *maxStale, *advEvery)
+	case *shardsN > 0:
+		mode = fmt.Sprintf("sharded(%d)", *shardsN)
 	}
 	fmt.Printf("federation: N=%d M=%d task=%s rounds=%d mode=%s mechanism=%s compression=%s (attackers: %d sign-flip ps=%g, %d poison pd=%g)\n\n",
 		*workers, *servers, *task, *rounds, mode, coord.Mechanism().Name(), cmode, *nFlip, *ps, *nPoison, *pd)
@@ -255,13 +321,19 @@ func main() {
 			line += "  QUORUM MISSED (round degraded)"
 		}
 		if t%sc.EvalEvery == 0 || t == *rounds-1 {
-			acc, loss := fed.Engine.Evaluate(fed.Test, 256)
+			acc, loss := evalEngine.Evaluate(evalTest, 256)
 			recorder.RecordMetrics(trace.RoundMetrics{Round: t, Accuracy: acc, Loss: loss})
 			line += fmt.Sprintf("  acc=%.3f loss=%.3f", acc, loss)
 		}
 		fmt.Println(line)
 		if *ckptFile != "" && (t+1)%*ckptEvery == 0 {
-			snap, err := coord.Snapshot()
+			// Sharded snapshots append one section per shard on top of the
+			// root coordinator's state.
+			snapshot := coord.Snapshot
+			if run != nil {
+				snapshot = run.Snapshot
+			}
+			snap, err := snapshot()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fifl-sim: round %d: snapshot: %v\n", t, err)
 				os.Exit(1)
@@ -270,6 +342,12 @@ func main() {
 				fmt.Fprintf(os.Stderr, "fifl-sim: round %d: writing checkpoint: %v\n", t, err)
 				os.Exit(1)
 			}
+		}
+	}
+	if run != nil {
+		if err := run.Finish(); err != nil {
+			fmt.Fprintf(os.Stderr, "fifl-sim: shard aggregator: %v\n", err)
+			os.Exit(1)
 		}
 	}
 

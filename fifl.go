@@ -58,6 +58,7 @@ import (
 	"fifl/internal/rng"
 	"fifl/internal/robust"
 	"fifl/internal/score"
+	"fifl/internal/shard"
 	"fifl/internal/trace"
 	"fifl/internal/transport"
 	"fifl/internal/transport/codec"
@@ -496,6 +497,64 @@ func DialWorker(ctx context.Context, cfg WorkerClientConfig, opts ...WorkerClien
 		opt(&cfg)
 	}
 	return transport.DialWorker(ctx, cfg)
+}
+
+// Hierarchical federation: a 1-level sharded topology where edge
+// aggregators own contiguous worker cohorts, collect and screen locally
+// against the root's broadcast benchmark, pre-aggregate the survivors and
+// forward one evidence frame per phase over the shard wire protocol. The
+// root's coordinator unfolds each shard's evidence into the same
+// per-worker events — Eq. 8–10 reputation updates, Eq. 15 rewards, ledger
+// records — a flat federation produces, so analytics and fairness audits
+// work unchanged; an honest sharded run is bit-identical to a flat run
+// aggregating in the same blocked association (Engine.AggregateRoundBlocked).
+type (
+	// ShardHub is the root-side rendezvous: cohort registration, the
+	// sequence-numbered directive stream and per-phase evidence waves.
+	ShardHub = shard.ShardHub
+	// ShardBridge adapts a hub to the coordinator's Collect/Detect/
+	// Aggregate/Distances stages; install it with WithCollector.
+	ShardBridge = shard.Bridge
+	// ShardAggregator is one edge sub-coordinator over a cohort engine.
+	ShardAggregator = shard.Aggregator
+	// ShardRootLink is an aggregator's connection to the root.
+	ShardRootLink = shard.RootLink
+	// ShardDirectLink couples an aggregator to an in-process hub, still
+	// round-tripping every frame through the wire codec.
+	ShardDirectLink = shard.DirectLink
+	// ShardHTTPLink speaks to a ShardServer's /v1/shard endpoints.
+	ShardHTTPLink = shard.HTTPLink
+	// ShardServer is the root's HTTP endpoint for its aggregators.
+	ShardServer = shard.Server
+)
+
+// NewShardHub creates the root-side hub for an n-worker federation split
+// into the given number of cohorts; reg receives the shard counters (nil =
+// none).
+func NewShardHub(n, shards int, reg *MetricsRegistry) (*ShardHub, error) {
+	return shard.NewShardHub(n, shards, reg)
+}
+
+// NewShardBridge bridges a hub to the root engine (whose slots are
+// ShardVirtualWorkers); quorum > 0 degrades rounds with fewer arrivals.
+func NewShardBridge(hub *ShardHub, engine *Engine, quorum int) (*ShardBridge, error) {
+	return shard.NewBridge(hub, engine, quorum)
+}
+
+// NewShardAggregator builds the edge aggregator for cohort index s whose
+// first worker holds global slot first; engine is the cohort-local engine.
+func NewShardAggregator(s, first int, engine *Engine, link ShardRootLink) (*ShardAggregator, error) {
+	return shard.NewAggregator(s, first, engine, link)
+}
+
+// ShardVirtualWorkers returns the root engine's per-worker stand-ins: they
+// carry sample counts for aggregation weights but never train locally.
+func ShardVirtualWorkers(samples []int) []Worker { return shard.VirtualWorkers(samples) }
+
+// ServeShardRoot wraps the root coordinator and its hub in the shard wire
+// protocol's HTTP API; serve its Handler with net/http or httptest.
+func ServeShardRoot(coord *Coordinator, hub *ShardHub) (*ShardServer, error) {
+	return shard.NewServer(coord, hub)
 }
 
 // Durability: checkpoint a federation between rounds and resume it after a

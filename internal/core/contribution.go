@@ -141,7 +141,14 @@ func ComputeContributions(cfg ContributionConfig, global gradvec.Vector, grads [
 		}
 		out.Dist[i] = global.SqDist(g)
 	})
-	// Threshold selection.
+	thresholdAndClamp(cfg, global, out)
+	return out
+}
+
+// thresholdAndClamp finishes a Contributions whose Dist row is filled:
+// threshold selection per cfg, then the clamped Eq. 14 ratio per worker.
+func thresholdAndClamp(cfg ContributionConfig, global gradvec.Vector, out *Contributions) {
+	n := len(out.Dist)
 	if cfg.BaselineWorker >= 0 && cfg.BaselineWorker < n && !math.IsNaN(out.Dist[cfg.BaselineWorker]) {
 		out.BH = out.Dist[cfg.BaselineWorker]
 	} else {
@@ -150,7 +157,7 @@ func ComputeContributions(cfg ContributionConfig, global gradvec.Vector, grads [
 	}
 	if out.BH == 0 {
 		// Degenerate round (zero global gradient): nobody contributes.
-		return out
+		return
 	}
 	for i := range out.C {
 		if math.IsNaN(out.Dist[i]) {
@@ -167,6 +174,29 @@ func ComputeContributions(cfg ContributionConfig, global gradvec.Vector, grads [
 		}
 		out.C[i] = c
 	}
+}
+
+// ContributionsFromDists assesses a round whose per-worker distances were
+// computed elsewhere — a sharded federation's edge aggregators each
+// evaluate ‖G̃ − G_i‖² over their own cohort and forward only the scalars.
+// NaN marks a worker with no usable upload. The threshold selection and
+// clamping are exactly ComputeContributions', so given the distances the
+// flat path would have computed the result is bit-identical.
+func ContributionsFromDists(cfg ContributionConfig, global gradvec.Vector, dists []float64) *Contributions {
+	n := len(dists)
+	out := &Contributions{
+		Dist: append([]float64(nil), dists...),
+		C:    make([]float64, n),
+	}
+	if global == nil {
+		// No information this round: all-NaN distances, zero contributions,
+		// matching the flat path's nil-global early return.
+		for i := range out.Dist {
+			out.Dist[i] = math.NaN()
+		}
+		return out
+	}
+	thresholdAndClamp(cfg, global, out)
 	return out
 }
 

@@ -165,7 +165,7 @@ func (d *Detector) DetectRound(rr *fl.RoundResult, servers []int, m int) (*Detec
 		res.Uncertain[i] = rr.Dropped(i)
 	}
 	benchOwner := make([]int, m)
-	res.Benchmark = flatBenchmark(rr, servers, m, benchOwner)
+	res.Benchmark = FlatBenchmark(rr, servers, m, benchOwner)
 	if res.Benchmark == nil {
 		// No server upload survived: detection is impossible this round.
 		// Accept arrivals so training proceeds, matching Detect.
@@ -174,45 +174,61 @@ func (d *Detector) DetectRound(rr *fl.RoundResult, servers []int, m int) (*Detec
 		}
 		return res, nil
 	}
-	total := len(res.Benchmark)
 	threshold := d.Threshold
 	parallel.For(n, func(i int) {
 		g := rr.Grads[i]
 		if g == nil {
 			return
 		}
-		if len(g) != total || g.HasNaN() {
-			// Malformed or NaN-poisoned upload: reject outright. (Detect
-			// only handles the NaN case; a wrong-length gradient would
-			// panic there, so rejecting is strictly more defined.)
-			res.Scores[i] = math.Inf(-1)
-			return
-		}
-		sum := 0.0
-		regions := 0
-		for j := 0; j < m; j++ {
-			if benchOwner[j] == i {
-				continue
-			}
-			lo, hi := gradvec.SliceBounds(total, m, j)
-			sum += res.Benchmark[lo:hi].CosSim(g[lo:hi])
-			regions++
-		}
-		if regions == 0 {
-			res.Scores[i] = 0
-		} else {
-			res.Scores[i] = sum / float64(regions)
-		}
+		res.Scores[i] = ScoreAgainstBenchmark(res.Benchmark, benchOwner, i, g)
+		// A -Inf score (malformed or NaN-poisoned upload) never clears the
+		// threshold, so the uniform comparison rejects it.
 		res.Accept[i] = res.Scores[i] >= threshold
 	})
 	return res, nil
 }
 
-// flatBenchmark assembles the composite benchmark without a slice table:
+// ScoreAgainstBenchmark computes one worker's normalized detection score
+// against the composite benchmark: the average per-region cosine verdict,
+// skipping every region the worker's own slice fills (owners[j] == self —
+// no self-validation). It is the scoring kernel DetectRound fans out, and
+// edge aggregators in a sharded federation run it locally so full cohort
+// gradients never travel to the root; both paths are bit-identical by
+// construction. A malformed (wrong-length) or NaN-poisoned gradient scores
+// -Inf: rejected outright. (Detect only handles the NaN case; a
+// wrong-length gradient would panic there, so rejecting is strictly more
+// defined.) A worker nobody independent can assess (M = 1 and it is the
+// server) scores 0: no evidence.
+func ScoreAgainstBenchmark(bench gradvec.Vector, owners []int, self int, g gradvec.Vector) float64 {
+	total := len(bench)
+	if len(g) != total || g.HasNaN() {
+		return math.Inf(-1)
+	}
+	m := len(owners)
+	sum := 0.0
+	regions := 0
+	for j := 0; j < m; j++ {
+		if owners[j] == self {
+			continue
+		}
+		lo, hi := gradvec.SliceBounds(total, m, j)
+		sum += bench[lo:hi].CosSim(g[lo:hi])
+		regions++
+	}
+	if regions == 0 {
+		return 0
+	}
+	return sum / float64(regions)
+}
+
+// FlatBenchmark assembles the composite benchmark without a slice table:
 // region j is the SliceBounds view of server j's gradient (fallback
 // substitution as in compositeBenchmark), recombined into one contiguous
-// vector. owners[j] records which worker's slice fills region j.
-func flatBenchmark(rr *fl.RoundResult, servers []int, m int, owners []int) gradvec.Vector {
+// vector. owners[j] records which worker's slice fills region j (it must
+// have length m). Exported because a sharded federation's root assembles
+// the same benchmark from the server gradients its shards forwarded,
+// placed at their global indices in a virtual RoundResult.
+func FlatBenchmark(rr *fl.RoundResult, servers []int, m int, owners []int) gradvec.Vector {
 	fallback := -1
 	for _, s := range servers {
 		if !rr.Dropped(s) && !rr.Grads[s].HasNaN() {

@@ -179,7 +179,17 @@ func stageDetect(c *Coordinator, rc *RoundContext) error {
 	case c.Cfg.Scorer != nil:
 		rc.Detection = detectWithScorer(c.Cfg.Scorer, c.Cfg.Detection.Threshold, c.Engine.Params(), rc.RR)
 	default:
-		det, err := c.Cfg.Detection.DetectRound(rc.RR, rc.Servers, c.Engine.NumServers())
+		var (
+			det *DetectionResult
+			err error
+		)
+		// A sharded collector screens each cohort at its edge aggregator —
+		// the root's rr carries no worker gradients to screen here.
+		if src, ok := c.collector.(ShardRoundSource); ok {
+			det, err = src.DetectRound(rc.Ctx, rc.RR, rc.Servers, c.Cfg.Detection)
+		} else {
+			det, err = c.Cfg.Detection.DetectRound(rc.RR, rc.Servers, c.Engine.NumServers())
+		}
 		if err != nil {
 			return err
 		}
@@ -220,7 +230,17 @@ func stageReputation(c *Coordinator, rc *RoundContext) error {
 // stageAggregate computes the filtered aggregate G̃ = Σ n_i·r_i·G_i /
 // Σ n_j·r_j (§4.1). The model update θ ← θ − η·G̃ is deferred to Record.
 func stageAggregate(c *Coordinator, rc *RoundContext) error {
-	g, err := c.Engine.AggregateRound(rc.RR, rc.Detection.Accept)
+	var (
+		g   gradvec.Vector
+		err error
+	)
+	// A sharded collector folds pre-aggregated per-shard partials instead
+	// of the per-worker gradients the root never received.
+	if src, ok := c.collector.(ShardRoundSource); ok {
+		g, err = src.AggregateRound(rc.Ctx, rc.RR, rc.Detection.Accept)
+	} else {
+		g, err = c.Engine.AggregateRound(rc.RR, rc.Detection.Accept)
+	}
 	if err != nil {
 		return err
 	}
@@ -231,7 +251,18 @@ func stageAggregate(c *Coordinator, rc *RoundContext) error {
 // stageContribution assesses every arrival against the filtered global
 // gradient (§4.3), staging — not committing — the b_h smoother update.
 func stageContribution(c *Coordinator, rc *RoundContext) error {
-	contrib := ComputeContributions(c.Cfg.Contribution, rc.Global, rc.RR.Grads)
+	var contrib *Contributions
+	// A sharded collector evaluates the Eq. 13 distances at the edge and
+	// forwards scalars; threshold selection and clamping stay at the root.
+	if src, ok := c.collector.(ShardRoundSource); ok {
+		dists, err := src.Distances(rc.Ctx, rc.RR, rc.Global)
+		if err != nil {
+			return err
+		}
+		contrib = ContributionsFromDists(c.Cfg.Contribution, rc.Global, dists)
+	} else {
+		contrib = ComputeContributions(c.Cfg.Contribution, rc.Global, rc.RR.Grads)
+	}
 	sm := c.bhSmoother
 	if s := c.Cfg.Contribution.SmoothBH; s > 0 && contrib.BH > 0 {
 		RescaleWithBH(contrib, sm.Update(contrib.BH, s), c.Cfg.Contribution.Clamp)

@@ -1,0 +1,45 @@
+package core
+
+import (
+	"context"
+
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+)
+
+// ShardRoundSource is a Collector that also distributes the gradient-heavy
+// pipeline stages across edge aggregators: in a 1-level hierarchical
+// federation the root never holds every worker's gradient, so Detect,
+// Aggregate and the Contribution distances cannot read rr.Grads — each
+// shard runs them locally over its cohort and forwards per-worker scalars
+// plus one pre-aggregated partial. The pipeline type-asserts its collector
+// against this interface; when it matches, stageDetect, stageAggregate and
+// stageContribution delegate instead of touching rr.Grads. Every stage
+// that consumes only per-worker scalars (Reputation, Reward, Record,
+// Reselect) runs unchanged, which is what keeps the root's reports,
+// ledger records and fifl-score output identical to a flat run's.
+//
+// The contract mirrors the flat stages exactly:
+//
+//   - DetectRound screens a committed round against the server cluster and
+//     returns the same DetectionResult shape — per-worker scores (NaN for
+//     absent uploads, -Inf for rejected ones), accepts, uncertains and the
+//     composite benchmark. Degraded rounds never reach it (the pipeline
+//     already short-circuits to degradedDetection).
+//   - AggregateRound folds the shards' partials into the filtered global
+//     gradient G̃, with the same zero-mass → nil degenerate behavior as
+//     fl.Engine.AggregateRound, and (nil, nil) for uncommitted rounds.
+//   - Distances returns each worker's ‖G̃ − G_i‖² (Eq. 13), NaN for
+//     workers without a usable upload; ContributionsFromDists turns them
+//     into the round's §4.3 assessment.
+type ShardRoundSource interface {
+	Collector
+	// DetectRound distributes the Detect stage: servers is the round's
+	// cluster (global worker indices), det the threshold configuration.
+	DetectRound(ctx context.Context, rr *fl.RoundResult, servers []int, det Detector) (*DetectionResult, error)
+	// AggregateRound distributes the Aggregate stage over the accept mask.
+	AggregateRound(ctx context.Context, rr *fl.RoundResult, accept []bool) (gradvec.Vector, error)
+	// Distances distributes the Contribution stage's distance pass against
+	// the aggregated global gradient (nil for degenerate rounds).
+	Distances(ctx context.Context, rr *fl.RoundResult, global gradvec.Vector) ([]float64, error)
+}

@@ -68,6 +68,27 @@ const (
 	TaskDigitsMLP
 )
 
+// BuilderFor returns the model builder a federation over the selected
+// task trains. The builder is seeded from src's "model" split without
+// consuming src, so any caller holding the federation's root source — a
+// sharded run assembling cohort engines, a resume path rebuilding the
+// model — derives exactly the builder BuildFederation used.
+func BuilderFor(sc Scale, task DatasetKind, src *rng.Source) nn.Builder {
+	switch task {
+	case TaskDigits:
+		return nn.NewLeNet(src.Split("model").Seed())
+	case TaskImages:
+		if sc.TinyImageModel {
+			return nn.NewTinyResNet(src.Split("model").Seed())
+		}
+		return nn.NewMiniResNet(src.Split("model").Seed())
+	case TaskDigitsMLP:
+		return nn.NewMLP(src.Split("model").Seed(), 28*28, []int{64}, 10)
+	default:
+		panic("experiments: unknown dataset kind")
+	}
+}
+
 // BuildFederation constructs a federation with the given worker slots over
 // the selected task. The training data is generated once and partitioned
 // IID across workers, matching the paper's §5.3 setup. Extra fl options
@@ -76,24 +97,17 @@ const (
 func BuildFederation(sc Scale, task DatasetKind, kinds []WorkerKind, src *rng.Source, opts ...fl.Option) *Federation {
 	n := len(kinds)
 	var train, test *dataset.Dataset
-	var build nn.Builder
+	build := BuilderFor(sc, task, src)
 	switch task {
 	case TaskDigits:
 		train = dataset.SynthDigits(src.Split("train"), n*sc.SamplesPerWorker)
 		test = dataset.SynthDigits(src.Split("test"), sc.TestSamples)
-		build = nn.NewLeNet(src.Split("model").Seed())
 	case TaskImages:
 		train = dataset.SynthImages(src.Split("train"), n*sc.SamplesPerWorker)
 		test = dataset.SynthImages(src.Split("test"), sc.TestSamples)
-		if sc.TinyImageModel {
-			build = nn.NewTinyResNet(src.Split("model").Seed())
-		} else {
-			build = nn.NewMiniResNet(src.Split("model").Seed())
-		}
 	case TaskDigitsMLP:
 		train = dataset.SynthDigits(src.Split("train"), n*sc.SamplesPerWorker)
 		test = dataset.SynthDigits(src.Split("test"), sc.TestSamples)
-		build = nn.NewMLP(src.Split("model").Seed(), 28*28, []int{64}, 10)
 	default:
 		panic("experiments: unknown dataset kind")
 	}

@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"fifl/internal/core"
+	"fifl/internal/fl"
+	"fifl/internal/persist"
+	"fifl/internal/rng"
+	"fifl/internal/shard"
+)
+
+// ShardCohorts splits n workers into s near-equal contiguous cohorts: the
+// first n%s cohorts get one extra worker. Cohort layout is a pure function
+// of (n, s) so a resumed run reconstructs the exact partition the
+// checkpoint's shard sections describe.
+func ShardCohorts(n, s int) []int {
+	out := make([]int, s)
+	base, extra := n/s, n%s
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+// ShardedRun bundles a 1-level hierarchical federation: edge aggregators
+// own contiguous worker cohorts and pre-aggregate locally, while the root
+// coordinator runs the full FIFL pipeline over a virtual-worker engine fed
+// by the shard bridge. Every frame between the two layers round-trips
+// through the wire codec, so an in-process run exercises the exact bytes a
+// networked deployment would carry.
+type ShardedRun struct {
+	// Fed holds the real workers, their partitions and the test set. Its
+	// engine only hosts worker construction and warmup; collection happens
+	// on the cohort engines below.
+	Fed *Federation
+	// Root is the authoritative global model: the engine the coordinator
+	// aggregates into, whose workers are per-shard virtual stand-ins.
+	Root   *fl.Engine
+	Hub    *shard.ShardHub
+	Bridge *shard.Bridge
+	Coord  *core.Coordinator
+	// Aggs are the edge aggregators, one per cohort in shard order.
+	Aggs []*shard.Aggregator
+
+	cancel context.CancelFunc
+	errc   chan error
+}
+
+// assembleSharded builds everything both the fresh and the resumed paths
+// share: the federation, the root engine, the hub, the bridge and the
+// cohort engines. It stops just short of the coordinator, which is the one
+// piece the two paths construct differently.
+func assembleSharded(sc Scale, task DatasetKind, kinds []WorkerKind, shards int, src *rng.Source) (*ShardedRun, error) {
+	n := len(kinds)
+	if shards < 1 || shards > n {
+		return nil, fmt.Errorf("experiments: %d shards for %d workers", shards, n)
+	}
+	fed := BuildFederation(sc, task, kinds, src)
+	build := BuilderFor(sc, task, src)
+	samples := make([]int, n)
+	for i, w := range fed.Engine.Workers {
+		samples[i] = w.NumSamples()
+	}
+	m := sc.Servers
+	if m > n {
+		m = n
+	}
+	// The root engine never trains and never draws faults (no DropRate), so
+	// an honest sharded run consumes exactly the RNG a flat run would.
+	root, err := fl.NewEngine(fl.Config{Servers: m, GlobalLR: sc.GlobalLR}, build,
+		shard.VirtualWorkers(samples), src.Split("shard-root"))
+	if err != nil {
+		return nil, err
+	}
+	if err := root.SetParams(fed.Engine.Params()); err != nil {
+		return nil, err
+	}
+	hub, err := shard.NewShardHub(n, shards, root.Metrics())
+	if err != nil {
+		return nil, err
+	}
+	bridge, err := shard.NewBridge(hub, root, 0)
+	if err != nil {
+		return nil, err
+	}
+	r := &ShardedRun{Fed: fed, Root: root, Hub: hub, Bridge: bridge}
+	lo := 0
+	for s, size := range ShardCohorts(n, shards) {
+		// Cohort engines share the federation's workers (worker RNG streams
+		// are split by global ID, so training is identical under any host
+		// engine) but draw their own fault plans from a per-shard stream.
+		cohort, err := fl.NewEngine(
+			fl.Config{Servers: 1, GlobalLR: sc.GlobalLR, DropRate: sc.DropRate},
+			build, fed.Engine.Workers[lo:lo+size], src.SplitN("shard", s))
+		if err != nil {
+			return nil, err
+		}
+		agg, err := shard.NewAggregator(s, lo, cohort, shard.DirectLink{Hub: hub})
+		if err != nil {
+			return nil, err
+		}
+		r.Aggs = append(r.Aggs, agg)
+		lo += size
+	}
+	return r, nil
+}
+
+// BuildShardedRun assembles a fresh in-process sharded federation: the
+// flat federation's workers partitioned into contiguous cohorts under edge
+// aggregators, a virtual-worker root engine behind the shard bridge, and
+// the standard FIFL coordinator on top. Call Start before running rounds
+// and Finish when done.
+func BuildShardedRun(sc Scale, task DatasetKind, kinds []WorkerKind, shards int, sy float64, ledger bool, src *rng.Source, opts ...core.CoordinatorOption) (*ShardedRun, error) {
+	r, err := assembleSharded(sc, task, kinds, shards, src)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, core.WithCollector(r.Bridge))
+	r.Coord = DefaultCoordinator(&Federation{Engine: r.Root, Test: r.Fed.Test, Kinds: kinds}, sy, ledger, opts...)
+	r.Bridge.BindServers(r.Coord.Servers)
+	return r, nil
+}
+
+// RestoreShardedRun rebuilds a sharded federation from a checkpoint
+// written by Snapshot: the root coordinator restores through the standard
+// snapshot path (over the virtual-worker engine, whose slots hold no RNG
+// by construction), and each shard section fast-forwards its cohort
+// engine's fault stream and its real workers' minibatch streams to the
+// recorded positions. The directive stream restarts fresh — a full-restart
+// resume replays nothing, so every cursor begins at zero.
+func RestoreShardedRun(snap *persist.Snapshot, sc Scale, task DatasetKind, kinds []WorkerKind, shards int, sy float64, ledger bool, src *rng.Source, opts ...core.CoordinatorOption) (*ShardedRun, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("experiments: restore from a nil snapshot")
+	}
+	r, err := assembleSharded(sc, task, kinds, shards, src)
+	if err != nil {
+		return nil, err
+	}
+	if len(snap.Shards) != len(r.Aggs) {
+		return nil, fmt.Errorf("experiments: checkpoint has %d shard sections, run has %d shards", len(snap.Shards), len(r.Aggs))
+	}
+	opts = append(opts, core.WithCollector(r.Bridge))
+	r.Coord, err = core.RestoreCoordinatorSnapshot(snap, DefaultCoordinatorConfig(sy, ledger), r.Root, opts...)
+	if err != nil {
+		return nil, err
+	}
+	r.Bridge.BindServers(r.Coord.Servers)
+	for s, sh := range snap.Shards {
+		eng := r.Aggs[s].Engine()
+		if sh.Count != len(eng.Workers) {
+			return nil, fmt.Errorf("experiments: shard %d section covers %d workers, cohort has %d", s, sh.Count, len(eng.Workers))
+		}
+		if err := eng.DiscardRNG(sh.EngineDraws); err != nil {
+			return nil, fmt.Errorf("experiments: shard %d engine: %w", s, err)
+		}
+		for i, w := range eng.Workers {
+			rw, ok := w.(fl.ResumableWorker)
+			if !ok {
+				if sh.WorkerDraws[i] != 0 {
+					return nil, fmt.Errorf("experiments: shard %d worker %d is not resumable but recorded %d draws", s, sh.First+i, sh.WorkerDraws[i])
+				}
+				continue
+			}
+			if err := rw.DiscardRNG(sh.WorkerDraws[i]); err != nil {
+				return nil, fmt.Errorf("experiments: shard %d worker %d: %w", s, sh.First+i, err)
+			}
+		}
+	}
+	return r, nil
+}
+
+// Start launches the edge aggregators and blocks until every cohort has
+// registered with the hub. The aggregators keep serving directives until
+// Finish.
+func (r *ShardedRun) Start(ctx context.Context) error {
+	ctx, r.cancel = context.WithCancel(ctx)
+	r.errc = make(chan error, len(r.Aggs))
+	for _, a := range r.Aggs {
+		go func(a *shard.Aggregator) {
+			if err := a.Hello(ctx); err != nil {
+				r.errc <- err
+				return
+			}
+			r.errc <- a.Run(ctx)
+		}(a)
+	}
+	if err := r.Hub.WaitReady(ctx); err != nil {
+		r.cancel()
+		return err
+	}
+	return nil
+}
+
+// Finish publishes the done directive, waits the aggregators out and
+// closes the hub. It returns the first aggregator error, if any.
+func (r *ShardedRun) Finish() error {
+	err := r.Bridge.Finish()
+	for range r.Aggs {
+		if e := <-r.errc; e != nil && err == nil {
+			err = e
+		}
+	}
+	if r.cancel != nil {
+		r.cancel()
+	}
+	r.Hub.Close()
+	return err
+}
+
+// Snapshot captures the root coordinator's checkpoint plus one shard
+// section per cohort (engine fault-stream position, per-worker minibatch
+// positions, directive cursor). Call it only between rounds: the hub's
+// evidence handoff orders every aggregator's round-final state before
+// RunRoundContext returns, so the counters read here are quiescent.
+func (r *ShardedRun) Snapshot() (*persist.Snapshot, error) {
+	snap, err := r.Coord.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	snap.Shards = make([]persist.ShardState, len(r.Aggs))
+	lo := 0
+	for s, a := range r.Aggs {
+		eng := a.Engine()
+		ws := make([]uint64, len(eng.Workers))
+		for i, w := range eng.Workers {
+			if rw, ok := w.(fl.ResumableWorker); ok {
+				ws[i] = rw.RNGDraws()
+			}
+		}
+		snap.Shards[s] = persist.ShardState{
+			First:       lo,
+			Count:       len(eng.Workers),
+			LastSeq:     a.LastSeq(),
+			EngineDraws: eng.RNGDraws(),
+			WorkerDraws: ws,
+		}
+		lo += len(eng.Workers)
+	}
+	return snap, nil
+}

@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"fifl/internal/persist"
+	"fifl/internal/rng"
+)
+
+func shardedTestScale() Scale {
+	sc := QuickScale()
+	sc.Seed = 11
+	sc.TrainWorkers = 6
+	sc.SamplesPerWorker = 60
+	sc.TestSamples = 40
+	sc.Servers = 2
+	sc.DropRate = 0.25 // exercise the cohort engines' fault streams
+	return sc
+}
+
+func shardedTestKinds(n int) []WorkerKind {
+	kinds := make([]WorkerKind, n)
+	for i := range kinds {
+		kinds[i] = Honest()
+	}
+	kinds[n-1] = SignFlip(4)
+	return kinds
+}
+
+type shardedOutcome struct {
+	params  []float64
+	reps    []float64
+	rewards []float64
+	ledger  []byte
+}
+
+func captureShardedOutcome(t *testing.T, r *ShardedRun) shardedOutcome {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Coord.Ledger.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return shardedOutcome{
+		params:  r.Root.Params(),
+		reps:    r.Coord.Rep.Reputations(),
+		rewards: r.Coord.CumulativeRewards(),
+		ledger:  buf.Bytes(),
+	}
+}
+
+func sameBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func runShardedRounds(t *testing.T, r *ShardedRun, from, to int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for round := from; round < to; round++ {
+		if _, err := r.Coord.RunRoundContext(ctx, round); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestShardedRunSnapshotResume kills a sharded run mid-flight and proves
+// the restored run — root coordinator from the standard snapshot, each
+// cohort fast-forwarded from its own shard section, a fresh directive
+// stream — finishes bit-identical to the uninterrupted run. The snapshot
+// round-trips through the FIFLCKP4 encoding on the way.
+func TestShardedRunSnapshotResume(t *testing.T) {
+	const shards, ckptAt, rounds = 3, 3, 6
+	sc := shardedTestScale()
+	kinds := shardedTestKinds(sc.TrainWorkers)
+
+	full, err := BuildShardedRun(sc, TaskDigitsMLP, kinds, shards, 0.05, true, rng.New(sc.Seed).Split("sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := full.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	runShardedRounds(t, full, 0, ckptAt)
+	snap, err := full.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Shards) != shards {
+		t.Fatalf("snapshot has %d shard sections, want %d", len(snap.Shards), shards)
+	}
+	frame, err := persist.Encode(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runShardedRounds(t, full, ckptAt, rounds)
+	if err := full.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	want := captureShardedOutcome(t, full)
+
+	decoded, err := persist.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RestoreShardedRun(decoded, sc, TaskDigitsMLP, kinds, shards, 0.05, true, rng.New(sc.Seed).Split("sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Coord.NextRound(); got != ckptAt {
+		t.Fatalf("resumed at round %d, want %d", got, ckptAt)
+	}
+	if err := resumed.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	runShardedRounds(t, resumed, ckptAt, rounds)
+	if err := resumed.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	got := captureShardedOutcome(t, resumed)
+
+	if !sameBits(want.params, got.params) {
+		t.Error("resumed params differ from the uninterrupted run")
+	}
+	if !sameBits(want.reps, got.reps) {
+		t.Errorf("resumed reputations differ: %v vs %v", got.reps, want.reps)
+	}
+	if !sameBits(want.rewards, got.rewards) {
+		t.Errorf("resumed rewards differ: %v vs %v", got.rewards, want.rewards)
+	}
+	if !bytes.Equal(want.ledger, got.ledger) {
+		t.Error("resumed ledger bytes differ from the uninterrupted run")
+	}
+	if err := resumed.Coord.Ledger.Verify(); err != nil {
+		t.Errorf("resumed ledger fails verification: %v", err)
+	}
+}
+
+// TestRestoreShardedRunRejectsMismatchedLayout guards the shard-section
+// cross-checks: a checkpoint written under a different shard count must
+// not restore.
+func TestRestoreShardedRunRejectsMismatchedLayout(t *testing.T) {
+	sc := shardedTestScale()
+	sc.DropRate = 0
+	kinds := shardedTestKinds(sc.TrainWorkers)
+	run, err := BuildShardedRun(sc, TaskDigitsMLP, kinds, 3, 0.05, true, rng.New(sc.Seed).Split("sim"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	runShardedRounds(t, run, 0, 1)
+	snap, err := run.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RestoreShardedRun(snap, sc, TaskDigitsMLP, kinds, 2, 0.05, true, rng.New(sc.Seed).Split("sim")); err == nil {
+		t.Fatal("restoring a 3-shard checkpoint into a 2-shard run succeeded")
+	}
+}
+
+// TestBuildShardedRunRejectsBadShardCounts covers the assembly-time
+// validation.
+func TestBuildShardedRunRejectsBadShardCounts(t *testing.T) {
+	sc := shardedTestScale()
+	kinds := shardedTestKinds(sc.TrainWorkers)
+	for _, shards := range []int{0, -1, sc.TrainWorkers + 1} {
+		if _, err := BuildShardedRun(sc, TaskDigitsMLP, kinds, shards, 0.05, true, rng.New(1)); err == nil {
+			t.Errorf("BuildShardedRun accepted %d shards for %d workers", shards, sc.TrainWorkers)
+		}
+	}
+}

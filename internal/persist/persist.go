@@ -40,8 +40,10 @@ import (
 // incompatible change to the layout below must bump the trailing digit.
 // Version 2 added MechDraws (the reward mechanism's RNG stream position)
 // after EngineDraws. Version 3 appended the optional async-collector
-// state (flag byte + AsyncState) after the ledger export.
-const Magic = "FIFLCKP3"
+// state (flag byte + AsyncState) after the ledger export. Version 4
+// appended the per-shard sections of a hierarchical run (count + one
+// ShardState each) after the async section.
+const Magic = "FIFLCKP4"
 
 // MaxSnapshotBytes bounds one checkpoint read. The dominant terms are the
 // model parameters and the ledger export; 1 GiB accommodates the largest
@@ -104,6 +106,32 @@ type Snapshot struct {
 	// uploads accepted but not yet folded into an advance. nil for
 	// synchronous runs.
 	Async *AsyncState
+	// Shards carries one section per edge aggregator of a hierarchical
+	// (sharded) run, in shard order; empty for flat runs. The root
+	// coordinator's own fields above describe the virtual-worker view
+	// (worker draws all zero — the real streams live at the edges), and
+	// each shard section restores its cohort engine independently.
+	Shards []ShardState
+}
+
+// ShardState is one edge aggregator's inter-round state in a sharded
+// run: which cohort it owns, how far its directive cursor advanced, and
+// the RNG stream positions of its cohort engine and workers.
+type ShardState struct {
+	// First is the global index of the cohort's first worker; Count the
+	// cohort size — [First, First+Count) in shard order must tile the
+	// federation without gaps or overlap.
+	First, Count int
+	// LastSeq is the highest directive sequence number the shard had
+	// processed when the checkpoint was taken (Aggregator.LastSeq). A
+	// shard reconnecting to a live root fast-forwards past it; a full
+	// restart replays a fresh stream and ignores it.
+	LastSeq int
+	// EngineDraws is the cohort engine's fault/retry RNG stream position.
+	EngineDraws uint64
+	// WorkerDraws is each cohort worker's training RNG stream position,
+	// in cohort order (len == Count).
+	WorkerDraws []uint64
 }
 
 // AsyncState is the inter-round state of an async bounded-staleness
@@ -198,6 +226,30 @@ func (s *Snapshot) Validate() error {
 			return err
 		}
 	}
+	if len(s.Shards) > 0 {
+		if len(s.Shards) > n {
+			return fmt.Errorf("persist: %d shard sections for a federation of %d", len(s.Shards), n)
+		}
+		at := 0
+		for i, sh := range s.Shards {
+			if sh.Count < 1 {
+				return fmt.Errorf("persist: shard %d owns %d workers", i, sh.Count)
+			}
+			if sh.First != at {
+				return fmt.Errorf("persist: shard %d's cohort starts at worker %d, want %d — cohorts must tile the federation in shard order", i, sh.First, at)
+			}
+			if sh.LastSeq < 0 {
+				return fmt.Errorf("persist: shard %d has negative directive cursor %d", i, sh.LastSeq)
+			}
+			if len(sh.WorkerDraws) != sh.Count {
+				return fmt.Errorf("persist: shard %d records %d worker streams for a %d-worker cohort", i, len(sh.WorkerDraws), sh.Count)
+			}
+			at += sh.Count
+		}
+		if at != n {
+			return fmt.Errorf("persist: shard cohorts cover %d of %d workers", at, n)
+		}
+	}
 	return nil
 }
 
@@ -288,6 +340,14 @@ func Encode(s *Snapshot) ([]byte, error) {
 			b = putU64(b, uint64(p.Samples))
 			b = putF64s(b, p.Grad)
 		}
+	}
+	b = putU32(b, uint32(len(s.Shards)))
+	for _, sh := range s.Shards {
+		b = putU64(b, uint64(sh.First))
+		b = putU64(b, uint64(sh.Count))
+		b = putU64(b, uint64(sh.LastSeq))
+		b = putU64(b, sh.EngineDraws)
+		b = putU64s(b, sh.WorkerDraws)
 	}
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
 }
@@ -428,6 +488,39 @@ func Decode(b []byte) (*Snapshot, error) {
 		s.Async = a
 	default:
 		return nil, fmt.Errorf("persist: async flag byte %d is not a bool", asyncFlag)
+	}
+	shardLen, err := r.vecLen(36, "shard sections")
+	if err != nil {
+		return nil, err
+	}
+	if shardLen > 0 {
+		s.Shards = make([]ShardState, shardLen)
+		for i := range s.Shards {
+			sh := &s.Shards[i]
+			for _, f := range []struct {
+				name string
+				dst  *int
+			}{
+				{"shard first worker", &sh.First},
+				{"shard cohort size", &sh.Count},
+				{"shard directive cursor", &sh.LastSeq},
+			} {
+				v, err := r.u64(f.name)
+				if err != nil {
+					return nil, err
+				}
+				if v > math.MaxInt32 {
+					return nil, fmt.Errorf("persist: %s %d outside the supported range", f.name, v)
+				}
+				*f.dst = int(v)
+			}
+			if sh.EngineDraws, err = r.u64("shard engine draws"); err != nil {
+				return nil, err
+			}
+			if sh.WorkerDraws, err = r.u64s("shard worker draws"); err != nil {
+				return nil, err
+			}
+		}
 	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("persist: %d trailing bytes after checkpoint body", r.remaining())

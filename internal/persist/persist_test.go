@@ -28,6 +28,10 @@ func sample() *Snapshot {
 		WorkerDraws:   []uint64{120, 0, 118},
 		Samples:       []int{60, 60, 60},
 		Ledger:        []byte("not a real ledger, but opaque bytes are fine here"),
+		Shards: []ShardState{
+			{First: 0, Count: 2, LastSeq: 9, EngineDraws: 5, WorkerDraws: []uint64{120, 0}},
+			{First: 2, Count: 1, LastSeq: 9, EngineDraws: 0, WorkerDraws: []uint64{118}},
+		},
 	}
 }
 
@@ -139,6 +143,11 @@ func TestEncodeRejectsInvalid(t *testing.T) {
 		"negative SLM counter": func(s *Snapshot) { s.NegCounts[1] = -1 },
 		"negative samples":     func(s *Snapshot) { s.Samples[0] = -5 },
 		"ragged per-worker":    func(s *Snapshot) { s.Cumulative = s.Cumulative[:2] },
+		"shard cohort gap":     func(s *Snapshot) { s.Shards[1].First = 1 },
+		"shard under-coverage": func(s *Snapshot) { s.Shards = s.Shards[:1] },
+		"shard zero cohort":    func(s *Snapshot) { s.Shards[1].Count = 0 },
+		"shard ragged draws":   func(s *Snapshot) { s.Shards[0].WorkerDraws = s.Shards[0].WorkerDraws[:1] },
+		"shard bad cursor":     func(s *Snapshot) { s.Shards[0].LastSeq = -1 },
 	}
 	for name, corrupt := range cases {
 		t.Run(name, func(t *testing.T) {

@@ -1,0 +1,65 @@
+package score
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"fifl/internal/metrics"
+)
+
+// MetricsView is a parsed Prometheus text exposition: one value per series
+// key (`name` or `name{label="v",...}`), as written by the coordinator's
+// /v1/metrics endpoint. It carries the transport-side observations — like
+// per-worker upload latency — that never reach the audit ledger.
+type MetricsView map[string]float64
+
+// ParseMetrics reads a Prometheus text exposition (version 0.0.4) into a
+// view. Comment and blank lines are skipped; every other line must be
+// `series value` with a float value — histogram bucket/sum/count series
+// parse like any other. A repeated series keeps the last value.
+func ParseMetrics(r io.Reader) (MetricsView, error) {
+	view := make(MetricsView)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	n := 0
+	for sc.Scan() {
+		n++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 0 {
+			return nil, fmt.Errorf("score: metrics line %d has no value: %q", n, line)
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("score: metrics line %d: %v", n, err)
+		}
+		view[strings.TrimSpace(line[:cut])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("score: reading metrics: %w", err)
+	}
+	if len(view) == 0 {
+		return nil, fmt.Errorf("score: metrics exposition carries no series")
+	}
+	return view, nil
+}
+
+// ApplyMetrics overlays a coordinator metrics snapshot onto the folded
+// signals, filling each worker's upload-latency observations (the
+// fifl_transport_upload_latency_* series, keyed by worker ID). Workers
+// without a series keep their zero values, so ledgers from simulated runs
+// score unchanged. Call it after Finalize/Snapshot, before ranking.
+func (s *SignalSet) ApplyMetrics(view MetricsView) {
+	for i := range s.Workers {
+		w := &s.Workers[i]
+		id := strconv.Itoa(w.Worker)
+		w.LatencySumSeconds = view[metrics.Key("fifl_transport_upload_latency_seconds_total", "worker", id)]
+		w.LatencyUploads = view[metrics.Key("fifl_transport_upload_latency_uploads_total", "worker", id)]
+	}
+}

@@ -1,0 +1,79 @@
+package score
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP fifl_transport_upload_latency_seconds_total Total seconds between model broadcast and fresh accepted upload, by worker (wall-clock, observability-only).
+# TYPE fifl_transport_upload_latency_seconds_total gauge
+fifl_transport_upload_latency_seconds_total{worker="0"} 1.5
+fifl_transport_upload_latency_seconds_total{worker="1"} 0.25
+# TYPE fifl_transport_upload_latency_uploads_total counter
+fifl_transport_upload_latency_uploads_total{worker="0"} 3
+fifl_transport_upload_latency_uploads_total{worker="1"} 1
+fifl_engine_rounds_total 6
+`
+
+func TestParseMetrics(t *testing.T) {
+	view, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := view[`fifl_transport_upload_latency_seconds_total{worker="0"}`]; got != 1.5 {
+		t.Errorf("worker 0 latency sum = %v, want 1.5", got)
+	}
+	if got := view["fifl_engine_rounds_total"]; got != 6 {
+		t.Errorf("unlabelled series = %v, want 6", got)
+	}
+}
+
+func TestParseMetricsRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",                         // no series at all
+		"# only comments\n",        // still no series
+		"fifl_x_total\n",           // no value
+		"fifl_x_total not-a-num\n", // bad value
+	} {
+		if _, err := ParseMetrics(strings.NewReader(in)); err == nil {
+			t.Errorf("ParseMetrics(%q) succeeded", in)
+		}
+	}
+}
+
+// TestApplyMetrics pins the overlay end to end: parsed series land on the
+// matching workers, absent series leave zeros, and the registry fields
+// derive the mean.
+func TestApplyMetrics(t *testing.T) {
+	view, err := ParseMetrics(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := &SignalSet{Workers: []WorkerSignals{{Worker: 0}, {Worker: 1}, {Worker: 2}}}
+	set.ApplyMetrics(view)
+
+	mean, ok := FieldByName("latency.mean_seconds")
+	if !ok {
+		t.Fatal("latency.mean_seconds not registered")
+	}
+	uploads, ok := FieldByName("latency.uploads")
+	if !ok {
+		t.Fatal("latency.uploads not registered")
+	}
+	if got := mean.Get(&set.Workers[0], set); got != 0.5 {
+		t.Errorf("worker 0 mean latency = %v, want 0.5", got)
+	}
+	if got := uploads.Get(&set.Workers[0], set); got != 3 {
+		t.Errorf("worker 0 uploads = %v, want 3", got)
+	}
+	if got := mean.Get(&set.Workers[1], set); got != 0.25 {
+		t.Errorf("worker 1 mean latency = %v, want 0.25", got)
+	}
+	// Worker 2 has no series: zeros, and the mean stays defined.
+	if got := mean.Get(&set.Workers[2], set); got != 0 {
+		t.Errorf("worker 2 mean latency = %v, want 0", got)
+	}
+	if got := uploads.Get(&set.Workers[2], set); got != 0 {
+		t.Errorf("worker 2 uploads = %v, want 0", got)
+	}
+}

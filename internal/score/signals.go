@@ -47,6 +47,14 @@ type WorkerSignals struct {
 	// RewardTotal is the cumulative reward share paid to this worker.
 	RewardTotal float64
 
+	// Transport upload-latency observations, overlaid by ApplyMetrics from
+	// an optional coordinator metrics snapshot (never from the ledger):
+	// total broadcast-to-submit seconds and the number of fresh uploads
+	// observed. Zero when no snapshot was supplied — simulated runs carry
+	// no wire latency.
+	LatencySumSeconds float64
+	LatencyUploads    float64
+
 	// Fold-state internals (not signals).
 	lastVerdict     float64
 	haveVerdict     bool
@@ -145,6 +153,10 @@ var Fields = []Field{
 		func(w *WorkerSignals, s *SignalSet) float64 { return w.RewardTotal }},
 	{"reward.share", "worker's fraction of the federation's total reward",
 		func(w *WorkerSignals, s *SignalSet) float64 { return ratio(w.RewardTotal, s.TotalReward) }},
+	{"latency.uploads", "fresh uploads with an observed wire latency (0 without a metrics overlay)",
+		func(w *WorkerSignals, s *SignalSet) float64 { return w.LatencyUploads }},
+	{"latency.mean_seconds", "mean broadcast-to-submit upload latency (0 without a metrics overlay)",
+		func(w *WorkerSignals, s *SignalSet) float64 { return ratio(w.LatencySumSeconds, w.LatencyUploads) }},
 }
 
 // FieldByName resolves a registry entry, reporting whether it exists.

@@ -1,0 +1,33 @@
+package shard
+
+import (
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+)
+
+// virtualWorker stands in for a real worker on the root engine of a
+// sharded federation. The root never trains anyone — its Collect stage is
+// the bridge — so LocalTrain must never run; only the identity and the
+// n_i sample weight matter (the reward baselines and the aggregation
+// weights read NumSamples).
+type virtualWorker struct {
+	id      int
+	samples int
+}
+
+func (w *virtualWorker) ID() int         { return w.id }
+func (w *virtualWorker) NumSamples() int { return w.samples }
+
+func (w *virtualWorker) LocalTrain(int, []float64) gradvec.Vector {
+	panic("shard: a virtual worker was asked to train — the root engine must collect through the bridge")
+}
+
+// VirtualWorkers builds the root engine's worker list from the per-worker
+// sample counts the shard hellos registered (ShardHub.RegisteredSamples).
+func VirtualWorkers(samples []int) []fl.Worker {
+	out := make([]fl.Worker, len(samples))
+	for i, s := range samples {
+		out[i] = &virtualWorker{id: i, samples: s}
+	}
+	return out
+}

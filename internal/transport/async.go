@@ -29,6 +29,25 @@ type AsyncConfig struct {
 	AdvanceInterval time.Duration
 }
 
+// UnsatisfiableAdvanceError reports an async configuration whose advance
+// trigger can never fire: the count cadence demands more submissions than
+// the federation can deliver between advances (each worker submits once
+// per broadcast, and the next broadcast only happens after an advance),
+// and no time cadence exists to break the deadlock — Hub.takePending
+// would block forever on a nil deadline channel.
+type UnsatisfiableAdvanceError struct {
+	// AdvanceEvery is the configured count trigger.
+	AdvanceEvery int
+	// Workers is the federation size the trigger can never be met by.
+	Workers int
+}
+
+func (e *UnsatisfiableAdvanceError) Error() string {
+	return fmt.Sprintf(
+		"transport: AsyncConfig.AdvanceEvery=%d exceeds the federation size %d with no AdvanceInterval — the advance trigger can never fire",
+		e.AdvanceEvery, e.Workers)
+}
+
 // Validate reports whether the configuration describes a runnable
 // collector.
 func (c AsyncConfig) Validate() error {
@@ -60,8 +79,9 @@ type AsyncCollector struct {
 	// window folds them before draining live traffic.
 	carry []pendingSub
 
-	subs     []*metrics.Counter // per-staleness-bucket submission counters
-	overSubs *metrics.Counter
+	subs       []*metrics.Counter // per-staleness-bucket submission counters
+	overSubs   *metrics.Counter
+	superseded *metrics.Counter
 }
 
 // NewAsyncCollector switches the hub into async mode and builds the
@@ -81,6 +101,14 @@ func NewAsyncCollector(hub *Hub, engine *fl.Engine, cfg AsyncConfig) (*AsyncColl
 	if got := len(engine.Workers); got != hub.n {
 		return nil, fmt.Errorf("transport: engine has %d workers, hub expects %d", got, hub.n)
 	}
+	// With the timer disabled, the count trigger is the only way a window
+	// advances — and between advances each worker submits at most once (it
+	// has nothing new to train against until the next broadcast). A count
+	// above the federation size therefore deadlocks takePending on its nil
+	// deadline channel; reject it here instead of hanging the first round.
+	if cfg.AdvanceInterval <= 0 && cfg.AdvanceEvery > hub.n {
+		return nil, &UnsatisfiableAdvanceError{AdvanceEvery: cfg.AdvanceEvery, Workers: hub.n}
+	}
 	if err := hub.EnableAsync(cfg.MaxStaleness); err != nil {
 		return nil, err
 	}
@@ -93,6 +121,9 @@ func NewAsyncCollector(hub *Hub, engine *fl.Engine, cfg AsyncConfig) (*AsyncColl
 		c.subs[s] = reg.Counter("fifl_async_submissions_total", "staleness", strconv.Itoa(s))
 	}
 	c.overSubs = reg.Counter("fifl_async_submissions_total", "staleness", "over")
+	reg.Help("fifl_async_superseded_total",
+		"Async submissions dominated by a fresher same-worker submission in the same advance window and dropped unfolded.")
+	c.superseded = reg.Counter("fifl_async_superseded_total")
 	return c, nil
 }
 
@@ -145,6 +176,9 @@ func (c *AsyncCollector) CollectRound(ctx context.Context, t int) (*fl.RoundResu
 			best[sub.worker] = sub
 		}
 	}
+	if dropped := len(window) - len(best); dropped > 0 {
+		c.superseded.Add(int64(dropped))
+	}
 	for w, sub := range best {
 		s := t - sub.round
 		if s < 0 {
@@ -154,6 +188,10 @@ func (c *AsyncCollector) CollectRound(ctx context.Context, t int) (*fl.RoundResu
 		if s > c.cfg.MaxStaleness {
 			c.overSubs.Inc()
 			rr.Status[w] = faults.StatusStale
+			// The rejected upload contributes no gradient, so it carries no
+			// sample weight either — the row must not claim NumSamples() it
+			// never delivered.
+			rr.Samples[w] = 0
 			continue
 		}
 		c.subs[s].Inc()

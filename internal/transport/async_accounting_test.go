@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"fifl/internal/faults"
+	"fifl/internal/fl"
+	"fifl/internal/gradvec"
+	"fifl/internal/metrics"
+	"fifl/internal/rng"
+)
+
+// asyncHub builds a 3-worker hub in async mode with every worker
+// registered and round 0 broadcast, ready to accept any-time submissions.
+func asyncHub(t *testing.T, bound int) *Hub {
+	t.Helper()
+	hub, err := NewHub(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.EnableAsync(bound); err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < 3; id++ {
+		if err := hub.hello(id, 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hub.publish(0, []float64{0, 0, 0, 0})
+	return hub
+}
+
+func mustSubmit(t *testing.T, hub *Hub, round, id int, g gradvec.Vector) {
+	t.Helper()
+	if _, err := hub.submit(round, id, 10, g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTakePendingPaths drives Hub.takePending through its four resolution
+// paths — min reached, deadline firing below min, hub close and context
+// cancel — with the waker racing the waiter (the tier-1 -race leg runs
+// this under the race detector).
+func TestTakePendingPaths(t *testing.T) {
+	grad := gradvec.Vector{1, 2, 3, 4}
+	cases := []struct {
+		name    string
+		min     int
+		maxWait time.Duration
+		drive   func(t *testing.T, hub *Hub) // concurrent with takePending
+		want    int
+		wantErr bool
+	}{
+		{
+			name: "min-reached",
+			min:  2,
+			drive: func(t *testing.T, hub *Hub) {
+				mustSubmit(t, hub, 0, 0, grad)
+				mustSubmit(t, hub, 0, 1, grad)
+			},
+			want: 2,
+		},
+		{
+			name:    "deadline-fires-below-min",
+			min:     3,
+			maxWait: 30 * time.Millisecond,
+			drive: func(t *testing.T, hub *Hub) {
+				mustSubmit(t, hub, 0, 2, grad)
+			},
+			want: 1,
+		},
+		{
+			name: "hub-close",
+			min:  1,
+			drive: func(t *testing.T, hub *Hub) {
+				time.Sleep(10 * time.Millisecond)
+				hub.Close()
+			},
+			wantErr: true,
+		},
+		{
+			name:    "context-cancel",
+			min:     1,
+			wantErr: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hub := asyncHub(t, 2)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				if tc.drive != nil {
+					tc.drive(t, hub)
+				}
+				if tc.name == "context-cancel" {
+					time.Sleep(10 * time.Millisecond)
+					cancel()
+				}
+			}()
+			taken, err := hub.takePending(ctx, tc.min, tc.maxWait)
+			<-done
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("takePending returned %d submissions, want error", len(taken))
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(taken) != tc.want {
+				t.Fatalf("takePending returned %d submissions, want %d", len(taken), tc.want)
+			}
+			// The drain must leave the queue empty.
+			if left := hub.peekPending(); len(left) != 0 {
+				t.Fatalf("queue holds %d submissions after drain", len(left))
+			}
+		})
+	}
+}
+
+// TestNewAsyncCollectorRejectsUnsatisfiableAdvance pins the typed
+// construction error: a count trigger above the federation size with the
+// timer disabled can never fire, so the collector must refuse to build
+// instead of hanging the first advance window forever.
+func TestNewAsyncCollectorRejectsUnsatisfiableAdvance(t *testing.T) {
+	recipe := Recipe{Seed: 3, Workers: 2, SamplesPerWorker: 20}
+	build, err := recipe.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := NewHub(recipe.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.05}, build, hub.Workers(), rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewAsyncCollector(hub, engine, AsyncConfig{MaxStaleness: 1, AdvanceEvery: 3})
+	var unsat *UnsatisfiableAdvanceError
+	if !errors.As(err, &unsat) {
+		t.Fatalf("NewAsyncCollector error = %v, want *UnsatisfiableAdvanceError", err)
+	}
+	if unsat.AdvanceEvery != 3 || unsat.Workers != 2 {
+		t.Fatalf("error carries AdvanceEvery=%d Workers=%d, want 3 and 2", unsat.AdvanceEvery, unsat.Workers)
+	}
+	// The same trigger is satisfiable once a time cadence exists.
+	if _, err := NewAsyncCollector(hub, engine, AsyncConfig{
+		MaxStaleness: 1, AdvanceEvery: 3, AdvanceInterval: time.Second,
+	}); err != nil {
+		t.Fatalf("NewAsyncCollector with AdvanceInterval: %v", err)
+	}
+}
+
+// TestAsyncStaleAndSupersededAccounting pins the window bookkeeping: a
+// StatusStale rejection zeroes the row's sample weight (it delivered no
+// gradient), and a same-window dominated submission is counted under
+// fifl_async_superseded_total.
+func TestAsyncStaleAndSupersededAccounting(t *testing.T) {
+	recipe := Recipe{Seed: 5, Workers: 3, SamplesPerWorker: 20}
+	build, err := recipe.Builder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub, err := NewHub(recipe.Workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.New()
+	engine, err := fl.NewEngine(fl.Config{Servers: 1, GlobalLR: 0.05}, build, hub.Workers(), rng.New(5),
+		fl.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewAsyncCollector(hub, engine, AsyncConfig{MaxStaleness: 1, AdvanceEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := 0; id < recipe.Workers; id++ {
+		if err := hub.hello(id, recipe.SamplesPerWorker); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dim := len(engine.Params())
+	gradFor := func(round int) gradvec.Vector {
+		g := make(gradvec.Vector, dim)
+		g[0] = float64(round + 1)
+		return g
+	}
+	// Broadcast rounds 0 and 1 so worker 0 can queue two submissions into
+	// the same window (round 1 dominates round 0), and worker 1 a round-0
+	// submission that will be over the bound by the time the window folds.
+	hub.publish(0, engine.Params())
+	mustSubmitN(t, hub, 0, 0, recipe.SamplesPerWorker, gradFor(0))
+	mustSubmitN(t, hub, 0, 1, recipe.SamplesPerWorker, gradFor(0))
+	hub.publish(1, engine.Params())
+	mustSubmitN(t, hub, 1, 0, recipe.SamplesPerWorker, gradFor(1))
+
+	rr, err := col.CollectRound(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worker 0: the round-1 submission wins (staleness 1, folded), the
+	// round-0 one is superseded.
+	if rr.Status[0] != faults.StatusOK || rr.Staleness[0] != 1 {
+		t.Fatalf("worker 0 status=%v staleness=%d, want OK/1", rr.Status[0], rr.Staleness[0])
+	}
+	if rr.Samples[0] != recipe.SamplesPerWorker {
+		t.Fatalf("worker 0 samples=%d, want %d", rr.Samples[0], recipe.SamplesPerWorker)
+	}
+	// Worker 1: round-0 at t=2 is staleness 2 > bound 1 — stale, no
+	// gradient, and crucially no sample weight.
+	if rr.Status[1] != faults.StatusStale {
+		t.Fatalf("worker 1 status=%v, want StatusStale", rr.Status[1])
+	}
+	if rr.Grads[1] != nil {
+		t.Fatal("stale worker 1 carries a gradient")
+	}
+	if rr.Samples[1] != 0 {
+		t.Fatalf("stale worker 1 samples=%d, want 0", rr.Samples[1])
+	}
+	// Worker 2 never submitted: pending, keeps its registered samples.
+	if rr.Status[2] != faults.StatusPending || rr.Samples[2] != recipe.SamplesPerWorker {
+		t.Fatalf("worker 2 status=%v samples=%d, want pending with %d samples",
+			rr.Status[2], rr.Samples[2], recipe.SamplesPerWorker)
+	}
+	snap := reg.Snapshot()
+	if got := snap.CounterValue("fifl_async_superseded_total"); got != 1 {
+		t.Fatalf("fifl_async_superseded_total=%d, want 1", got)
+	}
+	if got := snap.CounterValue("fifl_async_submissions_total", "staleness", "over"); got != 1 {
+		t.Fatalf("over-bound submission counter=%d, want 1", got)
+	}
+}
+
+func mustSubmitN(t *testing.T, hub *Hub, round, id, samples int, g gradvec.Vector) {
+	t.Helper()
+	if _, err := hub.submit(round, id, samples, g); err != nil {
+		t.Fatal(err)
+	}
+}

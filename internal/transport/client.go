@@ -329,6 +329,41 @@ func FetchLedger(ctx context.Context, baseURL string, from int, maxBytes int64) 
 	return codec.DecodeLedger(body)
 }
 
+// maxMetricsBytes bounds a /v1/metrics exposition download: even a large
+// federation's registry is a few MiB of text.
+const maxMetricsBytes = 64 << 20
+
+// FetchMetrics downloads a coordinator's Prometheus text exposition from
+// /v1/metrics — the read-only companion to FetchLedger for analytics
+// consumers that overlay transport observations (upload latency) onto
+// ledger-derived signals.
+func FetchMetrics(ctx context.Context, baseURL string) ([]byte, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("transport: FetchMetrics requires an absolute coordinator URL, got %q", baseURL)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("transport: fetching metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxMetricsBytes+1))
+	if err != nil {
+		return nil, fmt.Errorf("transport: reading metrics response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("GET /v1/metrics: %s: %s", resp.Status, bytes.TrimSpace(body))
+	}
+	if int64(len(body)) > maxMetricsBytes {
+		return nil, fmt.Errorf("GET /v1/metrics: response exceeds the %d-byte limit", maxMetricsBytes)
+	}
+	return body, nil
+}
+
 // get issues a GET with retries. It returns nil bytes for 204 No Content.
 func (c *Client) get(ctx context.Context, path string) ([]byte, error) {
 	return c.do(ctx, http.MethodGet, path, nil)

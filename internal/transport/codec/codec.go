@@ -59,6 +59,12 @@ const (
 	TypeReport MsgType = 4
 	// TypeLedger wraps a chain binary export (see chain.WriteBinary).
 	TypeLedger MsgType = 5
+	// TypeShardSubmit carries one edge aggregator's per-phase evidence for
+	// one round of a hierarchical federation (see shard.go).
+	TypeShardSubmit MsgType = 6
+	// TypeShardDirective is the root's per-phase instruction broadcast to
+	// its edge aggregators (see shard.go).
+	TypeShardDirective MsgType = 7
 )
 
 // String renders the message type for errors and logs.
@@ -74,6 +80,10 @@ func (t MsgType) String() string {
 		return "report"
 	case TypeLedger:
 		return "ledger"
+	case TypeShardSubmit:
+		return "shard-submit"
+	case TypeShardDirective:
+		return "shard-directive"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -307,7 +317,8 @@ func Type(b []byte) (MsgType, error) {
 	}
 	t := MsgType(b[5])
 	switch t {
-	case TypeHello, TypeUpload, TypeModel, TypeReport, TypeLedger:
+	case TypeHello, TypeUpload, TypeModel, TypeReport, TypeLedger,
+		TypeShardSubmit, TypeShardDirective:
 		return t, nil
 	default:
 		return 0, fmt.Errorf("codec: unknown message type %d", b[5])

@@ -89,8 +89,14 @@ type Hub struct {
 	modelCh  chan struct{} // closed and replaced on every publish/done
 	closedCh chan struct{} // closed by Close; unblocks every stub
 
-	subs map[int]map[int]submission // round -> worker -> submission
-	wait map[[2]int]chan struct{}   // (round, worker) -> arrival signal
+	subs  map[int]map[int]submission // round -> worker -> submission
+	wait  map[[2]int]chan struct{}   // (round, worker) -> arrival signal
+	pubAt map[int]time.Time          // round -> broadcast wall-clock stamp
+
+	// onUpload, when set, observes each fresh accepted submission with the
+	// wall-clock seconds since its round's broadcast. Observability only:
+	// nothing downstream of the pipeline ever reads these timings.
+	onUpload func(worker int, seconds float64)
 
 	// Async mode (EnableAsync): submissions for any broadcast round are
 	// accepted at any time and queued for the next advance window instead
@@ -117,6 +123,7 @@ func NewHub(n int) (*Hub, error) {
 		closedCh:   make(chan struct{}),
 		subs:       make(map[int]map[int]submission),
 		wait:       make(map[[2]int]chan struct{}),
+		pubAt:      make(map[int]time.Time),
 		asyncBound: -1,
 		pendingCh:  make(chan struct{}),
 	}, nil
@@ -140,6 +147,18 @@ func (h *Hub) EnableAsync(maxStaleness int) error {
 	}
 	h.asyncBound = maxStaleness
 	return nil
+}
+
+// SetUploadObserver installs a callback invoked (under the hub lock) for
+// every fresh accepted submission, with the wall-clock seconds elapsed
+// since the submission's round was broadcast. Rounds broadcast before the
+// observer's hub existed (restored checkpoints) are stamped at Restore.
+// The timings are observability-only — they feed metrics, never
+// decisions — so wall-clock nondeterminism cannot leak into the pipeline.
+func (h *Hub) SetUploadObserver(fn func(worker int, seconds float64)) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.onUpload = fn
 }
 
 // Workers returns the remote-worker stubs to build the coordinator's
@@ -213,6 +232,7 @@ func (h *Hub) Restore(round int, params []float64, samples []int) error {
 	if round >= 0 {
 		h.round = round
 		h.params = append([]float64(nil), params...)
+		h.pubAt[round] = time.Now()
 		close(h.modelCh)
 		h.modelCh = make(chan struct{})
 	}
@@ -275,6 +295,7 @@ func (h *Hub) publish(round int, params []float64) {
 	}
 	h.round = round
 	h.params = append([]float64(nil), params...)
+	h.pubAt[round] = time.Now()
 	// Drop mailboxes older than the previous round. The previous round's
 	// submissions are retained so a client that lost a 204 can retry its
 	// upload across the round boundary and still be recognized as an
@@ -288,6 +309,11 @@ func (h *Hub) publish(round int, params []float64) {
 	for r := range h.subs {
 		if r < keepFrom {
 			delete(h.subs, r)
+		}
+	}
+	for r := range h.pubAt {
+		if r < keepFrom {
+			delete(h.pubAt, r)
 		}
 	}
 	close(h.modelCh)
@@ -413,6 +439,11 @@ func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) (fresh bool, e
 		h.subs[round] = make(map[int]submission)
 	}
 	h.subs[round][id] = submission{grad: grad, samples: samples}
+	if h.onUpload != nil {
+		if at, stamped := h.pubAt[round]; stamped {
+			h.onUpload(id, time.Since(at).Seconds())
+		}
+	}
 	if h.asyncBound >= 0 {
 		h.pending = append(h.pending, pendingSub{worker: id, round: round, samples: samples, grad: grad})
 		close(h.pendingCh)

@@ -39,6 +39,13 @@ type serverMetrics struct {
 
 	uploadBytes []*metrics.Counter // per worker; mirrors Server.upBytes
 	modelBytes  []*metrics.Counter // per worker; mirrors Server.downBytes
+
+	// Per-worker upload latency: seconds between a round's model broadcast
+	// and the worker's fresh accepted submission, as a sum + count pair so
+	// scrapers (and fifl-score) can recover the mean. Wall-clock,
+	// observability-only.
+	latencySum []*metrics.Gauge
+	latencyN   []*metrics.Counter
 }
 
 // newServerMetrics resolves the server's instrument set for an n-worker
@@ -56,6 +63,8 @@ func newServerMetrics(r *metrics.Registry, n int) *serverMetrics {
 	r.Help("fifl_transport_model_bytes_total", "Model frame bytes served, by worker (matches Server.WorkerTraffic).")
 	r.Help("fifl_codec_dense_bytes_total", "Dense float64 equivalent of the compressible payloads moved, by direction.")
 	r.Help("fifl_codec_wire_bytes_total", "Actual wire bytes of the compressible payloads moved, by direction.")
+	r.Help("fifl_transport_upload_latency_seconds_total", "Total seconds between model broadcast and fresh accepted upload, by worker (wall-clock, observability-only).")
+	r.Help("fifl_transport_upload_latency_uploads_total", "Fresh accepted uploads with an observed broadcast-to-submit latency, by worker.")
 	sm := &serverMetrics{
 		reg:          r,
 		bytesIn:      r.Counter("fifl_http_frame_bytes_total", "direction", "in"),
@@ -76,13 +85,28 @@ func newServerMetrics(r *metrics.Registry, n int) *serverMetrics {
 
 		uploadBytes: make([]*metrics.Counter, n),
 		modelBytes:  make([]*metrics.Counter, n),
+		latencySum:  make([]*metrics.Gauge, n),
+		latencyN:    make([]*metrics.Counter, n),
 	}
 	for i := 0; i < n; i++ {
 		w := strconv.Itoa(i)
 		sm.uploadBytes[i] = r.Counter("fifl_transport_upload_bytes_total", "worker", w)
 		sm.modelBytes[i] = r.Counter("fifl_transport_model_bytes_total", "worker", w)
+		sm.latencySum[i] = r.Gauge("fifl_transport_upload_latency_seconds_total", "worker", w)
+		sm.latencyN[i] = r.Counter("fifl_transport_upload_latency_uploads_total", "worker", w)
 	}
 	return sm
+}
+
+// observeUploadLatency is the hub's upload observer: it charges one fresh
+// accepted submission's broadcast-to-submit latency to the worker's
+// sum/count pair. Called under the hub lock, so the pair moves together.
+func (sm *serverMetrics) observeUploadLatency(worker int, seconds float64) {
+	if worker < 0 || worker >= len(sm.latencySum) {
+		return
+	}
+	sm.latencySum[worker].Add(seconds)
+	sm.latencyN[worker].Inc()
 }
 
 // observeEncode charges one codec encode to the throughput instruments.

@@ -76,6 +76,7 @@ func NewServer(coord *core.Coordinator, hub *Hub) (*Server, error) {
 		downBytes: make([]int64, hub.n),
 	}
 	s.waitModel = hub.waitModel
+	hub.SetUploadObserver(s.sm.observeUploadLatency)
 	s.mux.HandleFunc("POST /v1/round/submit", s.sm.instrument("/v1/round/submit", s.handleSubmit))
 	s.mux.HandleFunc("GET /v1/model", s.sm.instrument("/v1/model", s.handleModel))
 	s.mux.HandleFunc("GET /v1/round/report", s.sm.instrument("/v1/round/report", s.handleReport))

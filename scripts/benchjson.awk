@@ -1,9 +1,13 @@
-# Converts `go test -bench` output into the BENCH_pipeline.json schema.
+# Converts `go test -bench` output into the BENCH_*.json schema.
 # Usage: awk -f scripts/benchjson.awk -v CMD="<command>" -v DATE="YYYY-MM-DD" \
-#            -v NOTES="<free text>" < bench-output.txt
-# Expects benchmarks that call b.ReportAllocs(), so every result line
-# carries ns/op, B/op and allocs/op columns.
-BEGIN { n = 0 }
+#            -v NOTES="<free text>" [-v BENCH="<benchmark names>"] < bench-output.txt
+# BENCH labels the artifact's "benchmark" field; it defaults to the
+# BENCH_pipeline.json pair. Expects benchmarks that call b.ReportAllocs(),
+# so every result line carries ns/op, B/op and allocs/op columns.
+BEGIN {
+    n = 0
+    if (BENCH == "") BENCH = "BenchmarkRunRound / BenchmarkSliceGradients"
+}
 /^goos: /  { goos = $2 }
 /^goarch: / { goarch = $2 }
 /^cpu: /   { cpu = substr($0, 6) }
@@ -19,7 +23,7 @@ BEGIN { n = 0 }
 }
 END {
     printf "{\n"
-    printf "  \"benchmark\": \"BenchmarkRunRound / BenchmarkSliceGradients\",\n"
+    printf "  \"benchmark\": \"%s\",\n", BENCH
     printf "  \"command\": \"%s\",\n", CMD
     printf "  \"date\": \"%s\",\n", DATE
     printf "  \"goos\": \"%s\",\n", goos
