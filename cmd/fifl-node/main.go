@@ -73,6 +73,7 @@ func main() {
 		// Worker flags.
 		coordURL = flag.String("coordinator", "http://127.0.0.1:7070", "coordinator base URL")
 		id       = flag.Int("id", 0, "this worker's federation slot")
+		join     = flag.Bool("join", false, "join a running federation as a new participant via /v1/join instead of taking a pre-seated slot; -id is ignored and the coordinator assigns the identity (pass the same -workers total-slot universe as every other node)")
 		comp     = flag.String("compression", "none", "wire compression for gradient uploads and model downloads: none, f32, topk, int8 or int16")
 		auditN   = flag.Int("audit-every", 0, "carry every this many rounds on dense lossless frames regardless of -compression, keeping audit rounds bit-identical (0 = never)")
 		f32      = flag.Bool("f32", false, "deprecated alias for -compression f32")
@@ -116,7 +117,7 @@ func main() {
 		})
 	case "worker":
 		err = runWorker(ctx, recipe, workerOpts{
-			CoordURL: *coordURL, ID: *id, Compression: *comp, AuditEvery: *auditN,
+			CoordURL: *coordURL, ID: *id, Join: *join, Compression: *comp, AuditEvery: *auditN,
 			Float32: *f32, Audit: *audit,
 			Retries: *retries, RetryBackoff: *rbackoff,
 		})
@@ -162,6 +163,7 @@ type coordOpts struct {
 type workerOpts struct {
 	CoordURL     string
 	ID           int
+	Join         bool
 	Compression  string
 	AuditEvery   int
 	Float32      bool // deprecated alias for Compression "f32"
@@ -178,16 +180,63 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) e
 	if err != nil {
 		return err
 	}
-	hub, err := transport.NewHub(recipe.Workers)
+
+	// Read any existing checkpoint before sizing the hub: a checkpoint
+	// written mid-churn can know more identities than the recipe's initial
+	// cohort and seat only a subset of them in the active cohort.
+	var (
+		snap     *persist.Snapshot
+		ckptPath string
+	)
+	if o.CheckpointDir != "" {
+		if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
+			return err
+		}
+		ckptPath = filepath.Join(o.CheckpointDir, "checkpoint.fifl")
+		s, err := persist.ReadFile(ckptPath)
+		switch {
+		case err == nil:
+			snap = s
+		case errors.Is(err, os.ErrNotExist):
+			// Cold start; the first checkpoint appears after the first round.
+		default:
+			return fmt.Errorf("reading checkpoint %s: %w", ckptPath, err)
+		}
+	}
+	nKnown := recipe.Workers
+	if snap != nil {
+		nKnown = len(snap.Reputations)
+	}
+	hub, err := transport.NewHub(nKnown)
 	if err != nil {
 		return err
+	}
+	engineWorkers := hub.Workers()
+	if snap != nil && len(snap.ActiveCohort) > 0 {
+		// Identities the checkpoint knows but does not seat (departed or
+		// banned) must not park readiness, and the engine's cohort follows
+		// the persisted slot order, not the dense 0..n-1 identity.
+		seated := make(map[int]bool, len(snap.ActiveCohort))
+		for _, id := range snap.ActiveCohort {
+			seated[id] = true
+		}
+		for id := 0; id < nKnown; id++ {
+			if !seated[id] {
+				if err := hub.MarkInactive(id); err != nil {
+					return err
+				}
+			}
+		}
+		if engineWorkers, err = hub.WorkersFor(snap.ActiveCohort); err != nil {
+			return err
+		}
 	}
 	opts := []fl.Option{fl.WithWorkerTimeout(o.WorkerTimeout)}
 	if o.Quorum > 0 {
 		opts = append(opts, fl.WithQuorum(o.Quorum))
 	}
 	engine, err := fl.NewEngine(fl.Config{Servers: o.Servers, GlobalLR: 0.05},
-		build, hub.Workers(), rng.New(recipe.Seed).Split("netfed"), opts...)
+		build, engineWorkers, rng.New(recipe.Seed).Split("netfed"), opts...)
 	if err != nil {
 		return err
 	}
@@ -224,37 +273,23 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) e
 			o.MaxStaleness, o.AdvanceEvery, o.AdvanceInterval)
 	}
 
-	// With -checkpoint, an existing snapshot in the directory means this
-	// process is a restart: rebuild the coordinator from it and seed the hub
-	// so reconnecting workers long-poll straight into the resumed round.
-	// Without one this is a cold start.
+	// With a snapshot in hand this process is a restart: rebuild the
+	// coordinator from it and seed the hub so reconnecting workers
+	// long-poll straight into the resumed round.
 	var (
 		coord      *core.Coordinator
-		ckptPath   string
 		startRound int
 	)
-	if o.CheckpointDir != "" {
-		if err := os.MkdirAll(o.CheckpointDir, 0o755); err != nil {
-			return err
+	if snap != nil {
+		coord, err = core.RestoreCoordinatorSnapshot(snap, cfg, engine, coordOpts...)
+		if err != nil {
+			return fmt.Errorf("restoring %s: %w", ckptPath, err)
 		}
-		ckptPath = filepath.Join(o.CheckpointDir, "checkpoint.fifl")
-		snap, err := persist.ReadFile(ckptPath)
-		switch {
-		case err == nil:
-			coord, err = core.RestoreCoordinatorSnapshot(snap, cfg, engine, coordOpts...)
-			if err != nil {
-				return fmt.Errorf("restoring %s: %w", ckptPath, err)
-			}
-			if err := hub.Restore(snap.NextRound-1, snap.Params, snap.Samples); err != nil {
-				return fmt.Errorf("restoring %s: %w", ckptPath, err)
-			}
-			startRound = snap.NextRound
-			fmt.Printf("coordinator: resumed from %s at round %d\n", ckptPath, startRound)
-		case errors.Is(err, os.ErrNotExist):
-			// Cold start; the first checkpoint appears after the first round.
-		default:
-			return fmt.Errorf("reading checkpoint %s: %w", ckptPath, err)
+		if err := hub.Restore(snap.NextRound-1, snap.Params, snap.Samples); err != nil {
+			return fmt.Errorf("restoring %s: %w", ckptPath, err)
 		}
+		startRound = snap.NextRound
+		fmt.Printf("coordinator: resumed from %s at round %d\n", ckptPath, startRound)
 	}
 	if coord == nil {
 		initial := make([]int, o.Servers)
@@ -297,6 +332,12 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) e
 		return err
 	}
 	for t := startRound; t < o.Rounds; t++ {
+		// Queued join/leave handshakes land at round boundaries, mirroring
+		// the in-process contract that the cohort is stable within a round.
+		if n := srv.ProcessMembership(); n > 0 {
+			fmt.Printf("round %2d: applied %d membership change(s), cohort now %d worker(s)\n",
+				t, n, len(coord.WorkerIDs()))
+		}
 		rep, err := srv.RunRound(ctx, t)
 		if err != nil {
 			return fmt.Errorf("round %d: %w", t, err)
@@ -308,7 +349,7 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) e
 			}
 		}
 		fmt.Printf("round %2d: %d/%d uploads arrived, committed=%v, reputations=%s\n",
-			t, arrived, recipe.Workers, rep.Committed, fmtF64s(rep.Reputations))
+			t, arrived, len(rep.Statuses), rep.Committed, fmtF64s(rep.Reputations))
 		if o.EvalEach > 0 && (t+1)%o.EvalEach == 0 {
 			acc, loss := engine.Evaluate(test, 64)
 			fmt.Printf("round %2d: global accuracy %.3f, loss %.4f\n", t, acc, loss)
@@ -345,6 +386,21 @@ func runCoordinator(ctx context.Context, recipe transport.Recipe, o coordOpts) e
 }
 
 func runWorker(ctx context.Context, recipe transport.Recipe, o workerOpts) error {
+	if o.Join {
+		// The join handshake blocks until the coordinator applies queued
+		// membership at a round boundary, then assigns the next stable ID.
+		// The assigned ID names this worker's slot in the shared -workers
+		// universe, so its data partition is the one every node agrees on.
+		id, err := transport.JoinFederation(ctx, o.CoordURL, recipe.SamplesPerWorker)
+		if err != nil {
+			return fmt.Errorf("joining %s: %w", o.CoordURL, err)
+		}
+		if id >= recipe.Workers {
+			return fmt.Errorf("joined as worker %d but -workers reserves only %d slots; every node must pass the same total including joiners", id, recipe.Workers)
+		}
+		fmt.Printf("worker: joined %s as worker %d\n", o.CoordURL, id)
+		o.ID = id
+	}
 	w, err := recipe.Worker(o.ID)
 	if err != nil {
 		return err

@@ -30,6 +30,164 @@ import (
 	"fifl/internal/transport/codec"
 )
 
+// churnEvent is one membership change in the -churn schedule, applied at
+// the boundary before its round runs.
+type churnEvent struct {
+	round int
+	op    string // "join", "leave", "rejoin", "evict"
+	id    int    // target identity for leave/rejoin/evict; -1 for join
+}
+
+// parseChurnSpec turns the -churn "round:op[:id]" spelling into an
+// ordered schedule. join admits a brand-new honest worker (IDs are
+// assigned sequentially by the registry); leave/evict/rejoin name an
+// existing identity. Events stay in input order within a round.
+func parseChurnSpec(spec string) ([]churnEvent, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var events []churnEvent
+	for _, raw := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(raw), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf("-churn: bad event %q (want round:op or round:op:id)", raw)
+		}
+		var ev churnEvent
+		if _, err := fmt.Sscanf(fields[0], "%d", &ev.round); err != nil || ev.round < 0 {
+			return nil, fmt.Errorf("-churn: bad round in %q", raw)
+		}
+		ev.op = fields[1]
+		ev.id = -1
+		switch ev.op {
+		case "join":
+			if len(fields) == 3 {
+				return nil, fmt.Errorf("-churn: join assigns its own ID, drop the :id in %q", raw)
+			}
+		case "leave", "rejoin", "evict":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("-churn: %s needs a worker ID in %q", ev.op, raw)
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &ev.id); err != nil || ev.id < 0 {
+				return nil, fmt.Errorf("-churn: bad worker ID in %q", raw)
+			}
+		default:
+			return nil, fmt.Errorf("-churn: unknown op %q (join, leave, rejoin, evict)", ev.op)
+		}
+		events = append(events, ev)
+	}
+	sortStableByRound(events)
+	return events, nil
+}
+
+// sortStableByRound orders the schedule by round, preserving input order
+// within a round (insertion sort: schedules are tiny).
+func sortStableByRound(events []churnEvent) {
+	for i := 1; i < len(events); i++ {
+		for j := i; j > 0 && events[j].round < events[j-1].round; j-- {
+			events[j], events[j-1] = events[j-1], events[j]
+		}
+	}
+}
+
+// applyChurn replays one schedule event through the coordinator's
+// lifecycle methods at a round boundary. mk rebuilds the worker for a
+// stable ID from the federation recipe (experiments.ElasticWorker).
+func applyChurn(coord *core.Coordinator, ev churnEvent, mk func(int) (fl.Worker, error)) error {
+	switch ev.op {
+	case "join":
+		id := coord.Members().NumKnown()
+		w, err := mk(id)
+		if err != nil {
+			return err
+		}
+		got, err := coord.AdmitWorker(w)
+		if err != nil {
+			return err
+		}
+		if got != id {
+			return fmt.Errorf("churn: admission assigned ID %d, expected %d", got, id)
+		}
+		fmt.Printf("churn: round %d  worker %d joined (reputation bootstrapped)\n", ev.round, id)
+	case "leave":
+		if err := coord.DepartWorker(ev.id); err != nil {
+			return err
+		}
+		fmt.Printf("churn: round %d  worker %d departed\n", ev.round, ev.id)
+	case "rejoin":
+		w, err := mk(ev.id)
+		if err != nil {
+			return err
+		}
+		if err := coord.ReadmitWorker(ev.id, w); err != nil {
+			return err
+		}
+		fmt.Printf("churn: round %d  worker %d rejoined (history retained)\n", ev.round, ev.id)
+	case "evict":
+		if err := coord.EvictWorker(ev.id); err != nil {
+			return err
+		}
+		fmt.Printf("churn: round %d  worker %d evicted (banned permanently)\n", ev.round, ev.id)
+	}
+	return nil
+}
+
+// replayChurn fast-forwards a freshly built engine's worker list through
+// the membership events a resumed run's checkpoint has already absorbed
+// (those scheduled before snap.NextRound), so the restore's
+// registry-vs-engine cohort check lines up. The coordinator-side state —
+// lifecycle registry, bootstrapped reputations, banned set — comes from
+// the checkpoint itself; only the live worker implementations need
+// rebuilding here.
+func replayChurn(engine *fl.Engine, events []churnEvent, startRound, initial int, mk func(int) (fl.Worker, error)) error {
+	active := make([]int, initial)
+	for i := range active {
+		active[i] = i
+	}
+	nextID := initial
+	for _, ev := range events {
+		if ev.round >= startRound {
+			break
+		}
+		switch ev.op {
+		case "join", "rejoin":
+			id := ev.id
+			if ev.op == "join" {
+				id = nextID
+				nextID++
+			}
+			w, err := mk(id)
+			if err != nil {
+				return err
+			}
+			if err := engine.AddWorker(w); err != nil {
+				return err
+			}
+			active = append(active, id)
+		case "leave", "evict":
+			slot := -1
+			for s, id := range active {
+				if id == ev.id {
+					slot = s
+					break
+				}
+			}
+			if slot < 0 {
+				if ev.op == "evict" {
+					// Evicting an already-absent identity only marks the ban;
+					// the cohort (and so the engine) is unchanged.
+					continue
+				}
+				return fmt.Errorf("churn replay: worker %d not active at round %d", ev.id, ev.round)
+			}
+			if err := engine.RemoveWorker(slot); err != nil {
+				return err
+			}
+			active = append(active[:slot], active[slot+1:]...)
+		}
+	}
+	return nil
+}
+
 // parseLagSpec turns the -async-lag "worker:lag,worker:lag" spelling into
 // a per-worker lag slice for fl.StaticLag. Unlisted workers are fresh.
 func parseLagSpec(spec string, workers int) ([]int, error) {
@@ -84,6 +242,7 @@ func main() {
 		advEvery  = flag.Int("advance-every", 0, "async count cadence: workers folded per advance window (0 = workers/2, min 1)")
 		asyncLag  = flag.String("async-lag", "", "async straggler injection: comma-separated worker:lag pairs, e.g. \"3:1,7:4\" — worker 7 always submits 4 advances stale")
 		shardsN   = flag.Int("shards", 0, "hierarchical mode: partition the workers into this many edge-aggregator cohorts under one root coordinator (0 = flat)")
+		churnSpec = flag.String("churn", "", "membership schedule: comma-separated round:op[:id] events applied at the boundary before the round, e.g. \"3:join,5:leave:1,7:rejoin:1,8:evict:0\" (flat synchronous mode only)")
 	)
 	flag.Parse()
 
@@ -102,6 +261,28 @@ func main() {
 	if *retries < 0 || *backoff < 0 {
 		fmt.Fprintln(os.Stderr, "fifl-sim: -retries and -retry-backoff must be non-negative")
 		os.Exit(2)
+	}
+	churn, err := parseChurnSpec(*churnSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
+		os.Exit(2)
+	}
+	if len(churn) > 0 {
+		// Elastic membership rides the flat synchronous coordinator: the
+		// registry re-seats cohort slots between rounds, which the async
+		// collector's rotation state and the shard drivers' static cohort
+		// ranges do not yet follow.
+		switch {
+		case *async:
+			fmt.Fprintln(os.Stderr, "fifl-sim: -churn and -async are mutually exclusive")
+			os.Exit(2)
+		case *shardsN > 0:
+			fmt.Fprintln(os.Stderr, "fifl-sim: -churn and -shards are mutually exclusive (re-plan cohorts with shard.PlanCohorts instead)")
+			os.Exit(2)
+		case *mechName != "fifl":
+			fmt.Fprintln(os.Stderr, "fifl-sim: -churn supports only the fifl mechanism")
+			os.Exit(2)
+		}
 	}
 	mech, err := core.MechanismByName(*mechName)
 	if err != nil {
@@ -149,6 +330,14 @@ func main() {
 	sc.SamplesPerWorker = *perWkr
 	sc.Servers = *servers
 	sc.EvalEvery = *evalEach
+	for _, ev := range churn {
+		// Each join event consumes one reserved data partition past the
+		// initial cohort; sizing them here keeps a joiner's data identical
+		// whether it is built at admission or during a resume replay.
+		if ev.op == "join" {
+			sc.ExtraJoinSlots++
+		}
+	}
 
 	kinds := make([]experiments.WorkerKind, *workers)
 	for i := range kinds {
@@ -195,6 +384,7 @@ func main() {
 		run        *experiments.ShardedRun
 		evalEngine *fl.Engine
 		evalTest   *dataset.Dataset
+		mkWorker   func(int) (fl.Worker, error)
 	)
 	startRound := 0
 	src := rng.New(sc.Seed).Split("sim")
@@ -232,6 +422,12 @@ func main() {
 	} else {
 		fed := experiments.BuildFederation(sc, dk, kinds, src, opts...)
 		evalEngine, evalTest = fed.Engine, fed.Test
+		mkWorker = func(id int) (fl.Worker, error) {
+			// A fresh source with the federation's root reproduces the same
+			// (seed, label)-derived streams BuildFederation used, so a worker
+			// built here is bit-identical to its construction-time twin.
+			return experiments.ElasticWorker(sc, dk, kinds, id, rng.New(sc.Seed).Split("sim"))
+		}
 
 		// -async swaps only the Collect stage: the same detection, reputation,
 		// contribution and reward pipeline assesses bounded-staleness advance
@@ -266,6 +462,14 @@ func main() {
 				fmt.Fprintf(os.Stderr, "fifl-sim: reading %s: %v\n", *resume, err)
 				os.Exit(1)
 			}
+			// Membership events the checkpoint has already absorbed must be
+			// replayed into the engine's worker list before the restore: the
+			// coordinator validates that the engine cohort matches the
+			// persisted registry's active set.
+			if err := replayChurn(fed.Engine, churn, snap.NextRound, *workers, mkWorker); err != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: resuming from %s: %v\n", *resume, err)
+				os.Exit(1)
+			}
 			coord, err = core.RestoreCoordinatorSnapshot(snap, experiments.DefaultCoordinatorConfig(*sy, true), fed.Engine, coordOpts...)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "fifl-sim: resuming from %s: %v\n", *resume, err)
@@ -289,7 +493,22 @@ func main() {
 		*workers, *servers, *task, *rounds, mode, coord.Mechanism().Name(), cmode, *nFlip, *ps, *nPoison, *pd)
 
 	recorder := trace.NewRecorder()
+	pending := churn
 	for t := startRound; t < *rounds; t++ {
+		// Membership changes land at round boundaries, mirroring the
+		// transport server's queue-and-apply contract. Events the resumed
+		// checkpoint already absorbed were replayed into the engine above.
+		for len(pending) > 0 && pending[0].round <= t {
+			ev := pending[0]
+			pending = pending[1:]
+			if ev.round < startRound {
+				continue
+			}
+			if err := applyChurn(coord, ev, mkWorker); err != nil {
+				fmt.Fprintf(os.Stderr, "fifl-sim: round %d: churn %s: %v\n", t, ev.op, err)
+				os.Exit(1)
+			}
+		}
 		rep, err := coord.RunRoundContext(context.Background(), t)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fifl-sim: round %d: %v\n", t, err)
@@ -304,7 +523,7 @@ func main() {
 				accepted++
 			}
 		}
-		line := fmt.Sprintf("round %3d  accepted %d/%d  servers %v", t, accepted, *workers, rep.Servers)
+		line := fmt.Sprintf("round %3d  accepted %d/%d  servers %v", t, accepted, len(rep.Detection.Accept), rep.Servers)
 		if rep.Staleness != nil {
 			stale, pending := 0, 0
 			for _, st := range rep.Statuses {
@@ -373,10 +592,22 @@ func main() {
 	}
 
 	fmt.Println("\nfinal per-worker state:")
-	fmt.Printf("%-4s %-10s %12s %12s\n", "id", "kind", "reputation", "cum.reward")
+	fmt.Printf("%-4s %-10s %-9s %12s %12s\n", "id", "kind", "state", "reputation", "cum.reward")
 	cum := coord.CumulativeRewards()
-	for i, k := range kinds {
-		fmt.Printf("%-4d %-10s %12.4f %12.4f\n", i, k.Kind, coord.Rep.Reputation(i), cum[i])
+	members := coord.Members()
+	for id := range cum {
+		// Joiners sit past the initial slots; their data partitions were
+		// reserved via ExtraJoinSlots and they train honestly.
+		kind := "joiner"
+		if id < len(kinds) {
+			kind = kinds[id].Kind
+		}
+		st, err := members.State(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fifl-sim: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-4d %-10s %-9s %12.4f %12.4f\n", id, kind, st, coord.Rep.Reputation(id), cum[id])
 	}
 
 	if *audit {

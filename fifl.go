@@ -499,6 +499,51 @@ func DialWorker(ctx context.Context, cfg WorkerClientConfig, opts ...WorkerClien
 	return transport.DialWorker(ctx, cfg)
 }
 
+// Elastic membership: worker identities live in a lifecycle registry
+// behind stable IDs, so the cohort can change between rounds without
+// renumbering anyone. Admission bootstraps the Eq. 8–10 cold-start
+// reputation, departure keeps history for a later re-seat, eviction bans
+// the identity permanently (checkpoints carry the ban). The membership
+// methods live on Coordinator (AdmitWorker, ReadmitWorker, DepartWorker,
+// EvictWorker, Members) and on CoordinatorServer for the wire path
+// (ProcessMembership drains queued joins/leaves at round boundaries).
+type (
+	// WorkerRegistry tracks every identity the federation has ever known
+	// and the currently seated cohort; Coordinator.Members exposes the
+	// live one.
+	WorkerRegistry = core.Registry
+	// LifecycleState is a worker identity's position in the membership
+	// state machine: joining → active → departed | banned.
+	LifecycleState = core.LifecycleState
+)
+
+// The lifecycle states. Numeric values are persisted in FIFLCKP5
+// checkpoints and must never be renumbered.
+const (
+	StateJoining  = core.StateJoining
+	StateActive   = core.StateActive
+	StateDeparted = core.StateDeparted
+	StateBanned   = core.StateBanned
+)
+
+// ErrBanned is returned (and wrapped, HTTP 403 on the wire) when a banned
+// identity attempts to join or rejoin.
+var ErrBanned = core.ErrBanned
+
+// JoinFederation asks a coordinator for a seat via the /v1/join
+// handshake, blocking until the membership change is applied at a round
+// boundary; it returns the stable worker ID the federation assigned.
+// Follow up with DialWorker under that ID (the hello is idempotent).
+func JoinFederation(ctx context.Context, baseURL string, samples int) (int, error) {
+	return transport.JoinFederation(ctx, baseURL, samples)
+}
+
+// RejoinFederation re-seats a previously departed worker under its
+// retained identity and history; a banned ID is refused with ErrBanned.
+func RejoinFederation(ctx context.Context, baseURL string, worker, samples int) error {
+	return transport.RejoinFederation(ctx, baseURL, worker, samples)
+}
+
 // Hierarchical federation: a 1-level sharded topology where edge
 // aggregators own contiguous worker cohorts, collect and screen locally
 // against the root's broadcast benchmark, pre-aggregate the survivors and

@@ -150,6 +150,58 @@ func (l *Ledger) Append(s *Signer, r Record) (Block, error) {
 	return b, nil
 }
 
+// AppendBatch signs and appends a run of records under one lock
+// acquisition, with the block store grown once up front — the shape the
+// root coordinator's per-round ledger writes need at large n, where
+// per-record locking and incremental slice growth dominate the Record
+// stage. signers[i] signs recs[i]; the resulting chain bytes are
+// identical to appending the same (signer, record) pairs one Append call
+// at a time (ed25519 signatures are deterministic). Registration is
+// checked for every signer before any block is written, so a failed batch
+// leaves the ledger untouched.
+func (l *Ledger) AppendBatch(signers []*Signer, recs []Record) error {
+	if len(signers) != len(recs) {
+		return fmt.Errorf("chain: AppendBatch got %d signers for %d records", len(signers), len(recs))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, s := range signers {
+		if s == nil {
+			return errors.New("chain: AppendBatch with a nil signer")
+		}
+		if _, ok := l.keys[s.Name]; !ok {
+			return fmt.Errorf("chain: executor %q not registered", s.Name)
+		}
+	}
+	if free := cap(l.blocks) - len(l.blocks); free < len(recs) {
+		grown := make([]Block, len(l.blocks), len(l.blocks)+len(recs))
+		copy(grown, l.blocks)
+		l.blocks = grown
+	}
+	var prev [32]byte
+	if n := len(l.blocks); n > 0 {
+		prev = l.blocks[n-1].Hash
+	}
+	for i, r := range recs {
+		s := signers[i]
+		r.Executor = s.Name
+		l.scratch = append(l.scratch[:0], prev[:]...)
+		l.scratch = r.appendPayload(l.scratch)
+		sig := ed25519.Sign(s.priv, l.scratch)
+		b := Block{
+			Index:     len(l.blocks),
+			PrevHash:  prev,
+			Record:    r,
+			Signature: sig,
+		}
+		l.scratch = append(l.scratch, sig...)
+		b.Hash = sha256.Sum256(l.scratch)
+		l.blocks = append(l.blocks, b)
+		prev = b.Hash
+	}
+	return nil
+}
+
 // Len returns the number of blocks.
 func (l *Ledger) Len() int {
 	l.mu.RLock()

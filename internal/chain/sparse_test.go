@@ -1,0 +1,92 @@
+package chain
+
+import "testing"
+
+// Elastic membership makes worker IDs sparse: departures leave gaps in
+// the cohort and long-lived federations accumulate high joiner IDs. The
+// ledger's analytics surface must treat WorkerID as an opaque identity,
+// never as an index into a dense 0..n-1 range.
+
+// sparseIDs mixes a gap, a mid-range ID, and a far-out joiner ID.
+var sparseIDs = []int{0, 3, 7, 1_000_000}
+
+func newSparseLedger(t *testing.T) (*Ledger, *Signer) {
+	t.Helper()
+	s := signer("srv-0", 1)
+	l := newTestLedger(t, s)
+	for iter := 0; iter < 3; iter++ {
+		for _, id := range sparseIDs {
+			if _, err := l.Append(s, Record{
+				Kind: KindReward, Iteration: iter, WorkerID: id,
+				Value: float64(id%97) + float64(iter),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return l, s
+}
+
+func TestQuerySparseWorkerIDs(t *testing.T) {
+	l, _ := newSparseLedger(t)
+	for _, id := range sparseIDs {
+		got := l.Query(KindReward, 1, id)
+		if len(got) != 1 {
+			t.Fatalf("Query(reward, 1, %d) = %d records, want 1", id, len(got))
+		}
+		if got[0].WorkerID != id || got[0].Value != float64(id%97)+1 {
+			t.Fatalf("Query(reward, 1, %d) returned %+v", id, got[0])
+		}
+	}
+	// A gap ID between seated identities matches nothing rather than
+	// aliasing a neighbor.
+	if got := l.Query(KindReward, -1, 5); len(got) != 0 {
+		t.Fatalf("Query for absent worker 5 returned %d records", len(got))
+	}
+	if got := l.Query(KindReward, -1, 1_000_000); len(got) != 3 {
+		t.Fatalf("Query for high joiner ID returned %d records, want 3", len(got))
+	}
+}
+
+func TestAuditSparseWorkerIDs(t *testing.T) {
+	l, _ := newSparseLedger(t)
+	// Agreement at the far-out ID: no culprit.
+	culprit, err := l.Audit(KindReward, 2, 1_000_000, float64(1_000_000%97)+2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if culprit != "" {
+		t.Fatalf("clean audit at sparse ID named culprit %q", culprit)
+	}
+	// Disagreement still names the signing executor.
+	culprit, err = l.Audit(KindReward, 2, 1_000_000, -1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if culprit != "srv-0" {
+		t.Fatalf("mismatch at sparse ID named %q, want srv-0", culprit)
+	}
+	// An absent gap ID is a missing record, not a silent zero.
+	if _, err := l.Audit(KindReward, 2, 5, 0, 1e-12); err == nil {
+		t.Fatal("audit of absent worker 5 must error")
+	}
+}
+
+func TestScanSparseWorkerIDs(t *testing.T) {
+	l, _ := newSparseLedger(t)
+	seen := make(map[int]int)
+	if err := l.Scan(KindReward, func(r Record) error {
+		seen[r.WorkerID]++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(sparseIDs) {
+		t.Fatalf("Scan saw %d distinct workers, want %d", len(seen), len(sparseIDs))
+	}
+	for _, id := range sparseIDs {
+		if seen[id] != 3 {
+			t.Fatalf("Scan saw worker %d in %d records, want 3", id, seen[id])
+		}
+	}
+}

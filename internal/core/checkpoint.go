@@ -30,20 +30,30 @@ func (c *Coordinator) Checkpoint(w io.Writer) error {
 // want atomic file persistence pass the snapshot to persist.WriteFile.
 func (c *Coordinator) Snapshot() (*persist.Snapshot, error) {
 	engine := c.Engine
-	n := len(engine.Workers)
+	// Every per-worker field is keyed by stable worker ID over all
+	// identities the federation has ever known; departed and banned
+	// identities keep their reputation/counter/reward entries (that is the
+	// carryover re-admission depends on) and record zero samples/draws.
+	n := c.members.NumKnown()
 	pt, pn, pu := c.Rep.PeriodCounts()
+	states := c.members.States()
 	s := &persist.Snapshot{
-		NextRound:   c.nextRound,
-		Params:      engine.Params(),
-		Reputations: c.Rep.Reputations(),
-		PosCounts:   intsToI64(pt),
-		NegCounts:   intsToI64(pn),
-		UncCounts:   intsToI64(pu),
-		Cumulative:  c.CumulativeRewards(),
-		Servers:     c.Servers(),
-		EngineDraws: engine.RNGDraws(),
-		WorkerDraws: make([]uint64, n),
-		Samples:     make([]int, n),
+		NextRound:       c.nextRound,
+		Params:          engine.Params(),
+		Reputations:     c.Rep.Reputations(),
+		PosCounts:       intsToI64(pt),
+		NegCounts:       intsToI64(pn),
+		UncCounts:       intsToI64(pu),
+		Cumulative:      c.CumulativeRewards(),
+		Servers:         c.Servers(),
+		EngineDraws:     engine.RNGDraws(),
+		WorkerDraws:     make([]uint64, n),
+		Samples:         make([]int, n),
+		LifecycleStates: make([]uint8, n),
+		ActiveCohort:    c.members.ActiveIDs(),
+	}
+	for id, st := range states {
+		s.LifecycleStates[id] = uint8(st)
 	}
 	s.BHInitialized, s.BHValue = c.bhSmoother.State()
 	if rm, ok := c.mech.(ResumableMechanism); ok {
@@ -54,10 +64,11 @@ func (c *Coordinator) Snapshot() (*persist.Snapshot, error) {
 			s.Banned = append(s.Banned, i)
 		}
 	}
-	for i, w := range engine.Workers {
-		s.Samples[i] = w.NumSamples()
+	for slot, w := range engine.Workers {
+		id := s.ActiveCohort[slot]
+		s.Samples[id] = w.NumSamples()
 		if rw, ok := w.(fl.ResumableWorker); ok {
-			s.WorkerDraws[i] = rw.RNGDraws()
+			s.WorkerDraws[id] = rw.RNGDraws()
 		}
 	}
 	if rc, ok := c.collector.(ResumableCollector); ok {
@@ -108,9 +119,17 @@ func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, e
 	if engine == nil {
 		return nil, fmt.Errorf("core: restore requires an engine")
 	}
-	n := len(engine.Workers)
+	members, err := registryFromSnapshot(snap)
+	if err != nil {
+		return nil, err
+	}
+	n := members.NumKnown()
 	if len(snap.Reputations) != n {
-		return nil, fmt.Errorf("core: checkpoint covers %d workers, engine has %d", len(snap.Reputations), n)
+		return nil, fmt.Errorf("core: checkpoint covers %d workers, registry knows %d", len(snap.Reputations), n)
+	}
+	if members.NumActive() != len(engine.Workers) {
+		return nil, fmt.Errorf("core: checkpoint seats %d active workers, engine has %d — rebuild the cohort the interrupted run held (membership schedule included)",
+			members.NumActive(), len(engine.Workers))
 	}
 	if len(snap.Servers) != engine.NumServers() {
 		return nil, fmt.Errorf("core: checkpoint has %d servers, engine expects %d", len(snap.Servers), engine.NumServers())
@@ -119,7 +138,7 @@ func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, e
 		return nil, fmt.Errorf("core: checkpoint has %d model parameters, engine has %d — different model or task",
 			len(snap.Params), len(engine.Params()))
 	}
-	c, err := NewCoordinator(cfg, engine, snap.Servers, opts...)
+	c, err := newCoordinatorWithRegistry(cfg, engine, snap.Servers, members, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -170,15 +189,19 @@ func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, e
 		return nil, fmt.Errorf("core: checkpoint recorded mechanism RNG state (%d draws), but the restored mechanism %q is not resumable — pass the interrupted run's mechanism via WithMechanism",
 			snap.MechDraws, c.mech.Name())
 	}
-	for i, w := range engine.Workers {
+	for slot, w := range engine.Workers {
+		id, err := members.IDOf(slot)
+		if err != nil {
+			return nil, err
+		}
 		rw, ok := w.(fl.ResumableWorker)
 		if !ok {
-			if snap.WorkerDraws[i] != 0 {
-				return nil, fmt.Errorf("core: checkpoint recorded RNG state for worker %d, but the rebuilt worker is not resumable", i)
+			if snap.WorkerDraws[id] != 0 {
+				return nil, fmt.Errorf("core: checkpoint recorded RNG state for worker %d, but the rebuilt worker is not resumable", id)
 			}
 			continue
 		}
-		if err := rw.DiscardRNG(snap.WorkerDraws[i]); err != nil {
+		if err := rw.DiscardRNG(snap.WorkerDraws[id]); err != nil {
 			return nil, err
 		}
 	}
@@ -203,6 +226,21 @@ func RestoreCoordinatorSnapshot(snap *persist.Snapshot, cfg CoordinatorConfig, e
 		c.Ledger = led
 	}
 	return c, nil
+}
+
+// registryFromSnapshot rebuilds the lifecycle registry a checkpoint
+// carries. Checkpoints from before elastic membership (or snapshots
+// assembled without a registry section) describe a fixed cohort: every
+// worker active, slot == ID.
+func registryFromSnapshot(snap *persist.Snapshot) (*Registry, error) {
+	if len(snap.LifecycleStates) == 0 {
+		return NewRegistry(len(snap.Reputations)), nil
+	}
+	states := make([]LifecycleState, len(snap.LifecycleStates))
+	for i, b := range snap.LifecycleStates {
+		states[i] = LifecycleState(b)
+	}
+	return RestoreRegistry(states, snap.ActiveCohort)
 }
 
 func intsToI64(v []int) []int64 {

@@ -71,8 +71,14 @@ type RoundReport struct {
 	Reputations   []float64
 	Shares        []float64 // I_i shares of Eq. 15
 	Rewards       []float64 // shares scaled by RewardPerRound
-	Servers       []int     // server cluster that executed this round
-	Global        gradvec.Vector
+	Servers       []int     // server cluster that executed this round (worker IDs)
+	// WorkerIDs maps every cohort slot of this round to its stable worker
+	// ID: all per-worker slices above are indexed by slot, and
+	// WorkerIDs[slot] names the worker. For a federation that never
+	// churned it is the identity [0..n-1]; nil on reports produced by the
+	// frozen legacy path, which predates elastic membership.
+	WorkerIDs []int
+	Global    gradvec.Vector
 	// Statuses records each upload's fate in the fault-tolerant runtime;
 	// Retries the retransmission attempts made for it.
 	Statuses []faults.UploadStatus
@@ -98,10 +104,11 @@ type Coordinator struct {
 	Rep    *ReputationTracker
 	Ledger *chain.Ledger
 
-	servers    []int
-	banned     map[int]bool
-	signers    []*chain.Signer // one per worker; index = worker ID
-	cumulative []float64       // cumulative rewards per worker
+	servers    []int           // current server cluster, as worker IDs
+	banned     map[int]bool    // audit-banned IDs, excluded from election
+	signers    []*chain.Signer // one per known worker; index = worker ID
+	cumulative []float64       // cumulative rewards per known worker ID
+	members    *Registry       // lifecycle registry; cohort slot → worker ID
 	bhSmoother BHSmoother
 	nextRound  int // first round not yet completed; advances after each round
 	reg        *metrics.Registry
@@ -110,6 +117,11 @@ type Coordinator struct {
 	trace      TraceHook
 	pipeline   *Pipeline
 	collector  Collector
+
+	// logRecs/logSigners are the Record stage's reusable batch buffers:
+	// one AppendBatch per round instead of 5n lock round-trips.
+	logRecs    []chain.Record
+	logSigners []*chain.Signer
 }
 
 // CoordinatorOption customizes a coordinator beyond its config struct.
@@ -153,6 +165,18 @@ func WithCollector(col Collector) CoordinatorOption {
 // select a non-default reward mechanism (WithMechanism) and stage
 // tracing (WithStageTrace).
 func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []int, opts ...CoordinatorOption) (*Coordinator, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("core: NewCoordinator requires an engine")
+	}
+	return newCoordinatorWithRegistry(cfg, engine, initialServers, NewRegistry(len(engine.Workers)), opts...)
+}
+
+// newCoordinatorWithRegistry builds a coordinator whose identity space is
+// an existing lifecycle registry — the restore path's entry point, where
+// the checkpointed federation may know more identities (departed, banned)
+// than the rebuilt engine seats. NewCoordinator wraps it with the
+// identity registry of a fresh fixed cohort.
+func newCoordinatorWithRegistry(cfg CoordinatorConfig, engine *fl.Engine, initialServers []int, members *Registry, opts ...CoordinatorOption) (*Coordinator, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -162,7 +186,10 @@ func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []i
 	if len(initialServers) != engine.NumServers() {
 		return nil, fmt.Errorf("core: got %d initial servers, engine expects %d", len(initialServers), engine.NumServers())
 	}
-	n := len(engine.Workers)
+	if members.NumActive() != len(engine.Workers) {
+		return nil, fmt.Errorf("core: registry seats %d active workers, engine has %d", members.NumActive(), len(engine.Workers))
+	}
+	n := members.NumKnown()
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = engine.Metrics()
@@ -176,6 +203,7 @@ func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []i
 		banned:     make(map[int]bool),
 		signers:    make([]*chain.Signer, n),
 		cumulative: make([]float64, n),
+		members:    members,
 		reg:        reg,
 		cm:         newCoordMetrics(reg),
 		mech:       FIFLIncentive{},
@@ -187,16 +215,23 @@ func NewCoordinator(cfg CoordinatorConfig, engine *fl.Engine, initialServers []i
 	}
 	c.pipeline = newRoundPipeline(reg, c.trace)
 	for i := 0; i < n; i++ {
-		var seed [32]byte
-		seed[0] = byte(i)
-		seed[1] = byte(i >> 8)
-		seed[2] = 0x5a
-		c.signers[i] = chain.NewSigner(serverName(i), seed)
+		c.signers[i] = newWorkerSigner(i)
 		if err := c.Ledger.RegisterExecutor(serverName(i), c.signers[i].Public()); err != nil {
 			return nil, err
 		}
 	}
 	return c, nil
+}
+
+// newWorkerSigner derives worker id's deterministic ledger signing
+// identity; admission uses it too, so a joiner's key depends only on its
+// stable ID.
+func newWorkerSigner(id int) *chain.Signer {
+	var seed [32]byte
+	seed[0] = byte(id)
+	seed[1] = byte(id >> 8)
+	seed[2] = 0x5a
+	return chain.NewSigner(serverName(id), seed)
 }
 
 // Mechanism returns the reward mechanism the Reward stage runs —
@@ -262,6 +297,7 @@ func (c *Coordinator) RunRoundContext(ctx context.Context, t int) (*RoundReport,
 		Shares:        rc.Shares,
 		Rewards:       rc.Rewards,
 		Servers:       rc.Servers,
+		WorkerIDs:     rc.ActiveIDs,
 		Global:        rc.Global,
 		Statuses:      append([]faults.UploadStatus(nil), rc.RR.Status...),
 		Retries:       append([]int(nil), rc.RR.Retries...),
@@ -292,29 +328,39 @@ func degradedDetection(n int) *DetectionResult {
 }
 
 // logRound writes this round's assessment records to the ledger. Each
-// record is signed by one of the executing servers. The upload-status
-// record makes the runtime's verdict on each transmission auditable
-// alongside the assessment that depended on it.
+// record is signed by one of the executing servers and labeled with the
+// stable worker ID of its cohort slot, so ledger analytics survive
+// membership churn. The upload-status record makes the runtime's verdict
+// on each transmission auditable alongside the assessment that depended
+// on it. All 5n records go through one AppendBatch — a single lock
+// acquisition with the block store pre-grown — instead of 5n Append
+// round-trips, which is what the large-n shard sweeps were blocked on.
 func (c *Coordinator) logRound(t int, rr *fl.RoundResult, det *DetectionResult, contrib *Contributions, reps, shares []float64) error {
 	m := len(c.servers)
-	signerFor := func(i int) *chain.Signer { return c.signers[c.servers[i%m]] }
+	ids := c.members.activeRef()
+	if want := 5 * len(det.Accept); cap(c.logRecs) < want {
+		c.logRecs = make([]chain.Record, 0, want)
+		c.logSigners = make([]*chain.Signer, 0, want)
+	}
+	recs, signers := c.logRecs[:0], c.logSigners[:0]
 	for i := range det.Accept {
 		r := 0.0
 		if det.Accept[i] {
 			r = 1
 		}
-		recs := []chain.Record{
-			{Kind: chain.KindUpload, Iteration: t, WorkerID: i, Value: float64(rr.Status[i])},
-			{Kind: chain.KindDetection, Iteration: t, WorkerID: i, Value: r},
-			{Kind: chain.KindReputation, Iteration: t, WorkerID: i, Value: reps[i]},
-			{Kind: chain.KindContribution, Iteration: t, WorkerID: i, Value: contrib.C[i]},
-			{Kind: chain.KindReward, Iteration: t, WorkerID: i, Value: shares[i]},
-		}
-		for _, rec := range recs {
-			if _, err := c.Ledger.Append(signerFor(i), rec); err != nil {
-				return fmt.Errorf("core: ledger append for worker %d, round %d: %w", i, t, err)
-			}
-		}
+		w := ids[i]
+		s := c.signers[c.servers[i%m]]
+		recs = append(recs,
+			chain.Record{Kind: chain.KindUpload, Iteration: t, WorkerID: w, Value: float64(rr.Status[i])},
+			chain.Record{Kind: chain.KindDetection, Iteration: t, WorkerID: w, Value: r},
+			chain.Record{Kind: chain.KindReputation, Iteration: t, WorkerID: w, Value: reps[i]},
+			chain.Record{Kind: chain.KindContribution, Iteration: t, WorkerID: w, Value: contrib.C[i]},
+			chain.Record{Kind: chain.KindReward, Iteration: t, WorkerID: w, Value: shares[i]},
+		)
+		signers = append(signers, s, s, s, s, s)
+	}
+	if err := c.Ledger.AppendBatch(signers, recs); err != nil {
+		return fmt.Errorf("core: ledger append for round %d: %w", t, err)
 	}
 	return nil
 }
@@ -343,9 +389,13 @@ func detectWithScorer(s Scorer, threshold float64, params []float64, rr *fl.Roun
 func (r *RoundReport) TraceRecords() []trace.WorkerRound {
 	out := make([]trace.WorkerRound, len(r.Shares))
 	for i := range out {
+		w := i
+		if r.WorkerIDs != nil {
+			w = r.WorkerIDs[i]
+		}
 		out[i] = trace.WorkerRound{
 			Round:        r.Round,
-			Worker:       i,
+			Worker:       w,
 			Score:        r.Detection.Scores[i],
 			Accepted:     r.Detection.Accept[i],
 			Uncertain:    r.Detection.Uncertain[i],

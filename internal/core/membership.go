@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"fifl/internal/fl"
+)
+
+// ErrBanned is wrapped by admission errors refusing a banned identity, so
+// the transport layer can map the refusal to a distinct HTTP status.
+var ErrBanned = errors.New("core: worker is banned")
+
+// Membership: the coordinator-side lifecycle operations. All of them must
+// run between rounds — the pipeline snapshots the cohort at Collect and
+// assumes it stable for the round — which is the same contract checkpoints
+// already hold. The transport server queues wire-side join/leave requests
+// and replays them through these methods at round boundaries.
+
+// Members exposes the lifecycle registry read-only-by-convention: callers
+// use its accessors (State, ActiveIDs, NumKnown...) and must leave the
+// transitions to the coordinator methods below.
+func (c *Coordinator) Members() *Registry { return c.members }
+
+// WorkerIDs returns the current round cohort as stable worker IDs, slot
+// order.
+func (c *Coordinator) WorkerIDs() []int { return c.members.ActiveIDs() }
+
+// AdmitWorker admits a brand-new participant: it assigns the next stable
+// worker ID, bootstraps its reputation at the configured initial value
+// with zeroed SLM counters (the Eq. 8–10 cold start: full uncertainty, no
+// trust or distrust), derives its deterministic ledger signing identity,
+// and seats it at the cohort's last slot. The new ID is returned.
+func (c *Coordinator) AdmitWorker(w fl.Worker) (int, error) {
+	if w == nil {
+		return 0, errors.New("core: AdmitWorker with a nil worker")
+	}
+	id := c.members.Admit()
+	if err := c.members.Activate(id); err != nil {
+		return 0, err
+	}
+	if _, err := c.Rep.Add(c.Cfg.Reputation.Initial); err != nil {
+		return 0, err
+	}
+	c.cumulative = append(c.cumulative, 0)
+	s := newWorkerSigner(id)
+	c.signers = append(c.signers, s)
+	if err := c.Ledger.RegisterExecutor(serverName(id), s.Public()); err != nil {
+		return 0, err
+	}
+	if err := c.Engine.AddWorker(w); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// ReadmitWorker seats a previously departed identity back in the cohort.
+// Its reputation, SLM counters and cumulative rewards survive the absence
+// untouched — identity is what makes reputation meaningful across churn —
+// and a banned identity is refused with ErrBanned. The supplied worker
+// implementation takes the identity's cohort slot.
+func (c *Coordinator) ReadmitWorker(id int, w fl.Worker) error {
+	if w == nil {
+		return errors.New("core: ReadmitWorker with a nil worker")
+	}
+	st, err := c.members.State(id)
+	if err != nil {
+		return err
+	}
+	if st == StateBanned {
+		return fmt.Errorf("%w: worker %d", ErrBanned, id)
+	}
+	if err := c.members.Activate(id); err != nil {
+		return err
+	}
+	return c.Engine.AddWorker(w)
+}
+
+// DepartWorker removes an active worker from the cohort voluntarily. The
+// identity keeps its history and may return via ReadmitWorker. Departure
+// is refused when it would leave the cohort too small to elect the server
+// cluster or meet the engine's quorum — a federation that cannot commit a
+// round any more is not a graceful departure. If the departing worker sat
+// in the server cluster, the cluster is re-elected over the remaining
+// cohort immediately so the next round never consults an absent server.
+func (c *Coordinator) DepartWorker(id int) error {
+	return c.removeActive(id, false)
+}
+
+// EvictWorker bans an identity permanently: it leaves the cohort (if
+// seated), its state becomes Banned, re-admission is refused forever —
+// including across checkpoint/resume, which persists the registry — and
+// it is excluded from server election like an audit-caught executor.
+func (c *Coordinator) EvictWorker(id int) error {
+	st, err := c.members.State(id)
+	if err != nil {
+		return err
+	}
+	if st == StateActive {
+		if err := c.removeActive(id, true); err != nil {
+			return err
+		}
+	} else if err := c.members.Ban(id); err != nil {
+		return err
+	}
+	c.banned[id] = true
+	return nil
+}
+
+// removeActive unseats an active worker (depart or ban), keeping the
+// engine's worker list aligned with the registry cohort and re-electing
+// the server cluster if the leaver sat in it.
+func (c *Coordinator) removeActive(id int, ban bool) error {
+	slot := c.members.SlotOf(id)
+	if slot < 0 {
+		st, err := c.members.State(id)
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("core: cannot remove worker %d in state %s", id, st)
+	}
+	min := c.Engine.NumServers()
+	if q := c.Engine.Quorum(); q > min {
+		min = q
+	}
+	if c.members.NumActive()-1 < min {
+		return fmt.Errorf("core: removing worker %d would leave %d active workers, need at least %d (server cluster and quorum)",
+			id, c.members.NumActive()-1, min)
+	}
+	if ban {
+		if err := c.members.Ban(id); err != nil {
+			return err
+		}
+	} else if err := c.members.Depart(id); err != nil {
+		return err
+	}
+	if err := c.Engine.RemoveWorker(slot); err != nil {
+		return err
+	}
+	for _, sv := range c.servers {
+		if sv == id {
+			ids := c.members.activeRef()
+			c.servers = ReselectServersFrom(ids, cohortReputations(c.Rep, ids), c.Engine.NumServers(), c.banned)
+			break
+		}
+	}
+	return nil
+}
+
+// serverSlots maps the server cluster's worker IDs to their cohort slots
+// for the detector, which indexes the round by slot. An ID outside the
+// cohort is an internal-consistency error: reselection and the membership
+// methods both keep servers ⊆ active.
+func (c *Coordinator) serverSlots(servers []int) ([]int, error) {
+	out := make([]int, len(servers))
+	for i, id := range servers {
+		s := c.members.SlotOf(id)
+		if s < 0 {
+			return nil, fmt.Errorf("server %d is not in the active cohort", id)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

@@ -25,9 +25,15 @@ type RoundContext struct {
 	Round int
 	// RR is the collected round (Collect).
 	RR *fl.RoundResult
-	// Servers is the cluster that executes this round, snapshotted at
-	// collection time — reselection happens after the report is sealed.
+	// Servers is the cluster that executes this round (worker IDs),
+	// snapshotted at collection time — reselection happens after the
+	// report is sealed.
 	Servers []int
+	// ActiveIDs maps every cohort slot of this round to its stable worker
+	// ID, snapshotted at collection time: membership changes land between
+	// rounds, so one snapshot covers every stage. Identity [0..n-1] for a
+	// federation that never churned.
+	ActiveIDs []int
 	// Detection is the screening verdict (Detect).
 	Detection *DetectionResult
 	// PrevReputations snapshots R(t) before this round's update.
@@ -164,6 +170,10 @@ func stageCollect(c *Coordinator, rc *RoundContext) error {
 	}
 	rc.RR = rr
 	rc.Servers = c.Servers()
+	rc.ActiveIDs = c.members.ActiveIDs()
+	if len(rc.ActiveIDs) != len(rr.Grads) {
+		return fmt.Errorf("registry seats %d workers, round collected %d", len(rc.ActiveIDs), len(rr.Grads))
+	}
 	return nil
 }
 
@@ -183,12 +193,19 @@ func stageDetect(c *Coordinator, rc *RoundContext) error {
 			det *DetectionResult
 			err error
 		)
+		// The detector indexes the round by cohort slot, so the server
+		// cluster's worker IDs are mapped to their slots here. For a
+		// zero-churn federation slot == ID and the mapping is the identity.
+		slots, err := c.serverSlots(rc.Servers)
+		if err != nil {
+			return err
+		}
 		// A sharded collector screens each cohort at its edge aggregator —
 		// the root's rr carries no worker gradients to screen here.
 		if src, ok := c.collector.(ShardRoundSource); ok {
-			det, err = src.DetectRound(rc.Ctx, rc.RR, rc.Servers, c.Cfg.Detection)
+			det, err = src.DetectRound(rc.Ctx, rc.RR, slots, c.Cfg.Detection)
 		} else {
-			det, err = c.Cfg.Detection.DetectRound(rc.RR, rc.Servers, c.Engine.NumServers())
+			det, err = c.Cfg.Detection.DetectRound(rc.RR, slots, c.Engine.NumServers())
 		}
 		if err != nil {
 			return err
@@ -217,14 +234,25 @@ func stageDetect(c *Coordinator, rc *RoundContext) error {
 // Record commits, so a later stage error cannot leave reputations
 // half-updated.
 func stageReputation(c *Coordinator, rc *RoundContext) error {
-	rc.PrevReputations = c.Rep.Reputations()
+	rc.PrevReputations = cohortReputations(c.Rep, rc.ActiveIDs)
 	staged := c.Rep.Clone()
-	if err := staged.Update(rc.Detection.Events()); err != nil {
+	if err := staged.UpdateIDs(rc.ActiveIDs, rc.Detection.Events()); err != nil {
 		return err
 	}
 	rc.stagedRep = staged
-	rc.Reputations = staged.Reputations()
+	rc.Reputations = cohortReputations(staged, rc.ActiveIDs)
 	return nil
+}
+
+// cohortReputations projects the tracker's ID-indexed reputations onto
+// the round cohort, slot order. With the identity cohort it equals
+// tr.Reputations() element for element.
+func cohortReputations(tr *ReputationTracker, ids []int) []float64 {
+	out := make([]float64, len(ids))
+	for k, id := range ids {
+		out[k] = tr.Reputation(id)
+	}
+	return out
 }
 
 // stageAggregate computes the filtered aggregate G̃ = Σ n_i·r_i·G_i /
@@ -299,7 +327,7 @@ func stageRecord(c *Coordinator, rc *RoundContext) error {
 	c.Engine.ApplyGlobal(rc.Global)
 	c.bhSmoother = rc.stagedSmoother
 	for i, r := range rc.Rewards {
-		c.cumulative[i] += r
+		c.cumulative[rc.ActiveIDs[i]] += r
 	}
 	if c.Cfg.RecordToLedger {
 		if err := c.logRound(rc.Round, rc.RR, rc.Detection, rc.Contributions, rc.Reputations, rc.Shares); err != nil {
@@ -313,7 +341,7 @@ func stageRecord(c *Coordinator, rc *RoundContext) error {
 // stageReselect re-elects the server cluster for the next iteration
 // (§4.5) and advances the round counter.
 func stageReselect(c *Coordinator, rc *RoundContext) error {
-	c.servers = ReselectServers(rc.Reputations, c.Engine.NumServers(), c.banned)
+	c.servers = ReselectServersFrom(rc.ActiveIDs, rc.Reputations, c.Engine.NumServers(), c.banned)
 	if rc.Round+1 > c.nextRound {
 		c.nextRound = rc.Round + 1
 	}

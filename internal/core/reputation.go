@@ -124,6 +124,60 @@ func (t *ReputationTracker) Update(events []Event) error {
 	return nil
 }
 
+// UpdateIDs folds one round of events into a subset of the tracked
+// workers: event[k] applies to worker ids[k], in slice order. It is the
+// elastic-membership shape of Update — the round cohort may be a sparse
+// subset of every identity the federation has ever known — and with the
+// identity cohort ids == [0..n-1] it performs exactly Update's arithmetic
+// in exactly Update's order, which is what keeps a zero-churn run
+// bit-identical to the fixed-cohort path. Workers outside ids are
+// untouched (no event, no decay: they were not assessed this round).
+// Malformed input is rejected before any state changes.
+func (t *ReputationTracker) UpdateIDs(ids []int, events []Event) error {
+	if len(events) != len(ids) {
+		return fmt.Errorf("core: reputation update with %d events for %d cohort workers", len(events), len(ids))
+	}
+	for k, id := range ids {
+		if id < 0 || id >= len(t.r) {
+			return fmt.Errorf("core: reputation update for unknown worker %d (tracker knows %d)", id, len(t.r))
+		}
+		if e := events[k]; e != EventPositive && e != EventNegative && e != EventUncertain {
+			return fmt.Errorf("core: unknown reputation event %d", e)
+		}
+	}
+	g := t.cfg.Gamma
+	for k, id := range ids {
+		switch events[k] {
+		case EventPositive:
+			t.r[id] = (1-g)*t.r[id] + g
+			t.pt[id]++
+		case EventNegative:
+			t.r[id] = (1 - g) * t.r[id]
+			t.pn[id]++
+		case EventUncertain:
+			t.pu[id]++
+		}
+	}
+	return nil
+}
+
+// Add grows the tracker by one worker with the given starting reputation
+// and zeroed SLM counters — the Eq. 8–10 bootstrap a joiner receives: no
+// trust, no distrust, full uncertainty until its first assessed round.
+// The new worker's index is the tracker's previous N. Non-finite starts
+// are rejected so a joiner cannot poison later folds.
+func (t *ReputationTracker) Add(initial float64) (int, error) {
+	if math.IsNaN(initial) || math.IsInf(initial, 0) {
+		return 0, fmt.Errorf("core: Add with non-finite initial reputation %v", initial)
+	}
+	id := len(t.r)
+	t.r = append(t.r, initial)
+	t.pt = append(t.pt, 0)
+	t.pn = append(t.pn, 0)
+	t.pu = append(t.pu, 0)
+	return id, nil
+}
+
 // Reputation returns worker i's current decayed reputation R_i(t).
 func (t *ReputationTracker) Reputation(i int) float64 { return t.r[i] }
 

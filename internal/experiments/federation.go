@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 
 	"fifl/internal/attack"
 	"fifl/internal/core"
@@ -96,51 +97,13 @@ func BuilderFor(sc Scale, task DatasetKind, src *rng.Source) nn.Builder {
 // engine.
 func BuildFederation(sc Scale, task DatasetKind, kinds []WorkerKind, src *rng.Source, opts ...fl.Option) *Federation {
 	n := len(kinds)
-	var train, test *dataset.Dataset
-	build := BuilderFor(sc, task, src)
-	switch task {
-	case TaskDigits:
-		train = dataset.SynthDigits(src.Split("train"), n*sc.SamplesPerWorker)
-		test = dataset.SynthDigits(src.Split("test"), sc.TestSamples)
-	case TaskImages:
-		train = dataset.SynthImages(src.Split("train"), n*sc.SamplesPerWorker)
-		test = dataset.SynthImages(src.Split("test"), sc.TestSamples)
-	case TaskDigitsMLP:
-		train = dataset.SynthDigits(src.Split("train"), n*sc.SamplesPerWorker)
-		test = dataset.SynthDigits(src.Split("test"), sc.TestSamples)
-	default:
-		panic("experiments: unknown dataset kind")
-	}
-	var parts []*dataset.Dataset
-	if sc.NonIIDAlpha > 0 {
-		parts = train.PartitionDirichlet(src.Split("partition"), n, sc.NonIIDAlpha)
-	} else {
-		parts = train.PartitionIID(src.Split("partition"), n)
-	}
-	lc := fl.LocalConfig{K: sc.LocalIters, BatchSize: sc.BatchSize, LR: sc.LocalLR}
+	train, test, parts := elasticParts(sc, task, n, src)
 
 	workers := make([]fl.Worker, n)
+	build := BuilderFor(sc, task, src)
 	wsrc := src.Split("workers")
 	for i, k := range kinds {
-		switch k.Kind {
-		case "honest":
-			workers[i] = fl.NewHonestWorker(i, parts[i], build, lc, wsrc)
-		case "signflip":
-			atk := attack.NewSignFlipWorker(i, parts[i], build, lc, wsrc, k.PS)
-			if k.PA > 0 {
-				honest := fl.NewHonestWorker(i, parts[i], build, lc, wsrc.Split("honest-arm"))
-				workers[i] = attack.NewProbabilistic(honest, atk, k.PA, wsrc)
-			} else {
-				workers[i] = atk
-			}
-		case "poison":
-			workers[i] = attack.NewDataPoisonWorker(i, parts[i], build, lc, wsrc, k.PD)
-		case "freerider":
-			workers[i] = attack.NewFreeRider(i, sc.SamplesPerWorker, 0.01, wsrc)
-		default:
-			panic("experiments: unknown worker kind " + k.Kind)
-		}
-		workers[i] = WrapCompressed(workers[i], sc.Compression)
+		workers[i] = buildWorker(sc, k, i, parts[i], build, wsrc)
 	}
 	m := sc.Servers
 	if m > n {
@@ -154,6 +117,81 @@ func BuildFederation(sc Scale, task DatasetKind, kinds []WorkerKind, src *rng.So
 		warmup(engine, train, sc, src.Split("warmup"))
 	}
 	return &Federation{Engine: engine, Test: test, Kinds: kinds}
+}
+
+// elasticParts generates the training and test sets and the per-worker
+// partition for a federation of n seated workers plus the
+// sc.ExtraJoinSlots reserved joiner partitions. Every stream derives from
+// (seed, label) pairs, so repeated calls with the same recipe — at build
+// time, at a mid-run admission, or during a resume — produce identical
+// data.
+func elasticParts(sc Scale, task DatasetKind, n int, src *rng.Source) (train, test *dataset.Dataset, parts []*dataset.Dataset) {
+	total := n + sc.ExtraJoinSlots
+	switch task {
+	case TaskDigits, TaskDigitsMLP:
+		train = dataset.SynthDigits(src.Split("train"), total*sc.SamplesPerWorker)
+		test = dataset.SynthDigits(src.Split("test"), sc.TestSamples)
+	case TaskImages:
+		train = dataset.SynthImages(src.Split("train"), total*sc.SamplesPerWorker)
+		test = dataset.SynthImages(src.Split("test"), sc.TestSamples)
+	default:
+		panic("experiments: unknown dataset kind")
+	}
+	if sc.NonIIDAlpha > 0 {
+		parts = train.PartitionDirichlet(src.Split("partition"), total, sc.NonIIDAlpha)
+	} else {
+		parts = train.PartitionIID(src.Split("partition"), total)
+	}
+	return train, test, parts
+}
+
+// buildWorker constructs one worker slot. wsrc is the federation's shared
+// "workers" split; the worker implementations derive their private
+// streams from it by ID, so construction order never matters.
+func buildWorker(sc Scale, k WorkerKind, id int, part *dataset.Dataset, build nn.Builder, wsrc *rng.Source) fl.Worker {
+	lc := fl.LocalConfig{K: sc.LocalIters, BatchSize: sc.BatchSize, LR: sc.LocalLR}
+	var w fl.Worker
+	switch k.Kind {
+	case "honest":
+		w = fl.NewHonestWorker(id, part, build, lc, wsrc)
+	case "signflip":
+		atk := attack.NewSignFlipWorker(id, part, build, lc, wsrc, k.PS)
+		if k.PA > 0 {
+			honest := fl.NewHonestWorker(id, part, build, lc, wsrc.Split("honest-arm"))
+			w = attack.NewProbabilistic(honest, atk, k.PA, wsrc)
+		} else {
+			w = atk
+		}
+	case "poison":
+		w = attack.NewDataPoisonWorker(id, part, build, lc, wsrc, k.PD)
+	case "freerider":
+		w = attack.NewFreeRider(id, sc.SamplesPerWorker, 0.01, wsrc)
+	default:
+		panic("experiments: unknown worker kind " + k.Kind)
+	}
+	return WrapCompressed(w, sc.Compression)
+}
+
+// ElasticWorker rebuilds the worker for stable ID id of a federation
+// built from the same (sc, task, kinds, seed) recipe — including the
+// ExtraJoinSlots partitions reserved past the initial cohort. IDs within
+// the initial cohort reproduce their BuildFederation slot exactly;
+// IDs beyond it are honest joiners over their reserved partition. src
+// must be a fresh source with the same root as BuildFederation's (streams
+// are (seed, label)-derived, so neither call consumes the other's).
+func ElasticWorker(sc Scale, task DatasetKind, kinds []WorkerKind, id int, src *rng.Source) (fl.Worker, error) {
+	total := len(kinds) + sc.ExtraJoinSlots
+	if id < 0 || id >= total {
+		return nil, fmt.Errorf("experiments: ElasticWorker(%d) outside the %d reserved partitions", id, total)
+	}
+	_, _, parts := elasticParts(sc, task, len(kinds), src)
+	build := BuilderFor(sc, task, src)
+	wsrc := src.Split("workers")
+	k := Honest()
+	if id < len(kinds) {
+		k = kinds[id]
+	}
+	return buildWorker(sc, k, id, parts[id], build, wsrc), nil
 }
 
 // warmup centrally pre-trains the engine's global model on the pooled

@@ -62,6 +62,14 @@ type Scale struct {
 	// more heterogeneous. The §4.1 premise — attacker deviation exceeds
 	// non-IID deviation — is probed by the abl-noniid experiment.
 	NonIIDAlpha float64
+	// ExtraJoinSlots reserves this many additional data partitions beyond
+	// the initial cohort for workers that join mid-run (elastic
+	// membership). The training set and its partition are sized over
+	// initial+extra workers, so a joiner's data exists — and is identical
+	// — whether it is built at federation construction, at admission, or
+	// during a resume (see ElasticWorker). Zero keeps the classic fixed
+	// federation byte-for-byte.
+	ExtraJoinSlots int
 	// WarmupSteps centrally pre-trains the global model for this many SGD
 	// steps before federated training starts. The contribution module
 	// separates data qualities through gradient geometry, which requires a

@@ -232,6 +232,30 @@ func (e *Engine) DiscardRNG(n uint64) error {
 	return nil
 }
 
+// AddWorker appends a worker to the round cohort (the last slot). Called
+// only between rounds: the per-round scratch (gradient arena, RoundResult,
+// fault-plan buffer) is sized per collection, so the next
+// CollectGradientsContext absorbs the new cohort size automatically.
+func (e *Engine) AddWorker(w Worker) error {
+	if w == nil {
+		return errors.New("fl: AddWorker with a nil worker")
+	}
+	e.Workers = append(e.Workers, w)
+	return nil
+}
+
+// RemoveWorker deletes the worker at a cohort slot, preserving the order
+// of the slots behind it. Like AddWorker it must only run between rounds.
+// The caller (the coordinator's membership layer) is responsible for not
+// shrinking the cohort below the server-cluster size or the quorum.
+func (e *Engine) RemoveWorker(slot int) error {
+	if slot < 0 || slot >= len(e.Workers) {
+		return fmt.Errorf("fl: RemoveWorker slot %d outside cohort of %d", slot, len(e.Workers))
+	}
+	e.Workers = append(e.Workers[:slot], e.Workers[slot+1:]...)
+	return nil
+}
+
 // AggregateRound computes the global gradient G̃ = Σ_i (w_i·n_i·r_i / Σ_j
 // w_j·n_j·r_j)·G_i over the workers whose accept flag is true and whose
 // upload arrived. Passing a nil accept slice accepts everyone (plain

@@ -42,8 +42,12 @@ import (
 // after EngineDraws. Version 3 appended the optional async-collector
 // state (flag byte + AsyncState) after the ledger export. Version 4
 // appended the per-shard sections of a hierarchical run (count + one
-// ShardState each) after the async section.
-const Magic = "FIFLCKP4"
+// ShardState each) after the async section. Version 5 appended the
+// membership registry (per-ID lifecycle states + the active cohort in
+// slot order) after the shard sections, and re-keyed every per-worker
+// field by stable worker ID — a federation that churned knows more
+// identities than it currently seats.
+const Magic = "FIFLCKP5"
 
 // MaxSnapshotBytes bounds one checkpoint read. The dominant terms are the
 // model parameters and the ledger export; 1 GiB accommodates the largest
@@ -112,7 +116,27 @@ type Snapshot struct {
 	// (worker draws all zero — the real streams live at the edges), and
 	// each shard section restores its cohort engine independently.
 	Shards []ShardState
+	// LifecycleStates is the membership registry: one state byte per
+	// stable worker ID (core.LifecycleState values — 0 joining, 1 active,
+	// 2 departed, 3 banned). Every per-worker field above is indexed by
+	// worker ID over the same range; departed and banned identities keep
+	// their reputation/counter/reward entries and carry zero Samples and
+	// WorkerDraws. Empty means the fixed-cohort identity registry (every
+	// worker active, slot == ID).
+	LifecycleStates []uint8
+	// ActiveCohort lists the currently seated worker IDs in cohort slot
+	// order; empty together with LifecycleStates for fixed cohorts.
+	ActiveCohort []int
 }
+
+// Lifecycle state bytes the registry section may carry; the values mirror
+// core's LifecycleState constants and are part of the format.
+const (
+	stateJoining  = 0
+	stateActive   = 1
+	stateDeparted = 2
+	stateBanned   = 3
+)
 
 // ShardState is one edge aggregator's inter-round state in a sharded
 // run: which cohort it owns, how far its directive cursor advanced, and
@@ -224,6 +248,36 @@ func (s *Snapshot) Validate() error {
 	if s.Async != nil {
 		if err := s.Async.validate(n); err != nil {
 			return err
+		}
+	}
+	if len(s.LifecycleStates) > 0 || len(s.ActiveCohort) > 0 {
+		if len(s.LifecycleStates) != n {
+			return fmt.Errorf("persist: %d lifecycle states for %d workers", len(s.LifecycleStates), n)
+		}
+		nActive := 0
+		for id, st := range s.LifecycleStates {
+			if st > stateBanned {
+				return fmt.Errorf("persist: worker %d has unknown lifecycle state %d", id, st)
+			}
+			if st == stateActive {
+				nActive++
+			}
+		}
+		if nActive != len(s.ActiveCohort) {
+			return fmt.Errorf("persist: %d active lifecycle states but %d cohort slots", nActive, len(s.ActiveCohort))
+		}
+		seen := make(map[int]bool, len(s.ActiveCohort))
+		for slot, id := range s.ActiveCohort {
+			if id < 0 || id >= n {
+				return fmt.Errorf("persist: cohort slot %d holds worker %d outside federation of %d", slot, id, n)
+			}
+			if s.LifecycleStates[id] != stateActive {
+				return fmt.Errorf("persist: cohort slot %d holds worker %d with non-active state %d", slot, id, s.LifecycleStates[id])
+			}
+			if seen[id] {
+				return fmt.Errorf("persist: worker %d seated in two cohort slots", id)
+			}
+			seen[id] = true
 		}
 	}
 	if len(s.Shards) > 0 {
@@ -349,6 +403,9 @@ func Encode(s *Snapshot) ([]byte, error) {
 		b = putU64(b, sh.EngineDraws)
 		b = putU64s(b, sh.WorkerDraws)
 	}
+	b = putU32(b, uint32(len(s.LifecycleStates)))
+	b = append(b, s.LifecycleStates...)
+	b = putInts(b, s.ActiveCohort)
 	return binary.LittleEndian.AppendUint32(b, crc32.ChecksumIEEE(b)), nil
 }
 
@@ -521,6 +578,23 @@ func Decode(b []byte) (*Snapshot, error) {
 				return nil, err
 			}
 		}
+	}
+	statesLen, err := r.vecLen(1, "lifecycle states")
+	if err != nil {
+		return nil, err
+	}
+	if statesLen > 0 {
+		states, err := r.bytes(statesLen, "lifecycle states")
+		if err != nil {
+			return nil, err
+		}
+		s.LifecycleStates = append([]uint8(nil), states...)
+	}
+	if s.ActiveCohort, err = r.ints("active cohort"); err != nil {
+		return nil, err
+	}
+	if len(s.ActiveCohort) == 0 {
+		s.ActiveCohort = nil
 	}
 	if r.remaining() != 0 {
 		return nil, fmt.Errorf("persist: %d trailing bytes after checkpoint body", r.remaining())

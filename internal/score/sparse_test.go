@@ -1,0 +1,109 @@
+package score
+
+import (
+	"testing"
+
+	"fifl/internal/chain"
+	"fifl/internal/core"
+	"fifl/internal/faults"
+)
+
+// addSparseRound feeds one consistent round for explicitly named worker
+// IDs — the cohort shape a churned federation writes, where the seated
+// identities are neither dense nor starting at zero.
+func addSparseRound(t *testing.T, c *Collector, iter int, ids []int, reps, contribs []float64) []float64 {
+	t.Helper()
+	shares, err := core.RewardShares(reps, contribs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		for _, r := range []chain.Record{
+			rec(chain.KindUpload, iter, id, float64(faults.StatusOK)),
+			rec(chain.KindDetection, iter, id, 1),
+			rec(chain.KindReputation, iter, id, reps[i]),
+			rec(chain.KindContribution, iter, id, contribs[i]),
+			rec(chain.KindReward, iter, id, shares[i]),
+		} {
+			if err := c.AddRecord(r); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return shares
+}
+
+// TestCollectorSparseWorkerIDs folds a churned federation's ledger shape:
+// worker 1 departs after round 0, joiner 900001 arrives for round 1, and
+// the surviving IDs are non-contiguous throughout. Signals must key by
+// identity, per-round audits must follow each round's actual cohort, and
+// the finalized set must list exactly the observed IDs.
+func TestCollectorSparseWorkerIDs(t *testing.T) {
+	c := NewCollector(Config{})
+	addSparseRound(t, c, 0, []int{0, 1, 7},
+		[]float64{0.5, 0.4, 0.3}, []float64{0.2, 0.1, 0.3})
+	addSparseRound(t, c, 1, []int{0, 7, 900_001},
+		[]float64{0.55, 0.35, 0.1}, []float64{0.25, 0.28, 0.05})
+	addSparseRound(t, c, 2, []int{0, 7, 900_001},
+		[]float64{0.6, 0.4, 0.15}, []float64{0.3, 0.26, 0.08})
+
+	set, rep := c.Finalize()
+	if rep.Rounds != 3 || rep.Workers != 4 {
+		t.Fatalf("rounds/workers = %d/%d, want 3/4", rep.Rounds, rep.Workers)
+	}
+	if rep.MismatchCount != 0 || rep.UnauditedRounds != 0 {
+		t.Fatalf("clean sparse rounds flagged %d mismatches, %d unaudited",
+			rep.MismatchCount, rep.UnauditedRounds)
+	}
+	wantIDs := []int{0, 1, 7, 900_001}
+	for i, w := range set.Workers {
+		if w.Worker != wantIDs[i] {
+			t.Fatalf("worker %d in set has ID %d, want %d (sorted by identity)", i, w.Worker, wantIDs[i])
+		}
+	}
+	byID := make(map[int]*WorkerSignals)
+	for i := range set.Workers {
+		byID[set.Workers[i].Worker] = &set.Workers[i]
+	}
+	if byID[1].Rounds != 1 || byID[900_001].Rounds != 2 || byID[0].Rounds != 3 {
+		t.Fatalf("participation rounds: departed=%d joiner=%d stayer=%d, want 1/2/3",
+			byID[1].Rounds, byID[900_001].Rounds, byID[0].Rounds)
+	}
+	if byID[900_001].RepFirst != 0.1 || byID[900_001].RepLast != 0.15 {
+		t.Fatalf("joiner reputation trajectory %g..%g, want 0.1..0.15",
+			byID[900_001].RepFirst, byID[900_001].RepLast)
+	}
+	// Share-type fields normalize over the federation totals, which must
+	// span every identity ever seen — not just a dense prefix.
+	f, ok := FieldByName("reward.share")
+	if !ok {
+		t.Fatal("reward.share field missing")
+	}
+	sum := 0.0
+	for i := range set.Workers {
+		sum += f.Get(&set.Workers[i], set)
+	}
+	if diff := sum - 1; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("reward shares over sparse IDs sum to %g, want 1", sum)
+	}
+}
+
+// TestCollectorSparseCSVRanksIdentities runs the sparse fold through the
+// scoring algorithm and CSV export: rows carry stable IDs, not indices.
+func TestCollectorSparseCSVRanksIdentities(t *testing.T) {
+	c := NewCollector(Config{})
+	addSparseRound(t, c, 0, []int{2, 64, 4_096},
+		[]float64{0.5, 0.4, 0.3}, []float64{0.3, 0.2, 0.1})
+	set, _ := c.Finalize()
+
+	rows := Rank(set, DefaultAlgorithm())
+	seen := make(map[int]bool)
+	for _, row := range rows {
+		seen[row.Worker] = true
+	}
+	for _, id := range []int{2, 64, 4_096} {
+		if !seen[id] {
+			t.Fatalf("ranked rows missing sparse worker %d: %+v", id, rows)
+		}
+	}
+}

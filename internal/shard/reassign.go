@@ -1,0 +1,97 @@
+package shard
+
+import "fmt"
+
+// CohortPlan is one shard's slice of a round cohort: a contiguous slot
+// range plus the stable worker IDs seated there. Under a fixed cohort
+// (IDs 0..n-1, slot == ID) a plan reproduces the static assignment the
+// drivers compute with experiments.ShardCohorts; under churn the stable
+// IDs are what tie an edge aggregator's workers to their reputation and
+// ledger identities at the root.
+type CohortPlan struct {
+	Shard   int
+	First   int   // first cohort slot of this shard's range
+	Count   int   // number of seated workers
+	Workers []int // stable worker IDs, slot order
+}
+
+// PlanCohorts splits a round's active cohort (slot-ordered stable worker
+// IDs, e.g. core.Registry.ActiveIDs) into the given number of contiguous
+// shard cohorts, balanced to within one worker — the same base+extra
+// split the static drivers use, so a zero-churn plan is bit-identical to
+// the fixed assignment. Call it again after every membership change; the
+// returned plans say which slot range (and which identities) each edge
+// aggregator must own for the next round.
+func PlanCohorts(activeIDs []int, shards int) ([]CohortPlan, error) {
+	n := len(activeIDs)
+	if n < 1 {
+		return nil, fmt.Errorf("shard: PlanCohorts over an empty cohort")
+	}
+	if shards < 1 || shards > n {
+		return nil, fmt.Errorf("shard: shard count %d outside [1, %d]", shards, n)
+	}
+	seen := make(map[int]bool, n)
+	for _, id := range activeIDs {
+		if id < 0 {
+			return nil, fmt.Errorf("shard: PlanCohorts with negative worker ID %d", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("shard: PlanCohorts with worker %d seated twice", id)
+		}
+		seen[id] = true
+	}
+	base, extra := n/shards, n%shards
+	plans := make([]CohortPlan, shards)
+	first := 0
+	for s := range plans {
+		count := base
+		if s < extra {
+			count++
+		}
+		plans[s] = CohortPlan{
+			Shard:   s,
+			First:   first,
+			Count:   count,
+			Workers: append([]int(nil), activeIDs[first:first+count]...),
+		}
+		first += count
+	}
+	return plans, nil
+}
+
+// ChangedShards compares two plans and returns the shard indices whose
+// cohorts differ — the aggregators a driver must rebuild after a
+// membership change. A shard appearing in only one plan counts as
+// changed. Shards whose slot range and identities both survived the
+// rebalance keep their engines (and their workers' local state) as-is.
+func ChangedShards(prev, next []CohortPlan) []int {
+	max := len(prev)
+	if len(next) > max {
+		max = len(next)
+	}
+	var changed []int
+	for s := 0; s < max; s++ {
+		if s >= len(prev) || s >= len(next) {
+			changed = append(changed, s)
+			continue
+		}
+		if !samePlan(prev[s], next[s]) {
+			changed = append(changed, s)
+		}
+	}
+	return changed
+}
+
+// samePlan reports whether a shard's slot range and seated identities are
+// unchanged.
+func samePlan(a, b CohortPlan) bool {
+	if a.First != b.First || a.Count != b.Count || len(a.Workers) != len(b.Workers) {
+		return false
+	}
+	for i := range a.Workers {
+		if a.Workers[i] != b.Workers[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,127 @@
+package shard
+
+import (
+	"testing"
+
+	"fifl/internal/core"
+)
+
+// staticSplit reproduces the drivers' base+extra contiguous split
+// (experiments.ShardCohorts, which cannot be imported here without a
+// cycle).
+func staticSplit(n, s int) []int {
+	out := make([]int, s)
+	base, extra := n/s, n%s
+	for i := range out {
+		out[i] = base
+		if i < extra {
+			out[i]++
+		}
+	}
+	return out
+}
+
+func TestPlanCohortsMatchesStaticSplit(t *testing.T) {
+	for _, tc := range []struct{ n, shards int }{{6, 2}, {7, 3}, {5, 5}, {9, 4}} {
+		reg := core.NewRegistry(tc.n)
+		plans, err := PlanCohorts(reg.ActiveIDs(), tc.shards)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes := staticSplit(tc.n, tc.shards)
+		first := 0
+		for s, p := range plans {
+			if p.Count != sizes[s] || p.First != first {
+				t.Fatalf("n=%d shards=%d: shard %d got [%d,+%d), static split wants [%d,+%d)",
+					tc.n, tc.shards, s, p.First, p.Count, first, sizes[s])
+			}
+			for i, id := range p.Workers {
+				if id != first+i {
+					t.Fatalf("fixed cohort plan %d seats ID %d at slot %d, want identity", s, id, first+i)
+				}
+			}
+			first += p.Count
+		}
+	}
+}
+
+func TestPlanCohortsReassignsOnChurn(t *testing.T) {
+	reg := core.NewRegistry(6)
+	prev, err := PlanCohorts(reg.ActiveIDs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker 1 departs: [0,2,3,4,5] rebalances to 2/2/1 and every shard
+	// from the departure point on shifts.
+	if err := reg.Depart(1); err != nil {
+		t.Fatal(err)
+	}
+	next, err := PlanCohorts(reg.ActiveIDs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCohorts := [][]int{{0, 2}, {3, 4}, {5}}
+	for s, want := range wantCohorts {
+		got := next[s].Workers
+		if len(got) != len(want) {
+			t.Fatalf("shard %d cohort %v, want %v", s, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d cohort %v, want %v", s, got, want)
+			}
+		}
+	}
+	changed := ChangedShards(prev, next)
+	if len(changed) != 3 {
+		t.Fatalf("changed shards %v, want all three (departure rebalanced every range)", changed)
+	}
+
+	// A joiner lands at the tail: only the shards whose ranges moved are
+	// flagged for rebuild.
+	id := reg.Admit()
+	if err := reg.Activate(id); err != nil {
+		t.Fatal(err)
+	}
+	after, err := PlanCohorts(reg.ActiveIDs(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	changed = ChangedShards(next, after)
+	if len(changed) == 0 {
+		t.Fatal("join changed no shard, want at least the tail shard rebuilt")
+	}
+	for _, s := range changed {
+		if s == 0 && samePlan(next[0], after[0]) {
+			t.Fatalf("shard 0 flagged changed but its plan is identical")
+		}
+	}
+	// The joiner is seated somewhere in the new plan under its stable ID.
+	found := false
+	for _, p := range after {
+		for _, w := range p.Workers {
+			if w == id {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("joiner %d missing from the re-assigned plan %v", id, after)
+	}
+}
+
+func TestPlanCohortsRejectsBadInput(t *testing.T) {
+	if _, err := PlanCohorts(nil, 1); err == nil {
+		t.Fatal("empty cohort accepted")
+	}
+	if _, err := PlanCohorts([]int{0, 1}, 3); err == nil {
+		t.Fatal("more shards than workers accepted")
+	}
+	if _, err := PlanCohorts([]int{0, 0}, 1); err == nil {
+		t.Fatal("duplicate seating accepted")
+	}
+	if _, err := PlanCohorts([]int{-1}, 1); err == nil {
+		t.Fatal("negative ID accepted")
+	}
+}

@@ -80,7 +80,9 @@ type Hub struct {
 	n         int
 	samples   []int // registered at hello; the engine's NumSamples source
 	helloed   []bool
+	inactive  []bool // departed/banned IDs: submissions refused, hello refused
 	readyLeft int
+	readyDone bool
 	readyCh   chan struct{} // closed when every expected worker said hello
 
 	round    int       // latest published round (noRound before the first)
@@ -116,6 +118,7 @@ func NewHub(n int) (*Hub, error) {
 		n:          n,
 		samples:    make([]int, n),
 		helloed:    make([]bool, n),
+		inactive:   make([]bool, n),
 		readyLeft:  n,
 		readyCh:    make(chan struct{}),
 		round:      noRound,
@@ -164,11 +167,114 @@ func (h *Hub) SetUploadObserver(fn func(worker int, seconds float64)) {
 // Workers returns the remote-worker stubs to build the coordinator's
 // fl.Engine over, in federation order.
 func (h *Hub) Workers() []fl.Worker {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	out := make([]fl.Worker, h.n)
 	for i := range out {
 		out[i] = &remoteWorker{hub: h, id: i}
 	}
 	return out
+}
+
+// WorkersFor returns remote-worker stubs for the given stable worker IDs,
+// in slot order — the cohort shape a federation restored mid-churn needs,
+// where the active cohort is a subset of the IDs the hub covers.
+func (h *Hub) WorkersFor(ids []int) ([]fl.Worker, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]fl.Worker, len(ids))
+	for slot, id := range ids {
+		if id < 0 || id >= h.n {
+			return nil, fmt.Errorf("transport: WorkersFor with worker %d, hub covers %d IDs", id, h.n)
+		}
+		out[slot] = &remoteWorker{hub: h, id: id}
+	}
+	return out, nil
+}
+
+// size returns the number of worker IDs the hub covers (grows on join).
+func (h *Hub) size() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// maybeReady closes the readiness gate exactly once, when the last
+// expected worker registers (or stops being expected).
+func (h *Hub) maybeReady() {
+	if h.readyLeft == 0 && !h.readyDone {
+		h.readyDone = true
+		close(h.readyCh)
+	}
+}
+
+// addWorker grows the hub for a newly admitted identity: id must be the
+// next sequential ID (mirroring the registry's assignment), and the
+// worker is registered immediately — a join handshake subsumes hello.
+// Mid-round growth is safe: the round's stubs snapshot their IDs at
+// engine build, and every per-ID array access takes the hub lock.
+func (h *Hub) addWorker(id, samples int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if id != h.n {
+		return fmt.Errorf("transport: addWorker with ID %d, next hub ID is %d", id, h.n)
+	}
+	if samples <= 0 {
+		return fmt.Errorf("transport: addWorker with %d samples for worker %d", samples, id)
+	}
+	h.n++
+	h.samples = append(h.samples, samples)
+	h.helloed = append(h.helloed, true)
+	h.inactive = append(h.inactive, false)
+	return nil
+}
+
+// deactivate marks a departed or evicted identity: its submissions and
+// hellos are refused until reactivate. Unregistered IDs stop counting
+// toward readiness — a cohort member the checkpoint knows departed must
+// not park WaitReady forever.
+func (h *Hub) deactivate(id int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if id < 0 || id >= h.n {
+		return fmt.Errorf("transport: deactivate worker %d, hub covers %d IDs", id, h.n)
+	}
+	if h.inactive[id] {
+		return nil
+	}
+	h.inactive[id] = true
+	if !h.helloed[id] {
+		h.readyLeft--
+		h.maybeReady()
+	}
+	return nil
+}
+
+// MarkInactive is deactivate for restore wiring: a federation rebuilt
+// from a churned checkpoint marks every non-active identity before
+// Restore, so readiness waits only on the cohort the checkpoint seats.
+func (h *Hub) MarkInactive(id int) error { return h.deactivate(id) }
+
+// reactivate re-admits a previously deactivated identity with its
+// (possibly re-registered) dataset size.
+func (h *Hub) reactivate(id, samples int) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if id < 0 || id >= h.n {
+		return fmt.Errorf("transport: reactivate worker %d, hub covers %d IDs", id, h.n)
+	}
+	if samples <= 0 {
+		return fmt.Errorf("transport: reactivate worker %d with %d samples", id, samples)
+	}
+	if !h.inactive[id] {
+		return fmt.Errorf("transport: reactivate worker %d, which is active", id)
+	}
+	h.inactive[id] = false
+	if !h.helloed[id] {
+		h.helloed[id] = true
+	}
+	h.samples[id] = samples
+	return nil
 }
 
 // Close unblocks every waiting stub and poller. After Close the hub
@@ -218,7 +324,6 @@ func (h *Hub) Restore(round int, params []float64, samples []int) error {
 				id, h.samples[id], s)
 		}
 	}
-	wasLeft := h.readyLeft
 	for id, s := range samples {
 		if s > 0 && !h.helloed[id] {
 			h.helloed[id] = true
@@ -226,9 +331,7 @@ func (h *Hub) Restore(round int, params []float64, samples []int) error {
 			h.readyLeft--
 		}
 	}
-	if wasLeft > 0 && h.readyLeft == 0 {
-		close(h.readyCh)
-	}
+	h.maybeReady()
 	if round >= 0 {
 		h.round = round
 		h.params = append([]float64(nil), params...)
@@ -250,6 +353,9 @@ func (h *Hub) hello(id, samples int) error {
 	if samples <= 0 {
 		return fmt.Errorf("transport: hello from worker %d declares %d samples", id, samples)
 	}
+	if h.inactive[id] {
+		return fmt.Errorf("transport: worker %d has left the federation; rejoin via /v1/join", id)
+	}
 	if h.helloed[id] {
 		if h.samples[id] != samples {
 			return fmt.Errorf("transport: worker %d re-registered with %d samples, was %d", id, samples, h.samples[id])
@@ -259,9 +365,7 @@ func (h *Hub) hello(id, samples int) error {
 	h.helloed[id] = true
 	h.samples[id] = samples
 	h.readyLeft--
-	if h.readyLeft == 0 {
-		close(h.readyCh)
-	}
+	h.maybeReady()
 	return nil
 }
 
@@ -402,6 +506,9 @@ func (h *Hub) submit(round, id, samples int, grad gradvec.Vector) (fresh bool, e
 	}
 	if !h.helloed[id] {
 		return false, fmt.Errorf("transport: worker %d submitted before hello", id)
+	}
+	if h.inactive[id] {
+		return false, fmt.Errorf("transport: worker %d has left the federation; rejoin via /v1/join", id)
 	}
 	if prev, dup := h.subs[round][id]; dup {
 		if prev.samples == samples && gradBitsEqual(prev.grad, grad) {

@@ -3,6 +3,7 @@ package transport
 import (
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"fifl/internal/metrics"
@@ -37,6 +38,10 @@ type serverMetrics struct {
 	denseBytesOut *metrics.Counter
 	wireBytesOut  *metrics.Counter
 
+	// pwMu guards the per-worker instrument slices below: elastic
+	// membership grows them between rounds while handlers read them
+	// concurrently. Use the worker* accessors, never index directly.
+	pwMu        sync.Mutex
 	uploadBytes []*metrics.Counter // per worker; mirrors Server.upBytes
 	modelBytes  []*metrics.Counter // per worker; mirrors Server.downBytes
 
@@ -98,10 +103,49 @@ func newServerMetrics(r *metrics.Registry, n int) *serverMetrics {
 	return sm
 }
 
+// growTo extends the per-worker instrument slices to cover n workers —
+// called when elastic membership admits identities past the federation's
+// initial size.
+func (sm *serverMetrics) growTo(n int) {
+	sm.pwMu.Lock()
+	defer sm.pwMu.Unlock()
+	for i := len(sm.uploadBytes); i < n; i++ {
+		w := strconv.Itoa(i)
+		sm.uploadBytes = append(sm.uploadBytes, sm.reg.Counter("fifl_transport_upload_bytes_total", "worker", w))
+		sm.modelBytes = append(sm.modelBytes, sm.reg.Counter("fifl_transport_model_bytes_total", "worker", w))
+		sm.latencySum = append(sm.latencySum, sm.reg.Gauge("fifl_transport_upload_latency_seconds_total", "worker", w))
+		sm.latencyN = append(sm.latencyN, sm.reg.Counter("fifl_transport_upload_latency_uploads_total", "worker", w))
+	}
+}
+
+// workerUpload returns worker i's upload-bytes counter, or nil when i is
+// outside the instrumented range.
+func (sm *serverMetrics) workerUpload(i int) *metrics.Counter {
+	sm.pwMu.Lock()
+	defer sm.pwMu.Unlock()
+	if i < 0 || i >= len(sm.uploadBytes) {
+		return nil
+	}
+	return sm.uploadBytes[i]
+}
+
+// workerModel returns worker i's model-bytes counter, or nil when i is
+// outside the instrumented range.
+func (sm *serverMetrics) workerModel(i int) *metrics.Counter {
+	sm.pwMu.Lock()
+	defer sm.pwMu.Unlock()
+	if i < 0 || i >= len(sm.modelBytes) {
+		return nil
+	}
+	return sm.modelBytes[i]
+}
+
 // observeUploadLatency is the hub's upload observer: it charges one fresh
 // accepted submission's broadcast-to-submit latency to the worker's
 // sum/count pair. Called under the hub lock, so the pair moves together.
 func (sm *serverMetrics) observeUploadLatency(worker int, seconds float64) {
+	sm.pwMu.Lock()
+	defer sm.pwMu.Unlock()
 	if worker < 0 || worker >= len(sm.latencySum) {
 		return
 	}

@@ -45,9 +45,14 @@ type Server struct {
 	mu      sync.Mutex
 	reports map[int]*core.RoundReport
 	// Per-worker wire accounting for the netsim cross-check: bytes of
-	// upload frames received and of non-done model frames served.
+	// upload frames received and of non-done model frames served. Grown by
+	// ProcessMembership when elastic joins extend the federation.
 	upBytes   []int64
 	downBytes []int64
+	// Queued membership handshakes, applied at the next round boundary by
+	// ProcessMembership (see membership.go).
+	joins  []joinRequest
+	leaves []leaveRequest
 }
 
 // NewServer wires a coordinator to its hub. The coordinator's engine must
@@ -60,8 +65,8 @@ func NewServer(coord *core.Coordinator, hub *Hub) (*Server, error) {
 	if hub == nil {
 		return nil, fmt.Errorf("transport: NewServer requires a hub")
 	}
-	if got := len(coord.Engine.Workers); got != hub.n {
-		return nil, fmt.Errorf("transport: engine has %d workers, hub expects %d", got, hub.n)
+	if known := coord.Members().NumKnown(); known != hub.n {
+		return nil, fmt.Errorf("transport: coordinator knows %d worker identities, hub covers %d", known, hub.n)
 	}
 	if coord.Engine.WorkerTimeout() <= 0 {
 		return nil, fmt.Errorf("transport: the engine needs a positive WithWorkerTimeout to bound remote workers")
@@ -83,6 +88,8 @@ func NewServer(coord *core.Coordinator, hub *Hub) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/ledger", s.sm.instrument("/v1/ledger", s.handleLedger))
 	s.mux.HandleFunc("GET /v1/healthz", s.sm.instrument("/v1/healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /v1/metrics", s.sm.instrument("/v1/metrics", s.handleMetrics))
+	s.mux.HandleFunc("POST /v1/join", s.sm.instrument("/v1/join", s.handleJoin))
+	s.mux.HandleFunc("POST /v1/leave", s.sm.instrument("/v1/leave", s.handleLeave))
 	return s, nil
 }
 
@@ -177,9 +184,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		// must stay bit-identical to a retry-free run.
 		if fresh {
 			s.mu.Lock()
-			s.upBytes[u.Worker] += int64(len(body))
+			if u.Worker >= 0 && u.Worker < len(s.upBytes) {
+				s.upBytes[u.Worker] += int64(len(body))
+			}
 			s.mu.Unlock()
-			s.sm.uploadBytes[u.Worker].Add(int64(len(body)))
+			if c := s.sm.workerUpload(u.Worker); c != nil {
+				c.Add(int64(len(body)))
+			}
 			s.sm.denseBytesIn.Add(int64(8 * len(u.Grad)))
 			s.sm.wireBytesIn.Add(int64(len(body)))
 		} else {
@@ -255,11 +266,15 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	if !done {
 		s.sm.denseBytesOut.Add(int64(8 * len(params)))
 		s.sm.wireBytesOut.Add(int64(len(frame)))
-		if worker, err := queryInt(r, "worker", -1); err == nil && worker >= 0 && worker < s.hub.n {
+		if worker, err := queryInt(r, "worker", -1); err == nil && worker >= 0 && worker < s.hub.size() {
 			s.mu.Lock()
-			s.downBytes[worker] += int64(len(frame))
+			if worker < len(s.downBytes) {
+				s.downBytes[worker] += int64(len(frame))
+			}
 			s.mu.Unlock()
-			s.sm.modelBytes[worker].Add(int64(len(frame)))
+			if c := s.sm.workerModel(worker); c != nil {
+				c.Add(int64(len(frame)))
+			}
 		}
 	}
 	writeFrame(w, frame)
